@@ -1,0 +1,34 @@
+# Convenience targets for the HMC-Sim (Go) repository.
+
+GO ?= go
+
+.PHONY: all build test race bench table1 fig5 examples vet clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+table1:
+	$(GO) run ./cmd/hmcsim-table1
+
+fig5:
+	$(GO) run ./cmd/hmcsim-fig5 -heatmap
+
+examples:
+	for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,173 @@
+package hmcsim_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd binary into the test temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLITable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-table1")
+	out := runTool(t, bin, "-requests", "16384")
+	for _, frag := range []string{
+		"Simulation Runtime in Clock Cycles",
+		"4-Link; 8-Bank; 2GB",
+		"8-Link; 16-Bank; 8GB",
+		"doubling banks",
+		"Paper reference",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIRandTraceTraceAnalyzerPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace")
+	csvPath := filepath.Join(dir, "fig5.csv")
+
+	rand := buildTool(t, "hmcsim-rand")
+	out := runTool(t, rand, "-requests", "5000", "-trace", tracePath, "-trace-level", "all", "-energy", "-bw")
+	for _, frag := range []string{"simulated runtime", "bank conflicts", "pJ/bit", "GB/s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rand output missing %q:\n%s", frag, out)
+		}
+	}
+	info, err := os.Stat(tracePath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	analyzer := buildTool(t, "hmcsim-trace")
+	out = runTool(t, analyzer, "-csv", csvPath, tracePath)
+	for _, frag := range []string{"events:", "RQST", "busiest vaults"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace analyzer output missing %q:\n%s", frag, out)
+		}
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "cycle,vault,conflicts,reads,writes") {
+		t.Errorf("CSV header wrong: %.60s", csv)
+	}
+}
+
+func TestCLIRandRecordReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "w.trace")
+	rand := buildTool(t, "hmcsim-rand")
+	out1 := runTool(t, rand, "-requests", "3000", "-record", tr)
+	if !strings.Contains(out1, "recorded 3000 accesses") {
+		t.Fatalf("record missing:\n%s", out1)
+	}
+	out2 := runTool(t, rand, "-requests", "3000", "-replay", tr)
+	// The replayed run services the identical workload: identical cycle
+	// counts.
+	line := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, "simulated runtime") {
+				return l
+			}
+		}
+		return ""
+	}
+	if line(out1) != line(out2) {
+		t.Errorf("replay diverged:\n%s\n%s", line(out1), line(out2))
+	}
+}
+
+func TestCLITopoDot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "ring.dot")
+	bin := buildTool(t, "hmcsim-topo")
+	out := runTool(t, bin, "-topo", "ring", "-devs", "4", "-dot", dot, "-smoke", "500")
+	for _, frag := range []string{"root devices", "smoke run: 500 requests", "host-hop distance"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("topo output missing %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph \"ring\"") {
+		t.Errorf("dot file content: %.80s", data)
+	}
+}
+
+func TestCLIFig5All(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-fig5")
+	out := runTool(t, bin, "-all", "-requests", "16384")
+	if !strings.Contains(out, "Latency/req") || !strings.Contains(out, "8-Link; 16-Bank; 8GB") {
+		t.Errorf("fig5 -all output:\n%s", out)
+	}
+}
+
+func TestCLIRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "REPORT.md")
+	bin := buildTool(t, "hmcsim-repro")
+	out := runTool(t, bin, "-requests", "16384", "-out", report)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("repro output:\n%s", out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"# HMC-Sim reproduction report",
+		"## Table I",
+		"## Figure 5",
+		"link selection",
+		"fault rate",
+	} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command hmcsim-fig5 regenerates the data series of the paper's Figure
+// 5: for one device configuration driven by the random access test
+// harness with full tracing enabled, the per-cycle (or per-interval)
+// number of bank conflicts, read requests and write requests within each
+// vault, together with the device-wide crossbar request stalls and routed
+// latency penalty events.
+//
+// Output is CSV: the per-vault long format with -out, and the per-cycle
+// device-wide summary with -summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/stats"
+)
+
+func main() {
+	config := flag.Int("config", 0, "Table I configuration index: 0=4L/8B/2GB 1=4L/16B/4GB 2=8L/8B/4GB 3=8L/16B/8GB")
+	requests := flag.Uint64("requests", eval.DefaultRequests, "number of 64-byte memory requests")
+	interval := flag.Uint64("interval", 1, "cycles aggregated per sample (1 = per-cycle fidelity)")
+	seed := flag.Uint("seed", 1, "glibc LCG seed")
+	out := flag.String("out", "", "write the per-vault series CSV to this file")
+	summary := flag.String("summary", "", "write the per-cycle device summary CSV to this file")
+	heatmap := flag.Bool("heatmap", false, "render a vault x time request heatmap to stdout")
+	all := flag.Bool("all", false, "run all four Table I configurations and print the comparison (the paper's 2x2 figure)")
+	flag.Parse()
+
+	if *all {
+		runs, err := eval.RunFigure5All(*requests, uint32(*seed), *interval)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsim-fig5:", err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.FormatFigure5Comparison(runs))
+		return
+	}
+
+	cfgs := core.Table1Configs()
+	if *config < 0 || *config >= len(cfgs) {
+		fmt.Fprintf(os.Stderr, "hmcsim-fig5: config index %d out of range [0,%d]\n", *config, len(cfgs)-1)
+		os.Exit(1)
+	}
+	cfg := cfgs[*config]
+
+	run, err := eval.RunFigure5(cfg, *requests, uint32(*seed), *interval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsim-fig5:", err)
+		os.Exit(1)
+	}
+
+	write := func(path string, f func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		file, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsim-fig5:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		if err := f(file); err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsim-fig5:", err)
+			os.Exit(1)
+		}
+	}
+	write(*out, func(f *os.File) error { return run.Collector.WriteCSV(f) })
+	write(*summary, func(f *os.File) error { return run.Collector.WriteSummaryCSV(f) })
+
+	tot := run.Collector.Totals()
+	var conflicts, reads, writes uint64
+	for v := 0; v < cfg.NumVaults; v++ {
+		conflicts += uint64(tot.Conflicts[v])
+		reads += uint64(tot.Reads[v])
+		writes += uint64(tot.Writes[v])
+	}
+	fmt.Printf("config: %v\n", cfg)
+	fmt.Printf("requests: %d   cycles: %d   req/cycle: %.2f\n",
+		run.Result.Sent, run.Result.Cycles, run.Result.Throughput())
+	fmt.Printf("reads: %d   writes: %d\n", reads, writes)
+	fmt.Printf("bank conflicts: %d   xbar request stalls: %d   latency events: %d\n",
+		conflicts, tot.XbarStalls, tot.Latency)
+	fmt.Printf("samples: %d (interval %d cycles)\n", len(run.Collector.Samples), *interval)
+	fmt.Printf("latency: %s\n", run.Result.Latency.String())
+	fmt.Println("\nper-interval series (device totals):")
+	for _, name := range []string{"reads", "writes", "conflicts", "xbar_stalls", "latency"} {
+		fmt.Printf("  %-12s %s\n", name, stats.Sparkline(run.Collector.SeriesOf(name), 64))
+	}
+	if *heatmap {
+		fmt.Println()
+		if err := run.Collector.WriteHeatmap(os.Stdout, "requests", 64); err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsim-fig5:", err)
+			os.Exit(1)
+		}
+	}
+	if *out == "" && *summary == "" {
+		fmt.Println("\n(no CSV written; use -out/-summary to capture the series)")
+	}
+}

@@ -1,0 +1,41 @@
+// Command hmcsim-table1 regenerates the paper's Table I: the simulated
+// runtime, in clock cycles, of the random access test harness against the
+// four evaluated device configurations, plus the average speedups from
+// doubling the bank count and the link count.
+//
+// The paper's full experiment uses 33,554,432 requests (-paper); the
+// default is scaled down for interactive runs. Absolute cycle counts
+// differ from the paper (the sub-cycle model parameters are not published)
+// but the shape — who wins and by roughly what factor — reproduces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmcsim/internal/eval"
+)
+
+func main() {
+	requests := flag.Uint64("requests", eval.DefaultRequests, "number of 64-byte memory requests per configuration")
+	paper := flag.Bool("paper", false, "run at the paper's full scale (33,554,432 requests)")
+	seed := flag.Uint("seed", 1, "glibc LCG seed for the random workload")
+	flag.Parse()
+
+	n := *requests
+	if *paper {
+		n = eval.PaperRequests
+	}
+	res, err := eval.RunTableI(n, uint32(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsim-table1:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+	fmt.Println("\nPaper reference (33,554,432 requests):")
+	fmt.Println("  4-Link; 8-Bank; 2GB   3,404,553 cycles")
+	fmt.Println("  4-Link; 16-Bank; 4GB  2,327,858 cycles")
+	fmt.Println("  8-Link; 8-Bank; 4GB   1,708,918 cycles")
+	fmt.Println("  8-Link; 16-Bank; 8GB    879,183 cycles")
+}

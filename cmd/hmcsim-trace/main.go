@@ -1,0 +1,127 @@
+// Command hmcsim-trace revisits stored HMC-Sim text traces (as produced
+// by hmcsim-rand -trace or any trace.Writer) and analyzes them for
+// latency characteristics, bandwidth utilization and overall transaction
+// efficiency: event totals by kind, the busiest vaults, and optional
+// regeneration of the Figure 5 CSV series from the stored trace.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"hmcsim/internal/stats"
+	"hmcsim/internal/trace"
+)
+
+func main() {
+	dev := flag.Int("dev", 0, "device whose events feed the Figure 5 series")
+	vaults := flag.Int("vaults", 16, "vault count of the traced device")
+	interval := flag.Uint64("interval", 1, "cycles per Figure 5 sample bucket")
+	csvOut := flag.String("csv", "", "write the per-vault Figure 5 series CSV to this file")
+	summaryOut := flag.String("summary", "", "write the per-cycle summary CSV to this file")
+	top := flag.Int("top", 5, "how many of the busiest vaults to list")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hmcsim-trace [flags] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	counter := trace.NewCounter()
+	collector := stats.NewFig5Collector(*dev, *vaults, *interval)
+	latency := stats.NewLatencyReconstructor()
+	var first, last uint64
+	haveFirst := false
+
+	sc := trace.NewScanner(bufio.NewReaderSize(f, 1<<20))
+	var n uint64
+	for sc.Scan() {
+		e := sc.Event()
+		counter.Trace(e)
+		collector.Trace(e)
+		latency.Trace(e)
+		if !haveFirst {
+			first, haveFirst = e.Clock, true
+		}
+		if e.Clock > last {
+			last = e.Clock
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	collector.Flush()
+
+	fmt.Printf("trace: %s\n", flag.Arg(0))
+	fmt.Printf("events: %d spanning clock cycles %d..%d\n\n", n, first, last)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "event kind\tcount")
+	for _, k := range []trace.Kind{
+		trace.KindRqst, trace.KindRsp, trace.KindBankConflict,
+		trace.KindXbarRqstStall, trace.KindXbarRspStall, trace.KindVaultRspStall,
+		trace.KindLatency, trace.KindRoute, trace.KindError,
+	} {
+		if c := counter.Count(k); c > 0 {
+			fmt.Fprintf(tw, "%v\t%d\n", k, c)
+		}
+	}
+	tw.Flush()
+
+	tot := collector.Totals()
+	type vaultLoad struct {
+		vault int
+		load  uint64
+	}
+	loads := make([]vaultLoad, *vaults)
+	for v := 0; v < *vaults; v++ {
+		loads[v] = vaultLoad{v, uint64(tot.Reads[v]) + uint64(tot.Writes[v])}
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].load > loads[j].load })
+	if latency.Service.Count() > 0 {
+		fmt.Printf("\nservice latency reconstructed from SEND/RQST events: %s\n",
+			latency.Service.String())
+		if latency.Unmatched > 0 {
+			fmt.Printf("  (%d service events had no matching send)\n", latency.Unmatched)
+		}
+	}
+
+	fmt.Printf("\nbusiest vaults on device %d:\n", *dev)
+	for i := 0; i < *top && i < len(loads); i++ {
+		v := loads[i].vault
+		fmt.Printf("  vault %2d: %d requests (%d reads, %d writes, %d conflicts)\n",
+			v, loads[i].load, tot.Reads[v], tot.Writes[v], tot.Conflicts[v])
+	}
+
+	write := func(path string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := fn(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(*csvOut, func(o *os.File) error { return collector.WriteCSV(o) })
+	write(*summaryOut, func(o *os.File) error { return collector.WriteSummaryCSV(o) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmcsim-trace:", err)
+	os.Exit(1)
+}

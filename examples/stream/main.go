@@ -1,0 +1,86 @@
+// Stream contrasts the paper's interleave models: sequential (streaming)
+// traffic under the default low-interleave address map rotates across
+// vaults and banks and incurs zero bank conflicts, while the same traffic
+// under a vault-pinning stride collapses onto one vault and serializes.
+// The example also prints the vault rotation of the first blocks to make
+// the Section III-B interleave behaviour concrete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/workload"
+)
+
+func main() {
+	cfg := core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16,
+		QueueDepth: 64, NumBanks: 8, NumDRAMs: 20,
+		CapacityGB: 2, XbarDepth: 128,
+	}
+
+	// Show where sequential 64-byte blocks land: vaults first, then banks
+	// — "sequential addresses first interleave across vaults then across
+	// banks within vault in order to avoid bank conflicts".
+	h, err := eval.BuildSimple(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := h.Device(0).Map
+	fmt.Println("default low-interleave map, sequential 64B blocks:")
+	for i := 0; i < 20; i++ {
+		d := m.Decode(uint64(i) * 64)
+		fmt.Printf("  block %2d @ %#06x -> vault %2d bank %d\n", i, i*64, d.Vault, d.Bank)
+	}
+	fmt.Println()
+
+	run := func(name string, gen workload.Generator) host.Result {
+		hm, err := eval.BuildSimple(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drv, err := host.NewDriver(hm, host.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := drv.Run(gen, 1<<16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8d cycles  %6.2f req/cycle  %8d conflicts  latency %s\n",
+			name, res.Cycles, res.Throughput(), res.Engine.BankConflicts, res.Latency.String())
+		return res
+	}
+
+	stream, err := workload.NewStream(1, 1<<28, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	random, err := workload.NewRandomAccess(1, 2<<30, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stride of vaults*64 pins every access to one vault.
+	pinned, err := workload.NewStride(1, 0, 16*64, 1<<28, 64, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload comparison (65,536 x 64B requests, 50/50 R/W):")
+	s := run("stream (sequential)", stream)
+	r := run("random", random)
+	p := run("vault-pinned stride", pinned)
+
+	fmt.Println()
+	fmt.Printf("stream vs random:        %.2fx — the vault/bank fabric makes random\n",
+		float64(r.Cycles)/float64(s.Cycles))
+	fmt.Println("                         access nearly as fast as streaming; both saturate")
+	fmt.Println("                         the vaults*banks structural ceiling")
+	fmt.Printf("pinned-stride slowdown:  %.2fx vs stream — defeating the interleave\n",
+		float64(p.Cycles)/float64(s.Cycles))
+	fmt.Println("                         serializes all traffic on one vault's banks")
+}

@@ -1,0 +1,203 @@
+// Integration tests exercising the public surfaces of several packages
+// together: engine → trace file → parser → collector reconciliation, and
+// full command coverage through a live device.
+package hmcsim_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/trace"
+	"hmcsim/internal/workload"
+)
+
+func simpleHMC(t testing.TB, cfg core.Config) *core.HMC {
+	t.Helper()
+	h, err := eval.BuildSimple(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func smallCfg() core.Config {
+	return core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, QueueDepth: 16,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 32,
+		StoreData: true,
+	}
+}
+
+// TestTraceFileRoundTripReconciles writes a live run's trace to a text
+// buffer, replays it through the parser into a fresh collector, and
+// checks the replayed statistics agree exactly with the live engine.
+func TestTraceFileRoundTripReconciles(t *testing.T) {
+	cfg := smallCfg()
+	h := simpleHMC(t, cfg)
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	live := trace.NewCounter()
+	h.SetTracer(trace.Multi{tw, live})
+	h.SetTraceMask(trace.MaskAll)
+
+	gen, err := workload.NewRandomAccess(3, 1<<28, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := host.NewDriver(h, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(gen, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := trace.NewCounter()
+	n, err := trace.Replay(bytes.NewReader(buf.Bytes()), replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != live.Total() {
+		t.Fatalf("replayed %d events, live saw %d", n, live.Total())
+	}
+	for _, k := range []trace.Kind{
+		trace.KindRqst, trace.KindRsp, trace.KindBankConflict,
+		trace.KindXbarRqstStall, trace.KindLatency,
+	} {
+		if replayed.Count(k) != live.Count(k) {
+			t.Errorf("%v: replayed %d, live %d", k, replayed.Count(k), live.Count(k))
+		}
+	}
+
+	// The replayed Figure 5 series reconciles with the engine counters.
+	col := stats.NewFig5Collector(0, cfg.NumVaults, 1)
+	if _, err := trace.Replay(bytes.NewReader(buf.Bytes()), col); err != nil {
+		t.Fatal(err)
+	}
+	col.Flush()
+	tot := col.Totals()
+	var reads uint64
+	for v := 0; v < cfg.NumVaults; v++ {
+		reads += uint64(tot.Reads[v])
+	}
+	if reads != h.Stats().Reads {
+		t.Errorf("replayed reads %d != engine %d", reads, h.Stats().Reads)
+	}
+}
+
+// TestEveryRequestCommandEndToEnd pushes one request of every defined
+// request command through a live device and validates the response class
+// ("HMC-Sim implements all possible device packet variations").
+func TestEveryRequestCommandEndToEnd(t *testing.T) {
+	h := simpleHMC(t, smallCfg())
+	var cmds []packet.Command
+	for c := packet.Command(0); c < 0x40; c++ {
+		if c.IsRequest() && !c.IsMode() {
+			cmds = append(cmds, c)
+		}
+	}
+	if len(cmds) != 8+8+8+3+3 { // RD*8, WR*8, P_WR*8, atomics*3, posted atomics*3
+		t.Fatalf("unexpected request command count %d", len(cmds))
+	}
+	tag := uint16(0)
+	for _, cmd := range cmds {
+		req := packet.Request{
+			CUB: 0, Addr: uint64(tag) * 256, Tag: tag,
+			Cmd: cmd, Data: make([]uint64, cmd.DataBytes()/8),
+		}
+		words, err := h.BuildRequestPacket(req, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+		if err := h.Send(0, 0, words); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+		if err := h.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := h.Recv(0, 0)
+		if cmd.IsPosted() {
+			if !errors.Is(err, core.ErrStall) {
+				t.Errorf("%v: posted request produced a response", cmd)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("%v: no response: %v", cmd, err)
+			}
+			rsp, err := core.DecodeMemResponse(raw)
+			if err != nil {
+				t.Fatalf("%v: %v", cmd, err)
+			}
+			want, _ := cmd.Response()
+			if rsp.Cmd != want || rsp.Tag != tag {
+				t.Errorf("%v: response %v tag %d", cmd, rsp.Cmd, rsp.Tag)
+			}
+			if got := len(rsp.Data) * 8; got != cmd.ResponseDataBytes() {
+				t.Errorf("%v: response carries %d bytes, want %d", cmd, got, cmd.ResponseDataBytes())
+			}
+		}
+		tag++
+	}
+}
+
+// TestHarnessMatchesRandTool cross-checks eval.RunRandom against the
+// driver assembled by hand, cycle for cycle.
+func TestHarnessMatchesRandTool(t *testing.T) {
+	cfg := core.Table1Configs()[0]
+	const n = 1 << 12
+	viaEval, err := eval.RunRandom(cfg, n, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := simpleHMC(t, cfg)
+	gen, err := eval.RandomWorkload(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := host.NewDriver(h, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHand, err := d.Run(gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaEval.Cycles != byHand.Cycles || viaEval.Engine != byHand.Engine {
+		t.Errorf("eval %d cycles vs manual %d cycles", viaEval.Cycles, byHand.Cycles)
+	}
+}
+
+// TestFig5CSVGolden pins the CSV format end to end.
+func TestFig5CSVGolden(t *testing.T) {
+	run, err := eval.RunFigure5(smallCfg(), 256, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run.Collector.WriteSummaryCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "cycle,conflicts,reads,writes,xbar_stalls,latency" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("no data rows")
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 5 {
+			t.Errorf("row %q has %d commas", line, got)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package cache implements a set-associative write-back, write-allocate
+// cache with LRU replacement and miss-status holding registers (MSHRs).
+// It wraps any cpu.Memory backend — the HMC engine or the banked-DDR
+// baseline — so the in-order core model can be studied with a realistic
+// cache hierarchy in front of the simulated memory device.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hmcsim/internal/cpu"
+	"hmcsim/internal/workload"
+)
+
+// Config describes the cache geometry and timing.
+type Config struct {
+	// SizeBytes is the total capacity (a power of two).
+	SizeBytes int
+	// LineBytes is the line size (a power of two, at least 16).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the number of Ticks before a hit's data returns.
+	HitLatency int
+}
+
+// Validate checks cfg.
+func (c Config) Validate() error {
+	if c.SizeBytes < 1 || c.SizeBytes&(c.SizeBytes-1) != 0 {
+		return fmt.Errorf("cache: size %d not a power of two", c.SizeBytes)
+	}
+	if c.LineBytes < 16 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two >= 16", c.LineBytes)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity %d < 1", c.Assoc)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines < c.Assoc || lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible into %d-way sets", lines, c.Assoc)
+	}
+	if sets := lines / c.Assoc; sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	if c.HitLatency < 1 {
+		return fmt.Errorf("cache: hit latency %d < 1", c.HitLatency)
+	}
+	return nil
+}
+
+// L1D returns a conventional 32KB, 64-byte-line, 8-way, 1-cycle-hit
+// configuration.
+func L1D() Config {
+	return Config{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, HitLatency: 1}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	MSHRMerges uint64 // misses merged into an outstanding fill
+	Writebacks uint64 // dirty evictions pushed to the backing memory
+	Fills      uint64
+	Stalls     uint64 // issues refused (backing busy or MSHR conflict)
+}
+
+// HitRate returns hits / (hits + misses).
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type line struct {
+	valid    bool
+	reserved bool // fill in flight
+	dirty    bool
+	tag      uint64
+	stamp    uint64
+}
+
+type waiter struct {
+	id     uint64
+	isLoad bool
+	write  bool
+}
+
+type mshr struct {
+	set, way int
+	waiters  []waiter
+}
+
+// Cache is one cache level in front of a backing cpu.Memory.
+type Cache struct {
+	cfg     Config
+	backing cpu.Memory
+
+	sets      [][]line
+	setShift  uint
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	now       uint64
+
+	// mshrs indexes outstanding fills by line address; fillIDs maps the
+	// backing request ID to its line address.
+	mshrs   map[uint64]*mshr
+	fillIDs map[uint64]uint64
+
+	// hits holds scheduled hit completions: (due tick, core id).
+	hits []hitEvent
+
+	nextID uint64
+	stats  Stats
+}
+
+type hitEvent struct {
+	due uint64
+	id  uint64
+}
+
+// New builds a cache over backing.
+func New(cfg Config, backing cpu.Memory) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backing == nil {
+		return nil, fmt.Errorf("cache: nil backing memory")
+	}
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
+	c := &Cache{
+		cfg:       cfg,
+		backing:   backing,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(numSets - 1),
+		mshrs:     make(map[uint64]*mshr),
+		fillIDs:   make(map[uint64]uint64),
+	}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) decompose(addrVal uint64) (lineAddr, tag uint64, set int) {
+	lineAddr = addrVal >> c.lineShift
+	set = int(lineAddr & c.setMask)
+	tag = lineAddr >> uint(bits.Len64(c.setMask))
+	return lineAddr, tag, set
+}
+
+// lookup returns the way holding tag in set, or -1.
+func (c *Cache) lookup(set int, tag uint64) int {
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim selects the way to replace in set: an invalid unreserved way if
+// any, else the LRU unreserved way; -1 when every way has a fill pending.
+func (c *Cache) victim(set int) int {
+	best := -1
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.reserved {
+			continue
+		}
+		if !l.valid {
+			return w
+		}
+		if best == -1 || l.stamp < c.sets[set][best].stamp {
+			best = w
+		}
+	}
+	return best
+}
+
+// Issue implements cpu.Memory.
+func (c *Cache) Issue(a workload.Access) (uint64, bool) {
+	lineAddr, tag, set := c.decompose(a.Addr)
+
+	// Hit path.
+	if w := c.lookup(set, tag); w >= 0 {
+		l := &c.sets[set][w]
+		c.clock++
+		l.stamp = c.clock
+		if a.Write {
+			l.dirty = true
+		}
+		c.stats.Hits++
+		id := c.newID()
+		if !a.Write {
+			c.hits = append(c.hits, hitEvent{due: c.now + uint64(c.cfg.HitLatency), id: id})
+		}
+		return id, true
+	}
+
+	// Miss path: merge into an outstanding fill when one exists.
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.stats.Misses++
+		c.stats.MSHRMerges++
+		id := c.newID()
+		m.waiters = append(m.waiters, waiter{id: id, isLoad: !a.Write, write: a.Write})
+		return id, true
+	}
+
+	// New fill: need a victim way and backing capacity.
+	w := c.victim(set)
+	if w == -1 {
+		c.stats.Stalls++
+		return 0, false
+	}
+	l := &c.sets[set][w]
+	if l.valid && l.dirty {
+		// Write back the victim first (a posted store of the old line).
+		oldAddr := (l.tag<<uint(bits.Len64(c.setMask)) | uint64(set)) << c.lineShift
+		if _, ok := c.backing.Issue(workload.Access{Addr: oldAddr, Write: true, Size: 16}); !ok {
+			c.stats.Stalls++
+			return 0, false
+		}
+		c.stats.Writebacks++
+		l.dirty = false
+	}
+	// Fill read for the missing line.
+	fillID, ok := c.backing.Issue(workload.Access{Addr: lineAddr << c.lineShift, Size: 16})
+	if !ok {
+		c.stats.Stalls++
+		return 0, false
+	}
+	c.stats.Misses++
+	c.stats.Fills++
+	*l = line{reserved: true, tag: tag}
+	id := c.newID()
+	c.mshrs[lineAddr] = &mshr{set: set, way: w,
+		waiters: []waiter{{id: id, isLoad: !a.Write, write: a.Write}}}
+	c.fillIDs[fillID] = lineAddr
+	return id, true
+}
+
+func (c *Cache) newID() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+// Tick implements cpu.Memory.
+func (c *Cache) Tick() ([]uint64, error) {
+	done, err := c.backing.Tick()
+	if err != nil {
+		return nil, err
+	}
+	c.now++
+	var out []uint64
+
+	// Fill completions.
+	for _, fid := range done {
+		lineAddr, ok := c.fillIDs[fid]
+		if !ok {
+			continue // a writeback acknowledgment, if the backing sends any
+		}
+		delete(c.fillIDs, fid)
+		m := c.mshrs[lineAddr]
+		delete(c.mshrs, lineAddr)
+		l := &c.sets[m.set][m.way]
+		c.clock++
+		*l = line{valid: true, tag: l.tag, stamp: c.clock}
+		for _, w := range m.waiters {
+			if w.write {
+				l.dirty = true
+			}
+			if w.isLoad {
+				out = append(out, w.id)
+			}
+		}
+	}
+
+	// Scheduled hit completions.
+	rest := c.hits[:0]
+	for _, h := range c.hits {
+		if h.due <= c.now {
+			out = append(out, h.id)
+		} else {
+			rest = append(rest, h)
+		}
+	}
+	c.hits = rest
+	return out, nil
+}
+
+// OutstandingLimit implements cpu.Memory.
+func (c *Cache) OutstandingLimit() int { return c.backing.OutstandingLimit() }

@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"testing"
+
+	"hmcsim/internal/cpu"
+	"hmcsim/internal/ddrsim"
+	"hmcsim/internal/workload"
+)
+
+// instantMemory is a test backing that accepts everything and completes
+// loads on the next tick.
+type instantMemory struct {
+	nextID  uint64
+	pending []uint64
+	issued  []workload.Access
+	// refuse makes the next Issue calls fail.
+	refuse int
+}
+
+func (m *instantMemory) Issue(a workload.Access) (uint64, bool) {
+	if m.refuse > 0 {
+		m.refuse--
+		return 0, false
+	}
+	m.issued = append(m.issued, a)
+	m.nextID++
+	if !a.Write {
+		m.pending = append(m.pending, m.nextID)
+	}
+	return m.nextID, true
+}
+
+func (m *instantMemory) Tick() ([]uint64, error) {
+	out := m.pending
+	m.pending = nil
+	return out, nil
+}
+
+func (m *instantMemory) OutstandingLimit() int { return 1 << 20 }
+
+func smallCache(t *testing.T, mem cpu.Memory) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Assoc: 2, HitLatency: 1}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := L1D().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 1000, LineBytes: 64, Assoc: 2, HitLatency: 1},
+		{SizeBytes: 1024, LineBytes: 8, Assoc: 2, HitLatency: 1},
+		{SizeBytes: 1024, LineBytes: 48, Assoc: 2, HitLatency: 1},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 0, HitLatency: 1},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 3, HitLatency: 1},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 2, HitLatency: 0},
+		{SizeBytes: 64, LineBytes: 64, Assoc: 2, HitLatency: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(L1D(), nil); err == nil {
+		t.Error("accepted nil backing")
+	}
+}
+
+// drive issues one access and ticks until it completes (loads) or just
+// ticks once (stores).
+func drive(t *testing.T, c *Cache, a workload.Access) {
+	t.Helper()
+	id, ok := c.Issue(a)
+	if !ok {
+		t.Fatalf("issue refused: %+v", a)
+	}
+	if a.Write {
+		if _, err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	for i := 0; i < 50; i++ {
+		done, err := c.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range done {
+			if d == id {
+				return
+			}
+		}
+	}
+	t.Fatalf("load %+v never completed", a)
+}
+
+func TestMissThenHit(t *testing.T) {
+	mem := &instantMemory{}
+	c := smallCache(t, mem)
+	drive(t, c, workload.Access{Addr: 0x100})
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 || st.Fills != 1 {
+		t.Fatalf("after miss: %+v", st)
+	}
+	// Same line: hit. Different offset within the 64B line too.
+	drive(t, c, workload.Access{Addr: 0x100})
+	drive(t, c, workload.Access{Addr: 0x130})
+	if st := c.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("after hits: %+v", st)
+	}
+	// The backing saw exactly one (line-aligned) fill.
+	if len(mem.issued) != 1 || mem.issued[0].Addr != 0x100 || mem.issued[0].Write {
+		t.Fatalf("backing traffic: %+v", mem.issued)
+	}
+}
+
+func TestWriteAllocateAndWriteback(t *testing.T) {
+	mem := &instantMemory{}
+	c := smallCache(t, mem)
+	// Store miss: write-allocate (one fill), line becomes dirty.
+	drive(t, c, workload.Access{Addr: 0x200, Write: true})
+	if st := c.Stats(); st.Fills != 1 {
+		t.Fatalf("store miss did not allocate: %+v", st)
+	}
+	// Evict the dirty line: the cache has 8 sets (1024/64/2); addresses
+	// 0x200, 0x200+512, 0x200+1024 share a set. Touch two more lines in
+	// the set to force the dirty line out.
+	drive(t, c, workload.Access{Addr: 0x200 + 512})
+	drive(t, c, workload.Access{Addr: 0x200 + 1024})
+	if st := c.Stats(); st.Writebacks != 1 {
+		t.Fatalf("dirty eviction produced %d writebacks", st.Writebacks)
+	}
+	// The writeback hit the backing as a store of the old line address.
+	var wbSeen bool
+	for _, a := range mem.issued {
+		if a.Write && a.Addr == 0x200 {
+			wbSeen = true
+		}
+	}
+	if !wbSeen {
+		t.Errorf("no writeback of 0x200 in backing traffic: %+v", mem.issued)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	mem := &instantMemory{}
+	c := smallCache(t, mem)
+	drive(t, c, workload.Access{Addr: 0x200})
+	drive(t, c, workload.Access{Addr: 0x200 + 512})
+	drive(t, c, workload.Access{Addr: 0x200 + 1024})
+	if st := c.Stats(); st.Writebacks != 0 {
+		t.Fatalf("clean evictions wrote back: %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	mem := &instantMemory{}
+	c := smallCache(t, mem)
+	a, b, d := uint64(0x0), uint64(0x0+512), uint64(0x0+1024)
+	drive(t, c, workload.Access{Addr: a})
+	drive(t, c, workload.Access{Addr: b})
+	drive(t, c, workload.Access{Addr: a}) // a is now MRU
+	drive(t, c, workload.Access{Addr: d}) // evicts b
+	st := c.Stats()
+	drive(t, c, workload.Access{Addr: a})
+	if got := c.Stats().Hits - st.Hits; got != 1 {
+		t.Error("MRU line was evicted")
+	}
+	st = c.Stats()
+	drive(t, c, workload.Access{Addr: b})
+	if got := c.Stats().Misses - st.Misses; got != 1 {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	mem := &instantMemory{}
+	c := smallCache(t, mem)
+	// Two loads of the same missing line before any tick: one fill, one
+	// merge; both complete on the fill return.
+	id1, ok1 := c.Issue(workload.Access{Addr: 0x40})
+	id2, ok2 := c.Issue(workload.Access{Addr: 0x48})
+	if !ok1 || !ok2 {
+		t.Fatal("issues refused")
+	}
+	if st := c.Stats(); st.Fills != 1 || st.MSHRMerges != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	done, err := c.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, d := range done {
+		got[d] = true
+	}
+	if !got[id1] || !got[id2] {
+		t.Errorf("merged loads incomplete: %v", done)
+	}
+	if len(mem.issued) != 1 {
+		t.Errorf("backing saw %d requests, want 1", len(mem.issued))
+	}
+}
+
+func TestIssueRefusedWhenBackingBusy(t *testing.T) {
+	mem := &instantMemory{refuse: 1}
+	c := smallCache(t, mem)
+	if _, ok := c.Issue(workload.Access{Addr: 0x40}); ok {
+		t.Fatal("miss accepted while backing refused the fill")
+	}
+	if c.Stats().Stalls != 1 {
+		t.Errorf("stalls = %d", c.Stats().Stalls)
+	}
+	// Retry succeeds and state is consistent.
+	drive(t, c, workload.Access{Addr: 0x40})
+	drive(t, c, workload.Access{Addr: 0x40})
+	if st := c.Stats(); st.Hits != 1 || st.Fills != 1 {
+		t.Errorf("after retry: %+v", st)
+	}
+}
+
+func TestCacheInFrontOfDDRImprovesCPI(t *testing.T) {
+	// A locality-heavy workload through an L1 in front of DDR must beat
+	// the uncached DDR run.
+	run := func(withCache bool) float64 {
+		backing, err := cpu.NewDDRBackend(ddrsim.DDR3_1600(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mem cpu.Memory = backing
+		if withCache {
+			mem, err = New(L1D(), backing)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Hot 16KB working set: fits in the 32KB L1.
+		gen, err := workload.NewHotspot(1, 1<<26, 16<<10, 95, 64, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core, err := cpu.New(cpu.Config{MLP: 16, MemPercent: 50, LoadPercent: 80, BlockingPercent: 50}, mem, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CPI()
+	}
+	cached, uncached := run(true), run(false)
+	if cached >= uncached {
+		t.Errorf("cached CPI %.2f not better than uncached %.2f", cached, uncached)
+	}
+}
+
+func TestHitRateOnHotWorkingSet(t *testing.T) {
+	mem := &instantMemory{}
+	c, err := New(L1D(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHotspot(3, 1<<26, 8<<10, 100, 64, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		a := gen.Next()
+		if _, ok := c.Issue(a); !ok {
+			t.Fatal("refused")
+		}
+		if _, err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr := c.Stats().HitRate(); hr < 0.95 {
+		t.Errorf("hot-set hit rate %.3f, want > 0.95", hr)
+	}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"testing"
+
+	"hmcsim/internal/cpu"
+	"hmcsim/internal/workload"
+)
+
+// Caches compose: an L1 in front of an L2 in front of memory.
+func TestTwoLevelHierarchy(t *testing.T) {
+	mem := &instantMemory{}
+	l2, err := New(Config{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, HitLatency: 4}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := New(Config{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Working set that misses L1 but fits L2: 32KB.
+	gen, err := workload.NewHotspot(1, 1<<26, 32<<10, 100, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem2 cpu.Memory = l1
+	pending := map[uint64]bool{}
+	for i := 0; i < 30000; i++ {
+		a := gen.Next()
+		if id, ok := mem2.Issue(a); ok && !a.Write {
+			pending[id] = true
+		}
+		done, err := mem2.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range done {
+			delete(pending, d)
+		}
+	}
+	// Drain.
+	for i := 0; i < 100 && len(pending) > 0; i++ {
+		done, err := mem2.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range done {
+			delete(pending, d)
+		}
+	}
+	if len(pending) != 0 {
+		t.Fatalf("%d loads never completed", len(pending))
+	}
+
+	l1Stats, l2Stats := l1.Stats(), l2.Stats()
+	// L1 misses become L2 traffic; with a 32KB hot set over a 4KB L1 and
+	// 64KB L2, the L2 must absorb most L1 misses.
+	if l1Stats.HitRate() > 0.5 {
+		t.Errorf("L1 hit rate %.2f unexpectedly high for a 8x working set", l1Stats.HitRate())
+	}
+	if l2Stats.HitRate() < 0.9 {
+		t.Errorf("L2 hit rate %.2f, want >= 0.9 (set fits)", l2Stats.HitRate())
+	}
+	// Memory only sees compulsory L2 fills: ~512 lines for 32KB.
+	memReads := 0
+	for _, a := range mem.issued {
+		if !a.Write {
+			memReads++
+		}
+	}
+	if memReads > 700 {
+		t.Errorf("memory saw %d fills, want ~512 compulsory", memReads)
+	}
+}

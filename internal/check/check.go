@@ -1,0 +1,107 @@
+// Package check audits the structural invariants of a live HMC
+// simulation object. It exists for test harnesses and long-running
+// experiments: calling Verify between clock cycles catches engine or
+// memory corruption at the cycle it happens instead of as a downstream
+// mystery.
+//
+// Verified invariants:
+//
+//   - every queued packet is structurally valid, including its CRC
+//   - queue occupancy never exceeds the configured depth
+//   - crossbar/vault request queues hold only request packets, response
+//     queues only response packets
+//   - packets in a vault's request queue actually decode to that vault
+//   - source link IDs fit the device's link range
+//   - destination cube IDs are devices or the host
+package check
+
+import (
+	"fmt"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/queue"
+)
+
+// Verify audits every queue of every device in h, returning the first
+// violation found, or nil.
+func Verify(h *core.HMC) error {
+	cfg := h.Config()
+	for cube := 0; cube < cfg.NumDevs; cube++ {
+		d := h.Device(cube)
+		for li := range d.Links {
+			l := &d.Links[li]
+			if err := verifyQueue(l.RqstQ, fmt.Sprintf("dev %d link %d rqst", cube, li), true, cfg); err != nil {
+				return err
+			}
+			if err := verifyQueue(l.RspQ, fmt.Sprintf("dev %d link %d rsp", cube, li), false, cfg); err != nil {
+				return err
+			}
+		}
+		for vi := range d.Vaults {
+			v := &d.Vaults[vi]
+			name := fmt.Sprintf("dev %d vault %d rqst", cube, vi)
+			if err := verifyQueue(v.RqstQ, name, true, cfg); err != nil {
+				return err
+			}
+			// Vault request queues only hold packets for this vault.
+			for i := 0; i < v.RqstQ.Len(); i++ {
+				p := &v.RqstQ.At(i).Packet
+				if p.Cmd().IsMode() {
+					return fmt.Errorf("check: %s slot %d holds a mode request", name, i)
+				}
+				dec := d.Map.Decode(p.Addr())
+				if dec.Vault != vi {
+					return fmt.Errorf("check: %s slot %d packet decodes to vault %d", name, i, dec.Vault)
+				}
+				if dec.Bank < 0 || dec.Bank >= cfg.NumBanks {
+					return fmt.Errorf("check: %s slot %d bank %d out of range", name, i, dec.Bank)
+				}
+			}
+			if err := verifyQueue(v.RspQ, fmt.Sprintf("dev %d vault %d rsp", cube, vi), false, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyQueue(q *queue.Queue, name string, wantRequests bool, cfg core.Config) error {
+	if q.Len() > q.Depth() {
+		return fmt.Errorf("check: %s occupancy %d exceeds depth %d", name, q.Len(), q.Depth())
+	}
+	for i := 0; i < q.Len(); i++ {
+		s := q.At(i)
+		if s == nil || !s.Valid {
+			return fmt.Errorf("check: %s slot %d invalid but within Len", name, i)
+		}
+		p := &s.Packet
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("check: %s slot %d: %w", name, i, err)
+		}
+		cmd := p.Cmd()
+		if wantRequests && !cmd.IsRequest() {
+			return fmt.Errorf("check: %s slot %d holds %v (not a request)", name, i, cmd)
+		}
+		if !wantRequests && !cmd.IsResponse() {
+			return fmt.Errorf("check: %s slot %d holds %v (not a response)", name, i, cmd)
+		}
+		if int(p.SLID()) >= cfg.NumLinks {
+			return fmt.Errorf("check: %s slot %d SLID %d out of range", name, i, p.SLID())
+		}
+		if wantRequests {
+			if dest := int(p.CUB()); dest > cfg.NumDevs {
+				return fmt.Errorf("check: %s slot %d CUB %d beyond host ID", name, i, dest)
+			}
+		}
+	}
+	return nil
+}
+
+// Clock advances h by one cycle and verifies the invariants afterwards.
+// It is the drop-in checked replacement for h.Clock in tests.
+func Clock(h *core.HMC) error {
+	if err := h.Clock(); err != nil {
+		return err
+	}
+	return Verify(h)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"hmcsim/internal/device"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/trace"
+)
+
+// BuildMemRequest assembles the header and tail words for a memory request
+// packet, the analogue of hmcsim_build_memrequest. The caller lays the
+// packet out as head, data words..., tail and passes it to Send. The
+// sequence number is drawn from a rolling per-link counter keyed by the
+// link the caller intends to send on.
+func (h *HMC) BuildMemRequest(cub uint8, physAddr uint64, tag uint16, cmd packet.Command, link int) (head, tail uint64, err error) {
+	seq := h.seq[link]
+	h.seq[link] = (seq + 1) & 0x7
+	p, err := packet.BuildRequest(packet.Request{
+		CUB:  cub,
+		Addr: physAddr,
+		Tag:  tag,
+		Cmd:  cmd,
+		SLID: uint8(link),
+		Seq:  seq,
+		Data: make([]uint64, cmd.DataBytes()/8),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	w := p.Words()
+	return w[0], w[len(w)-1], nil
+}
+
+// BuildRequestPacket assembles a complete, CRC-stamped request packet
+// (head, data, tail) ready for Send. It is the convenience companion to
+// the C-style BuildMemRequest.
+func (h *HMC) BuildRequestPacket(req packet.Request, link int) ([]uint64, error) {
+	req.SLID = uint8(link)
+	req.Seq = h.seq[link]
+	h.seq[link] = (req.Seq + 1) & 0x7
+	p, err := packet.BuildRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(p.Words()))
+	copy(out, p.Words())
+	return out, nil
+}
+
+// Send submits a preformatted, fully formed, compliant request packet
+// (head word, data words, tail word) on host link `link` of device `dev`.
+// The packet interacts directly with the crossbar request queue of the
+// target device: if the queue has no free slot, Send returns ErrStall and
+// the host should clock the simulation before retrying.
+//
+// Flow-control packets (NULL, PRET, TRET, IRTRY) are consumed by the link
+// logic immediately and never occupy queue slots.
+//
+// Note that the caller-supplied CRC must be valid: Send validates the
+// packet exactly as a compliant device would. The source link identifier
+// is stamped by the link logic on ingress.
+func (h *HMC) Send(dev, link int, words []uint64) error {
+	if err := h.seal(); err != nil {
+		return err
+	}
+	d := h.Device(dev)
+	if d == nil {
+		return fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	if link < 0 || link >= len(d.Links) {
+		return fmt.Errorf("hmcsim: link %d out of range", link)
+	}
+	l := &d.Links[link]
+	if !l.Active || l.DstCube != h.HostID() {
+		return ErrNotHostLink
+	}
+	if linkDown(d, link) {
+		return ErrLinkDown
+	}
+	p, err := packet.FromWords(words)
+	if err != nil {
+		return err
+	}
+	cmd := p.Cmd()
+	if cmd.IsFlow() {
+		h.consumeFlow(l, &p)
+		return nil
+	}
+	if !cmd.IsRequest() {
+		return fmt.Errorf("hmcsim: cannot send %v packets", cmd)
+	}
+	if l.RqstQ.Full() {
+		h.stats.SendStalls++
+		h.emit(trace.Event{
+			Kind: trace.KindXbarRqstStall, Dev: dev, Link: link,
+			Quad: l.Quad, Vault: trace.None, Bank: trace.None,
+			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+			Aux: uint64(l.RqstQ.Len()),
+		})
+		return ErrStall
+	}
+	if h.faultRoll() {
+		// Injected transmission fault: the link retries transparently;
+		// the host observes one cycle of back-pressure.
+		h.stats.LinkRetries++
+		h.emit(trace.Event{
+			Kind: trace.KindRetry, Dev: dev, Link: link, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None,
+			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+		})
+		return ErrStall
+	}
+	// The link logic stamps the ingress source link ID so the response can
+	// be returned on the same link.
+	p.SetSLID(uint8(link))
+	p.Finalize()
+	l.ReqFlits += uint64(p.Flits())
+	if h.mask&trace.KindSend != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindSend, Dev: dev, Link: link, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None,
+			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+		})
+	}
+	return l.RqstQ.Push(p, h.clk)
+}
+
+// consumeFlow applies a flow-control packet to the link logic.
+func (h *HMC) consumeFlow(l *device.Link, p *packet.Packet) {
+	h.stats.FlowPackets++
+	switch p.Cmd() {
+	case packet.CmdTRET:
+		l.Tokens += int(p.RTC())
+	case packet.CmdPRET:
+		l.Tokens -= int(p.RTC())
+	}
+	// NULL and IRTRY are absorbed; the rudimentary retry model does not
+	// replay link buffers.
+}
+
+// Recv polls host link `link` of device `dev` for a candidate response
+// packet and returns it as fully formed packet words. Responses may arrive
+// out of order; it is up to the calling application to decode and
+// correlate the response tag to the originating request. Recv returns
+// ErrStall when no response is waiting.
+func (h *HMC) Recv(dev, link int) ([]uint64, error) {
+	if err := h.seal(); err != nil {
+		return nil, err
+	}
+	d := h.Device(dev)
+	if d == nil {
+		return nil, fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	if link < 0 || link >= len(d.Links) {
+		return nil, fmt.Errorf("hmcsim: link %d out of range", link)
+	}
+	l := &d.Links[link]
+	if !l.Active || l.DstCube != h.HostID() {
+		return nil, ErrNotHostLink
+	}
+	if linkDown(d, link) {
+		return nil, ErrLinkDown
+	}
+	p, ok := l.RspQ.Pop()
+	if !ok {
+		return nil, ErrStall
+	}
+	h.stats.Recvs++
+	l.RspFlits += uint64(p.Flits())
+	out := make([]uint64, len(p.Words()))
+	copy(out, p.Words())
+	return out, nil
+}
+
+// RecvPacket is Recv without the copy: it returns the decoded response
+// directly. The Data slice of the result is only valid until the next
+// simulation call.
+func (h *HMC) RecvPacket(dev, link int) (packet.Response, error) {
+	if err := h.seal(); err != nil {
+		return packet.Response{}, err
+	}
+	d := h.Device(dev)
+	if d == nil {
+		return packet.Response{}, fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	if link < 0 || link >= len(d.Links) {
+		return packet.Response{}, fmt.Errorf("hmcsim: link %d out of range", link)
+	}
+	l := &d.Links[link]
+	if !l.Active || l.DstCube != h.HostID() {
+		return packet.Response{}, ErrNotHostLink
+	}
+	if linkDown(d, link) {
+		return packet.Response{}, ErrLinkDown
+	}
+	p, ok := l.RspQ.Pop()
+	if !ok {
+		return packet.Response{}, ErrStall
+	}
+	h.stats.Recvs++
+	l.RspFlits += uint64(p.Flits())
+	return p.AsResponse()
+}
+
+// DecodeMemResponse decodes raw response packet words, the analogue of
+// hmcsim_decode_memresponse.
+func DecodeMemResponse(words []uint64) (packet.Response, error) {
+	p, err := packet.FromWords(words)
+	if err != nil {
+		return packet.Response{}, err
+	}
+	return p.AsResponse()
+}

@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// This file models the external link signaling rates of the HMC
+// specification and derives bandwidth utilization from the per-link FLIT
+// counters the engine maintains.
+//
+// Each external link is a group of sixteen (full-width) or eight
+// (half-width) bidirectional SERDES lanes. Four-link devices may operate
+// at 10, 12.5 or 15 Gbps per lane; eight-link devices operate at 10 Gbps.
+// At the maximum configuration the aggregate available bandwidth reaches
+// 320 GB/s per device: 8 links x 16 lanes x 10 Gbps x 2 directions / 8
+// bits.
+
+// LinkRate is a per-lane signaling rate in Gbps.
+type LinkRate float64
+
+// Lane rates defined by the specification.
+const (
+	Rate10Gbps   LinkRate = 10
+	Rate12_5Gbps LinkRate = 12.5
+	Rate15Gbps   LinkRate = 15
+)
+
+// LanesPerLink is the full-width SERDES lane count per link.
+const LanesPerLink = 16
+
+// ValidRate reports whether the rate is permitted for the given link
+// count: four-link devices may run 10/12.5/15 Gbps, eight-link devices
+// only 10 Gbps.
+func ValidRate(numLinks int, r LinkRate) bool {
+	switch numLinks {
+	case 4:
+		return r == Rate10Gbps || r == Rate12_5Gbps || r == Rate15Gbps
+	case 8:
+		return r == Rate10Gbps
+	}
+	return false
+}
+
+// LinkBandwidthGBs returns one link's theoretical bidirectional bandwidth
+// in GB/s at the given lane rate and width.
+func LinkBandwidthGBs(r LinkRate, lanes int) float64 {
+	// lanes x Gbps per direction, two directions, 8 bits per byte.
+	return float64(r) * float64(lanes) * 2 / 8
+}
+
+// DeviceBandwidthGBs returns the aggregate available bandwidth capacity of
+// a device: the per-link bandwidth across all links.
+func DeviceBandwidthGBs(numLinks int, r LinkRate, lanes int) float64 {
+	return float64(numLinks) * LinkBandwidthGBs(r, lanes)
+}
+
+// LinkTraffic reports the FLITs observed on one device link, split by
+// direction: requests flowing into the device and responses flowing out.
+type LinkTraffic struct {
+	Dev, Link int
+	// ReqFlits counts request FLITs received on the link (from the host
+	// or a chained device).
+	ReqFlits uint64
+	// RspFlits counts response FLITs transmitted on the link.
+	RspFlits uint64
+}
+
+// Bytes returns the total traffic in bytes (16 bytes per FLIT).
+func (t LinkTraffic) Bytes() uint64 { return (t.ReqFlits + t.RspFlits) * 16 }
+
+// LinkTraffic returns the per-link FLIT counters accumulated since
+// initialization (or the last Free), in device-major link order.
+func (h *HMC) LinkTraffic() []LinkTraffic {
+	var out []LinkTraffic
+	for _, d := range h.devs {
+		for li := range d.Links {
+			out = append(out, LinkTraffic{
+				Dev: d.ID, Link: li,
+				ReqFlits: d.Links[li].ReqFlits,
+				RspFlits: d.Links[li].RspFlits,
+			})
+		}
+	}
+	return out
+}
+
+// BandwidthReport converts the accumulated link traffic into achieved
+// bandwidth figures, assuming the device clock runs at clockGHz and the
+// links signal at rate r with the given lane count.
+type BandwidthReport struct {
+	Rate      LinkRate
+	Lanes     int
+	ClockGHz  float64
+	Cycles    uint64
+	Links     []LinkUtilization
+	TotalGBs  float64 // achieved, summed over links
+	DeviceGBs float64 // theoretical aggregate per device
+}
+
+// LinkUtilization is one link's achieved bandwidth against its capacity.
+type LinkUtilization struct {
+	LinkTraffic
+	AchievedGBs float64
+	// Utilization is achieved / capacity in [0, 1+] (values above 1
+	// indicate the chosen clock moves more FLITs than the SERDES could
+	// carry — a sign the clock ratio is unrealistic).
+	Utilization float64
+}
+
+// Bandwidth computes a bandwidth report for the traffic observed so far.
+func (h *HMC) Bandwidth(r LinkRate, clockGHz float64) (BandwidthReport, error) {
+	if !ValidRate(h.cfg.NumLinks, r) {
+		return BandwidthReport{}, fmt.Errorf(
+			"hmcsim: %v Gbps is not a valid lane rate for %d-link devices", float64(r), h.cfg.NumLinks)
+	}
+	if clockGHz <= 0 {
+		return BandwidthReport{}, fmt.Errorf("hmcsim: clock %v GHz must be positive", clockGHz)
+	}
+	rep := BandwidthReport{
+		Rate: r, Lanes: LanesPerLink, ClockGHz: clockGHz, Cycles: h.clk,
+		DeviceGBs: DeviceBandwidthGBs(h.cfg.NumLinks, r, LanesPerLink),
+	}
+	if h.clk == 0 {
+		return rep, nil
+	}
+	seconds := float64(h.clk) / (clockGHz * 1e9)
+	cap := LinkBandwidthGBs(r, LanesPerLink)
+	for _, t := range h.LinkTraffic() {
+		achieved := float64(t.Bytes()) / seconds / 1e9
+		rep.Links = append(rep.Links, LinkUtilization{
+			LinkTraffic: t,
+			AchievedGBs: achieved,
+			Utilization: achieved / cap,
+		})
+		rep.TotalGBs += achieved
+	}
+	return rep, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hmcsim/internal/packet"
+)
+
+func TestSpecAggregateBandwidth(t *testing.T) {
+	// "a very compact, power efficient package with available bandwidth
+	// capacity of up to 320GB/s per device": 8 links x 16 lanes x 10 Gbps
+	// x 2 directions / 8 bits.
+	if got := DeviceBandwidthGBs(8, Rate10Gbps, LanesPerLink); got != 320 {
+		t.Errorf("8-link aggregate = %v GB/s, want 320", got)
+	}
+	// 4-link devices at 15 Gbps: 240 GB/s.
+	if got := DeviceBandwidthGBs(4, Rate15Gbps, LanesPerLink); got != 240 {
+		t.Errorf("4-link 15Gbps aggregate = %v GB/s, want 240", got)
+	}
+	if got := LinkBandwidthGBs(Rate10Gbps, LanesPerLink); got != 40 {
+		t.Errorf("link bandwidth = %v GB/s, want 40", got)
+	}
+}
+
+func TestValidRate(t *testing.T) {
+	// "Four link devices have the ability to operate at 10, 12.5 and
+	// 15Gbps. Eight link devices have the ability to operate at 10Gbps."
+	for _, r := range []LinkRate{Rate10Gbps, Rate12_5Gbps, Rate15Gbps} {
+		if !ValidRate(4, r) {
+			t.Errorf("4-link rejected %v Gbps", float64(r))
+		}
+	}
+	if !ValidRate(8, Rate10Gbps) {
+		t.Error("8-link rejected 10 Gbps")
+	}
+	if ValidRate(8, Rate12_5Gbps) || ValidRate(8, Rate15Gbps) {
+		t.Error("8-link accepted >10 Gbps")
+	}
+	if ValidRate(6, Rate10Gbps) {
+		t.Error("6-link accepted")
+	}
+}
+
+func TestLinkTrafficAccounting(t *testing.T) {
+	h := newSimple(t, testConfig())
+	// One WR64 (5 flits in) + one RD64 (1 flit in, 5 flits out) + the
+	// write response (1 flit out) on link 0.
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: 0x100, Tag: 1, Cmd: packet.CmdWR64, Data: make([]uint64, 8),
+	})
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: 0x100, Tag: 2, Cmd: packet.CmdRD64})
+	_ = h.Clock()
+	_ = h.Clock()
+	drain(t, h, 0)
+
+	tr := h.LinkTraffic()
+	if len(tr) != 4 {
+		t.Fatalf("%d links reported", len(tr))
+	}
+	l0 := tr[0]
+	if l0.ReqFlits != 6 {
+		t.Errorf("ReqFlits = %d, want 6 (5 for WR64 + 1 for RD64)", l0.ReqFlits)
+	}
+	if l0.RspFlits != 6 {
+		t.Errorf("RspFlits = %d, want 6 (1 WR_RS + 5 RD_RS)", l0.RspFlits)
+	}
+	if l0.Bytes() != 12*16 {
+		t.Errorf("Bytes = %d", l0.Bytes())
+	}
+	// Other links idle.
+	for _, l := range tr[1:] {
+		if l.ReqFlits != 0 || l.RspFlits != 0 {
+			t.Errorf("idle link %d has traffic %+v", l.Link, l)
+		}
+	}
+}
+
+func TestLinkTrafficAcrossChain(t *testing.T) {
+	h := newChain(t, 2)
+	sendReq(t, h, 0, 1, packet.Request{CUB: 1, Addr: 0x40, Tag: 1, Cmd: packet.CmdRD16})
+	for i := 0; i < 10; i++ {
+		_ = h.Clock()
+	}
+	drain(t, h, 0)
+	tr := h.LinkTraffic()
+	byID := map[[2]int]LinkTraffic{}
+	for _, l := range tr {
+		byID[[2]int{l.Dev, l.Link}] = l
+	}
+	// Host port of device 0 is link 1 (Chain wires link 0 to the next
+	// device): 1 request FLIT in, 2 response FLITs out (an RD16 response
+	// is header+tail plus one 16-byte data FLIT).
+	if got := byID[[2]int{0, 1}]; got.ReqFlits != 1 || got.RspFlits != 2 {
+		t.Errorf("host port traffic = %+v", got)
+	}
+	// The pass-through hop: device 1's link 1 received the request and
+	// transmitted the 2-FLIT response back.
+	if got := byID[[2]int{1, 1}]; got.ReqFlits != 1 || got.RspFlits != 2 {
+		t.Errorf("pass-through ingress traffic = %+v", got)
+	}
+}
+
+func TestBandwidthReport(t *testing.T) {
+	h := newSimple(t, testConfig())
+	for i := 0; i < 32; i++ {
+		sendReq(t, h, 0, i%4, packet.Request{
+			CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD64,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		_ = h.Clock()
+	}
+	drain(t, h, 0)
+
+	rep, err := h.Bandwidth(Rate12_5Gbps, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeviceGBs != DeviceBandwidthGBs(4, Rate12_5Gbps, LanesPerLink) {
+		t.Errorf("device capacity = %v", rep.DeviceGBs)
+	}
+	if len(rep.Links) != 4 {
+		t.Fatalf("%d link reports", len(rep.Links))
+	}
+	// Total achieved = sum of per-link.
+	var sum float64
+	for _, l := range rep.Links {
+		sum += l.AchievedGBs
+		if l.Utilization < 0 {
+			t.Errorf("negative utilization on link %d", l.Link)
+		}
+	}
+	if math.Abs(sum-rep.TotalGBs) > 1e-9 {
+		t.Errorf("total %v != sum %v", rep.TotalGBs, sum)
+	}
+	// 32 RD64: 32 req flits + 160 rsp flits = 3072 bytes over 4 cycles at
+	// 1.25GHz = 3.2ns -> 960 GB/s "achieved" (the unconstrained engine can
+	// exceed SERDES capacity; utilization flags it).
+	if rep.TotalGBs < 100 {
+		t.Errorf("implausibly low total %v GB/s", rep.TotalGBs)
+	}
+
+	// Invalid parameters.
+	if _, err := h.Bandwidth(Rate15Gbps, 0); err == nil {
+		t.Error("accepted zero clock")
+	}
+	h8 := newSimple(t, Config{
+		NumDevs: 1, NumLinks: 8, NumVaults: 32, QueueDepth: 8,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 4, XbarDepth: 16,
+	})
+	if _, err := h8.Bandwidth(Rate15Gbps, 1); err == nil {
+		t.Error("8-link device accepted 15 Gbps")
+	}
+	if _, err := h8.Bandwidth(Rate10Gbps, 1); err != nil {
+		t.Errorf("8-link at 10 Gbps: %v", err)
+	}
+}
+
+func TestBandwidthZeroCycles(t *testing.T) {
+	h := newSimple(t, testConfig())
+	rep, err := h.Bandwidth(Rate10Gbps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalGBs != 0 || len(rep.Links) != 0 {
+		t.Errorf("report before any clocking: %+v", rep)
+	}
+}
+
+func TestFreeResetsLinkTraffic(t *testing.T) {
+	h := newSimple(t, testConfig())
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: 0, Tag: 1, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	drain(t, h, 0)
+	h.Free()
+	for _, l := range h.LinkTraffic() {
+		if l.ReqFlits != 0 || l.RspFlits != 0 {
+			t.Errorf("traffic survived Free: %+v", l)
+		}
+	}
+}

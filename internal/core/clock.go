@@ -1,0 +1,701 @@
+package core
+
+import (
+	"hmcsim/internal/device"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/queue"
+	"hmcsim/internal/trace"
+)
+
+// Clock progresses the internal memory operations and device clock by a
+// single leading and trailing clock edge — one clock cycle. Without calls
+// to Clock, external memory operations may progress until appropriate
+// stall signals are recognized, but internal device operations will not
+// progress.
+//
+// The internal clock cycle handlers execute in a very explicit order
+// promoting reasonable accuracy of internal operations based upon priority
+// and relative latency (the paper's Figure 3). Request and response
+// packets progress by at most a single internal stage per sub-cycle
+// operation; it is not possible for an individual packet to progress from
+// the device crossbar interface directly to a memory bank within a single
+// sub-cycle operation. The six sub-cycle stages are:
+//
+//  1. Process child device link crossbar transactions.
+//  2. Process root device link crossbar request transactions.
+//  3. Recognize bank conflicts on vault request queues.
+//  4. Process vault queue memory request transactions.
+//  5. Register response packets with crossbar response queues, root
+//     devices first, then attached child devices.
+//  6. Update the internal clock value.
+func (h *HMC) Clock() error {
+	if err := h.seal(); err != nil {
+		return err
+	}
+	h.clearCycleFlags()
+
+	// Stage 1: child device crossbar transactions. These are devices not
+	// connected directly to a host.
+	for _, cube := range h.childOrder {
+		h.xbarRequestStage(cube)
+	}
+
+	// Stage 2: root device crossbar request transactions.
+	for _, cube := range h.rootOrder {
+		h.xbarRequestStage(cube)
+	}
+
+	// Stage 3: bank conflict recognition. This stage modifies no packet
+	// data; it only marks losers of bank arbitration.
+	for _, d := range h.devs {
+		h.bankConflictStage(d)
+	}
+
+	// Stage 4: vault queue memory request transactions.
+	for _, d := range h.devs {
+		h.vaultStage(d)
+	}
+
+	// Stage 5: response registration, root devices first so their queues
+	// drain before child devices deliver into them.
+	for _, cube := range h.rootOrder {
+		h.responseStage(cube)
+	}
+	for _, cube := range h.childOrder {
+		h.responseStage(cube)
+	}
+
+	// Stage 6: update the 64-bit internal clock value. All trace messages
+	// reported by the earlier stages are registered within the current
+	// clock domain; RWS registers written during the cycle self-clear.
+	for _, d := range h.devs {
+		d.Regs.Tick()
+	}
+	h.clk++
+	return nil
+}
+
+// ClockN runs n clock cycles.
+func (h *HMC) ClockN(n int) error {
+	for i := 0; i < n; i++ {
+		if err := h.Clock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *HMC) clearCycleFlags() {
+	for _, d := range h.devs {
+		for i := range d.Links {
+			d.Links[i].RqstQ.ClearCycleFlags()
+			d.Links[i].RspQ.ClearCycleFlags()
+		}
+		for i := range d.Vaults {
+			d.Vaults[i].RqstQ.ClearCycleFlags()
+			d.Vaults[i].RspQ.ClearCycleFlags()
+		}
+	}
+}
+
+// pushMoved enqueues p and marks the new slot as already progressed this
+// cycle.
+func pushMoved(q *queue.Queue, p packet.Packet, clk uint64) error {
+	if err := q.Push(p, clk); err != nil {
+		return err
+	}
+	q.At(q.Len() - 1).Moved = true
+	return nil
+}
+
+// xbarRequestStage walks each link's crossbar request queue in FIFO order
+// and determines which vault or remote HMC device is the candidate
+// destination for each packet, registering trace messages when packets are
+// misrouted, stalled due to queue congestion, or subject to latency
+// penalties from the physical locality of the queue versus the destination
+// vault.
+func (h *HMC) xbarRequestStage(cube int) {
+	d := h.devs[cube]
+	for li := range d.Links {
+		l := &d.Links[li]
+		if !l.Active {
+			continue
+		}
+		q := l.RqstQ
+		// blockedVaults tracks, in passing mode, the local vaults with an
+		// older stalled packet: a younger packet may pass stalled elders
+		// only when bound elsewhere, preserving per-(link, vault) stream
+		// order. blockedRemote blocks all further remote forwards once a
+		// remote forward stalls (a single egress path per destination).
+		var blockedVaults uint64
+		blockedRemote := false
+		i := 0
+		for i < q.Len() {
+			s := q.At(i)
+			if s.Moved {
+				i++
+				continue
+			}
+			p := &s.Packet
+			dest := int(p.CUB())
+			if h.cfg.XbarPassing {
+				if dest == cube && !p.Cmd().IsMode() &&
+					p.Addr() < uint64(1)<<uint(d.Map.AddrBits()) {
+					v := d.Map.Decode(p.Addr()).Vault
+					if blockedVaults&(uint64(1)<<uint(v)) != 0 {
+						i++
+						continue
+					}
+					if outcome := h.deliverLocal(d, li, i); outcome == outcomeStall {
+						blockedVaults |= uint64(1) << uint(v)
+						i++
+					}
+					continue
+				}
+				if dest != cube {
+					if blockedRemote {
+						i++
+						continue
+					}
+					if outcome := h.forwardRemote(d, li, i, dest); outcome == outcomeStall {
+						blockedRemote = true
+						i++
+					}
+					continue
+				}
+				// Mode requests and address faults keep strict order.
+				if outcome := h.deliverLocal(d, li, i); outcome == outcomeStall {
+					i = q.Len()
+				}
+				continue
+			}
+			var outcome stageOutcome
+			if dest == cube {
+				outcome = h.deliverLocal(d, li, i)
+			} else {
+				outcome = h.forwardRemote(d, li, i, dest)
+			}
+			switch outcome {
+			case outcomeStall:
+				// Head-of-line blocking: a stalled packet blocks the
+				// packets behind it for this stage.
+				i = q.Len()
+			case outcomeRemoved:
+				// The slot at i was consumed; the next packet shifted
+				// into position i.
+			case outcomeSkip:
+				i++
+			}
+		}
+	}
+}
+
+type stageOutcome int
+
+const (
+	outcomeRemoved stageOutcome = iota
+	outcomeStall
+	outcomeSkip
+)
+
+// deliverLocal handles a request whose destination cube is this device:
+// mode requests access the register file at the logic base; memory
+// requests move to the owning vault's request queue.
+func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
+	l := &d.Links[li]
+	q := l.RqstQ
+	p := &q.At(slot).Packet
+	cmd := p.Cmd()
+
+	// Mode requests are serviced by the logic base, not a vault.
+	if cmd.IsMode() {
+		return h.serviceMode(d, li, slot)
+	}
+
+	// Address range check against the configured capacity.
+	if p.Addr() >= uint64(1)<<uint(d.Map.AddrBits()) {
+		return h.errorAt(d, li, slot, packet.ErrStatAddr)
+	}
+
+	dec := d.Map.Decode(p.Addr())
+	v := &d.Vaults[dec.Vault]
+	if v.RqstQ.Full() {
+		h.stats.XbarRqstStalls++
+		h.emit(trace.Event{
+			Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: l.Quad,
+			Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: cmd.String(), Aux: uint64(v.RqstQ.Len()),
+		})
+		return outcomeStall
+	}
+	// A latency penalty is raised when the request was received on a link
+	// that is not co-located with the destination quadrant and vault.
+	if l.Quad != v.Quad {
+		h.stats.LatencyEvents++
+		h.emit(trace.Event{
+			Kind: trace.KindLatency, Dev: d.ID, Link: li, Quad: v.Quad,
+			Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: cmd.String(), Aux: uint64(l.Quad),
+		})
+	}
+	if err := pushMoved(v.RqstQ, *p, h.clk); err != nil {
+		return outcomeStall
+	}
+	q.Remove(slot)
+	return outcomeRemoved
+}
+
+// forwardRemote routes a request one hop toward a remote cube, generating
+// an error response when the destination is invalid or unreachable.
+func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutcome {
+	q := d.Links[li].RqstQ
+	p := &q.At(slot).Packet
+	if dest < 0 || dest >= h.cfg.NumDevs {
+		// The destination names the host or a nonexistent cube.
+		return h.errorAt(d, li, slot, packet.ErrStatCube)
+	}
+	el, ok := h.routes.NextHop(d.ID, dest)
+	if !ok {
+		// Deliberately misconfigured topology: respond with an error
+		// structure rather than failing the simulation.
+		return h.errorAt(d, li, slot, packet.ErrStatTopology)
+	}
+	link := &d.Links[el]
+	peer := h.devs[link.DstCube]
+	if linkDown(d, el) || linkDown(peer, link.DstLink) {
+		// The pass-through link is administratively down; traffic holds
+		// in place until the LC bit clears.
+		h.stats.XbarRqstStalls++
+		return outcomeStall
+	}
+	pq := peer.Links[link.DstLink].RqstQ
+	if pq.Full() {
+		h.stats.XbarRqstStalls++
+		h.emit(trace.Event{
+			Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: link.Quad,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
+		})
+		return outcomeStall
+	}
+	if h.faultRoll() {
+		h.stats.LinkRetries++
+		h.emit(trace.Event{
+			Kind: trace.KindRetry, Dev: d.ID, Link: el, Quad: trace.None,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(),
+		})
+		return outcomeStall
+	}
+	if err := pushMoved(pq, *p, h.clk); err != nil {
+		return outcomeStall
+	}
+	peer.Links[link.DstLink].ReqFlits += uint64(p.Flits())
+	h.stats.RouteHops++
+	h.emit(trace.Event{
+		Kind: trace.KindRoute, Dev: d.ID, Link: el, Quad: trace.None,
+		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+		Cmd: p.Cmd().String(), Aux: uint64(dest),
+	})
+	q.Remove(slot)
+	return outcomeRemoved
+}
+
+// serviceMode executes a MODE_READ or MODE_WRITE request at the logic
+// base. The physical register index travels in the request address field;
+// MODE_WRITE data travels in the first payload word.
+func (h *HMC) serviceMode(d *device.Device, li, slot int) stageOutcome {
+	l := &d.Links[li]
+	q := l.RqstQ
+	p := &q.At(slot).Packet
+	if l.RspQ.Full() {
+		h.stats.XbarRspStalls++
+		h.emit(trace.Event{
+			Kind: trace.KindXbarRspStall, Dev: d.ID, Link: li, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(l.RspQ.Len()),
+		})
+		return outcomeStall
+	}
+	var rsp packet.Packet
+	switch p.Cmd() {
+	case packet.CmdMDRD:
+		v, err := d.Regs.Read(p.Addr())
+		if err != nil {
+			return h.errorAt(d, li, slot, packet.ErrStatRegister)
+		}
+		rsp = mustResponse(packet.Response{
+			CUB: uint8(d.ID), Tag: p.Tag(), Cmd: packet.CmdMDRDRS,
+			SLID: p.SLID(), Seq: p.Seq(), Data: []uint64{v, 0},
+		})
+	case packet.CmdMDWR:
+		if err := d.Regs.Write(p.Addr(), p.Data()[0]); err != nil {
+			return h.errorAt(d, li, slot, packet.ErrStatRegister)
+		}
+		rsp = mustResponse(packet.Response{
+			CUB: uint8(d.ID), Tag: p.Tag(), Cmd: packet.CmdMDWRRS,
+			SLID: p.SLID(), Seq: p.Seq(),
+		})
+	}
+	h.stats.Modes++
+	h.emit(trace.Event{
+		Kind: trace.KindRqst, Dev: d.ID, Link: li, Quad: l.Quad,
+		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+		Cmd: p.Cmd().String(),
+	})
+	_ = pushMoved(l.RspQ, rsp, h.clk)
+	q.Remove(slot)
+	return outcomeRemoved
+}
+
+// errorAt replaces the request in the given crossbar slot with an error
+// response on the same link, preserving correlation fields.
+func (h *HMC) errorAt(d *device.Device, li, slot int, errStat uint8) stageOutcome {
+	l := &d.Links[li]
+	q := l.RqstQ
+	p := &q.At(slot).Packet
+	if l.RspQ.Full() {
+		h.stats.XbarRspStalls++
+		return outcomeStall
+	}
+	rsp := packet.ErrorResponse(p, uint8(d.ID), errStat)
+	h.stats.Errors++
+	h.emit(trace.Event{
+		Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
+		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+		Cmd: p.Cmd().String(), Aux: uint64(errStat),
+	})
+	_ = pushMoved(l.RspQ, rsp, h.clk)
+	q.Remove(slot)
+	return outcomeRemoved
+}
+
+func mustResponse(r packet.Response) packet.Packet {
+	p, err := packet.BuildResponse(r)
+	if err != nil {
+		panic("hmcsim: internal response build failed: " + err.Error())
+	}
+	return p
+}
+
+// bankConflictStage recognizes potential bank conflicts on each vault by
+// decoding the physical memory addresses present in the request packets
+// and determining whether conflicting packets exist within a spatial
+// window of the queue. The stage modifies no data representations; losers
+// of bank arbitration are deferred for this cycle and a trace message
+// records the physical locality and clock value of the conflict.
+func (h *HMC) bankConflictStage(d *device.Device) {
+	window := h.cfg.ConflictWindow
+	for vi := range d.Vaults {
+		v := &d.Vaults[vi]
+		q := v.RqstQ
+		n := q.Len()
+		if window > 0 && window < n {
+			n = window
+		}
+		refreshing := h.refreshMask(d, vi)
+		claimed := refreshing
+		for i := 0; i < n; i++ {
+			s := q.At(i)
+			p := &s.Packet
+			bank := d.Map.Decode(p.Addr()).Bank
+			bit := uint64(1) << uint(bank)
+			if claimed&bit != 0 {
+				s.Deferred = true
+				if refreshing&bit != 0 {
+					// The bank is unavailable while refreshing; the
+					// request waits without counting as a conflict
+					// between requests.
+					h.stats.RefreshStalls++
+					continue
+				}
+				h.stats.BankConflicts++
+				if h.mask&trace.KindBankConflict != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindBankConflict, Dev: d.ID, Link: trace.None,
+						Quad: v.Quad, Vault: vi, Bank: bank,
+						Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(),
+					})
+				}
+				continue
+			}
+			claimed |= bit
+		}
+	}
+}
+
+// refreshMask returns the banks of vault vi currently under refresh. Each
+// bank refreshes once per RefreshInterval with a per-bank phase stagger,
+// so at most a small fraction of the device refreshes at once.
+func (h *HMC) refreshMask(d *device.Device, vi int) uint64 {
+	ri := uint64(h.cfg.RefreshInterval)
+	if ri == 0 {
+		return 0
+	}
+	banks := h.cfg.NumBanks
+	total := uint64(h.cfg.NumVaults * banks)
+	var m uint64
+	for b := 0; b < banks; b++ {
+		phase := uint64(vi*banks+b) * ri / total
+		if (h.clk+phase)%ri < uint64(h.cfg.RefreshDuration) {
+			m |= uint64(1) << uint(b)
+		}
+	}
+	return m
+}
+
+// vaultStage traverses each vault request queue in FIFO order and
+// processes every request packet that survived bank-conflict arbitration:
+// write packets, read packets and atomic (read-modify-write) packets. All
+// packets are processed in equivalent and constant time as long as their
+// bank addressing does not conflict. Responses are registered in the
+// vault response queues.
+func (h *HMC) vaultStage(d *device.Device) {
+	window := h.cfg.ConflictWindow
+	for vi := range d.Vaults {
+		v := &d.Vaults[vi]
+		q := v.RqstQ
+		n := q.Len()
+		if window > 0 && window < n {
+			n = window
+		}
+		i := 0
+		for i < n {
+			s := q.At(i)
+			if s.Deferred {
+				i++
+				continue
+			}
+			p := &s.Packet
+			cmd := p.Cmd()
+			if !cmd.IsPosted() && v.RspQ.Full() {
+				// Preserve response ordering: a full response queue
+				// blocks the vault for the rest of the cycle.
+				h.stats.VaultRspStalls++
+				h.emit(trace.Event{
+					Kind: trace.KindVaultRspStall, Dev: d.ID, Link: trace.None,
+					Quad: v.Quad, Vault: vi, Bank: trace.None,
+					Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+					Aux: uint64(v.RspQ.Len()),
+				})
+				break
+			}
+			h.serviceVaultRequest(d, v, vi, p)
+			q.Remove(i)
+			n--
+		}
+	}
+}
+
+// serviceVaultRequest performs the memory operation for one request and
+// registers the response, if any, in the vault response queue.
+func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *packet.Packet) {
+	dec := d.Map.Decode(p.Addr())
+	bank := &v.Banks[dec.Bank]
+	cmd := p.Cmd()
+
+	var rspCmd packet.Command
+	var rspData []uint64
+	errStat := packet.ErrStatOK
+
+	// Bank I/O is performed in 32-byte column fetches regardless of the
+	// request size.
+	if bytes := cmd.DataBytes() + cmd.ResponseDataBytes(); bytes > 0 {
+		h.stats.ColumnFetches += uint64((bytes + 31) / 32)
+	}
+
+	switch {
+	case cmd.IsRead():
+		n := cmd.ResponseDataBytes() / 8
+		buf := h.rdbuf[:n]
+		bank.Read(dec.DRAM, buf)
+		rspCmd, rspData = packet.CmdRDRS, buf
+		h.stats.Reads++
+		h.stats.BytesRead += uint64(cmd.ResponseDataBytes())
+	case cmd.IsWrite():
+		bank.Write(dec.DRAM, p.Data())
+		rspCmd = packet.CmdWRRS
+		h.stats.Writes++
+		h.stats.BytesWritten += uint64(len(p.Data()) * 8)
+	case cmd.IsAtomic():
+		data := p.Data()
+		switch cmd {
+		case packet.Cmd2ADD8, packet.CmdP2ADD8:
+			bank.Add8Dual(dec.DRAM, [2]uint64{data[0], data[1]})
+		case packet.CmdADD16, packet.CmdPADD16:
+			bank.Add16(dec.DRAM, [2]uint64{data[0], data[1]})
+		case packet.CmdBWR, packet.CmdPBWR:
+			bank.BitWrite(dec.DRAM, data[0], data[1])
+		}
+		rspCmd = packet.CmdWRRS
+		h.stats.Atomics++
+		h.stats.BytesRead += 16 // read-modify-write touches one block
+		h.stats.BytesWritten += 16
+	default:
+		// A command the vault cannot process (for example a misdirected
+		// mode request): generate an error response.
+		rspCmd, errStat = packet.CmdError, packet.ErrStatCmd
+		h.stats.Errors++
+	}
+
+	if h.mask&trace.KindRqst != 0 {
+		// Aux carries the source link ID so offline analyzers can match
+		// this service event to its SEND event.
+		h.emit(trace.Event{
+			Kind: trace.KindRqst, Dev: d.ID, Link: trace.None, Quad: v.Quad,
+			Vault: vi, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: cmd.String(), Aux: uint64(p.SLID()),
+		})
+	}
+
+	if cmd.IsPosted() && errStat == packet.ErrStatOK {
+		h.stats.Posted++
+		return
+	}
+
+	rsp := mustResponse(packet.Response{
+		CUB: uint8(d.ID), Tag: p.Tag(), Cmd: rspCmd,
+		SLID: p.SLID(), Seq: p.Seq(), ErrStat: errStat,
+		DInv: errStat != packet.ErrStatOK, Data: rspData,
+	})
+	// Space was checked by the caller; a failure here is an engine bug.
+	if err := v.RspQ.Push(rsp, h.clk); err != nil {
+		panic("hmcsim: vault response queue overflow")
+	}
+	h.stats.Responses++
+	if h.mask&trace.KindRsp != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindRsp, Dev: d.ID, Link: trace.None, Quad: v.Quad,
+			Vault: vi, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: rspCmd.String(),
+		})
+	}
+}
+
+// responseStage routes response packets toward the host: first from vault
+// response queues into the crossbar response queues of the appropriate
+// egress link, then across pass-through links from this device toward its
+// parent. Responses exit a root device on the link recorded in their
+// source link identifier.
+func (h *HMC) responseStage(cube int) {
+	d := h.devs[cube]
+
+	// Vault response queues drain into crossbar response queues.
+	for vi := range d.Vaults {
+		v := &d.Vaults[vi]
+		for v.RspQ.Len() > 0 {
+			p := &v.RspQ.Head().Packet
+			out := h.responseEgressLink(cube, p)
+			if out < 0 {
+				// Zombie response: no path back to any host. Drop it and
+				// record the error.
+				h.stats.Errors++
+				h.emit(trace.Event{
+					Kind: trace.KindError, Dev: cube, Link: trace.None,
+					Quad: v.Quad, Vault: vi, Bank: trace.None,
+					Tag: p.Tag(), Cmd: p.Cmd().String(),
+					Aux: uint64(packet.ErrStatTopology),
+				})
+				v.RspQ.Pop()
+				continue
+			}
+			lq := d.Links[out].RspQ
+			if lq.Full() {
+				h.stats.XbarRspStalls++
+				h.emit(trace.Event{
+					Kind: trace.KindXbarRspStall, Dev: cube, Link: out,
+					Quad: v.Quad, Vault: vi, Bank: trace.None,
+					Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(lq.Len()),
+				})
+				break
+			}
+			if err := pushMoved(lq, *p, h.clk); err != nil {
+				break
+			}
+			v.RspQ.Pop()
+		}
+	}
+
+	// Pass-through forwarding: responses waiting on links that face
+	// another device cross to that device's egress queue, one hop per
+	// cycle.
+	for li := range d.Links {
+		l := &d.Links[li]
+		if !l.Active || l.DstCube < 0 || l.DstCube >= h.cfg.NumDevs {
+			continue
+		}
+		if linkDown(d, li) || linkDown(h.devs[l.DstCube], l.DstLink) {
+			continue
+		}
+		q := l.RspQ
+		i := 0
+		for i < q.Len() {
+			s := q.At(i)
+			if s.Moved {
+				i++
+				continue
+			}
+			p := &s.Packet
+			peer := l.DstCube
+			out := h.responseEgressLink(peer, p)
+			if out < 0 {
+				h.stats.Errors++
+				q.Remove(i)
+				continue
+			}
+			pq := h.devs[peer].Links[out].RspQ
+			if pq.Full() {
+				h.stats.XbarRspStalls++
+				h.emit(trace.Event{
+					Kind: trace.KindXbarRspStall, Dev: cube, Link: li,
+					Quad: trace.None, Vault: trace.None, Bank: trace.None,
+					Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
+				})
+				i = q.Len()
+				continue
+			}
+			if h.faultRoll() {
+				h.stats.LinkRetries++
+				h.emit(trace.Event{
+					Kind: trace.KindRetry, Dev: cube, Link: li, Quad: trace.None,
+					Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+					Cmd: p.Cmd().String(),
+				})
+				i = q.Len()
+				continue
+			}
+			if err := pushMoved(pq, *p, h.clk); err != nil {
+				i = q.Len()
+				continue
+			}
+			l.RspFlits += uint64(p.Flits())
+			h.emit(trace.Event{
+				Kind: trace.KindRoute, Dev: cube, Link: li, Quad: trace.None,
+				Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(peer),
+			})
+			q.Remove(i)
+		}
+	}
+}
+
+// responseEgressLink selects the crossbar response queue a response should
+// occupy at device cube: the stored source link for root devices, or the
+// next hop toward the nearest host-connected device for children.
+func (h *HMC) responseEgressLink(cube int, p *packet.Packet) int {
+	d := h.devs[cube]
+	if h.topo.IsRoot(cube) {
+		slid := int(p.SLID())
+		if slid >= 0 && slid < len(d.Links) &&
+			d.Links[slid].Active && d.Links[slid].DstCube == h.HostID() {
+			return slid
+		}
+		if hl := h.topo.HostLinks(cube); len(hl) > 0 {
+			return hl[0]
+		}
+	}
+	if l, ok := h.routes.ToHost(cube); ok {
+		return l
+	}
+	return -1
+}

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/topo"
+	"hmcsim/internal/trace"
+)
+
+// addrFor builds a physical address that decodes to the given vault and
+// bank under the default 64-byte-block map of testConfig (16 vaults, 8
+// banks): [dram][bank(3)][vault(4)][off(6)].
+func addrFor(vault, bank int, dram uint64) uint64 {
+	return dram<<13 | uint64(bank)<<10 | uint64(vault)<<6
+}
+
+func TestAddrForHelper(t *testing.T) {
+	h := newSimple(t, testConfig())
+	m := h.Device(0).Map
+	for _, c := range []struct{ v, b int }{{0, 0}, {3, 5}, {15, 7}} {
+		d := m.Decode(addrFor(c.v, c.b, 9))
+		if d.Vault != c.v || d.Bank != c.b {
+			t.Errorf("addrFor(%d,%d) decodes to vault %d bank %d", c.v, c.b, d.Vault, d.Bank)
+		}
+	}
+}
+
+func TestBankConflictDetectionAndResolution(t *testing.T) {
+	h := newSimple(t, testConfig())
+	rec := &trace.Recorder{}
+	h.SetTracer(rec)
+	h.SetTraceMask(trace.MaskAll)
+
+	// Two reads to the same vault and bank (different rows): the second
+	// must raise a bank conflict and be serviced a cycle later.
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addrFor(2, 3, 1), Tag: 1, Cmd: packet.CmdRD16})
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addrFor(2, 3, 2), Tag: 2, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 1 || rsps[0].Tag != 1 {
+		t.Fatalf("cycle 1 responses = %+v, want only tag 1", rsps)
+	}
+	if h.Stats().BankConflicts != 1 {
+		t.Fatalf("BankConflicts = %d, want 1", h.Stats().BankConflicts)
+	}
+	evs := rec.OfKind(trace.KindBankConflict)
+	if len(evs) != 1 {
+		t.Fatalf("conflict events = %d", len(evs))
+	}
+	if evs[0].Vault != 2 || evs[0].Bank != 3 || evs[0].Tag != 2 {
+		t.Errorf("conflict locality = %+v", evs[0])
+	}
+	if evs[0].Clock != 0 {
+		t.Errorf("conflict clock = %d, want 0", evs[0].Clock)
+	}
+	_ = h.Clock()
+	rsps = drain(t, h, 0)
+	if len(rsps) != 1 || rsps[0].Tag != 2 {
+		t.Fatalf("cycle 2 responses = %+v, want tag 2", rsps)
+	}
+}
+
+func TestNoConflictAcrossBanks(t *testing.T) {
+	h := newSimple(t, testConfig())
+	// Eight requests to eight distinct banks of one vault: all service in
+	// one cycle, zero conflicts.
+	for b := 0; b < 8; b++ {
+		sendReq(t, h, 0, 0, packet.Request{
+			CUB: 0, Addr: addrFor(4, b, 0), Tag: uint16(b), Cmd: packet.CmdRD16,
+		})
+	}
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 8 {
+		t.Fatalf("%d responses, want 8", len(rsps))
+	}
+	if h.Stats().BankConflicts != 0 {
+		t.Errorf("BankConflicts = %d, want 0", h.Stats().BankConflicts)
+	}
+}
+
+func TestConflictWindowLimitsParallelism(t *testing.T) {
+	cfg := testConfig()
+	cfg.ConflictWindow = 2
+	h := newSimple(t, cfg)
+	// Four requests to four distinct banks: with a window of 2, only two
+	// service per cycle even though no bank conflicts exist.
+	for b := 0; b < 4; b++ {
+		sendReq(t, h, 0, 0, packet.Request{
+			CUB: 0, Addr: addrFor(1, b, 0), Tag: uint16(b), Cmd: packet.CmdRD16,
+		})
+	}
+	_ = h.Clock()
+	if got := len(drain(t, h, 0)); got != 2 {
+		t.Fatalf("window=2: %d responses in cycle 1, want 2", got)
+	}
+	_ = h.Clock()
+	if got := len(drain(t, h, 0)); got != 2 {
+		t.Fatalf("window=2: %d responses in cycle 2, want 2", got)
+	}
+}
+
+func TestLatencyPenaltyOnQuadMismatch(t *testing.T) {
+	h := newSimple(t, testConfig())
+	rec := &trace.Recorder{}
+	h.SetTracer(rec)
+	h.SetTraceMask(trace.MaskAll)
+
+	// Link 0 is closest to quad 0 (vaults 0-3). A request entering link 0
+	// for vault 8 (quad 2) raises a latency penalty.
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addrFor(8, 0, 0), Tag: 1, Cmd: packet.CmdRD16})
+	// A request entering link 2 for vault 8 does not (link 2 <-> quad 2).
+	sendReq(t, h, 0, 2, packet.Request{CUB: 0, Addr: addrFor(9, 0, 0), Tag: 2, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	if got := h.Stats().LatencyEvents; got != 1 {
+		t.Fatalf("LatencyEvents = %d, want 1", got)
+	}
+	evs := rec.OfKind(trace.KindLatency)
+	if len(evs) != 1 || evs[0].Tag != 1 || evs[0].Vault != 8 {
+		t.Errorf("latency event = %+v", evs)
+	}
+	// Both requests still complete.
+	if got := len(drain(t, h, 0)); got != 2 {
+		t.Errorf("%d responses, want 2", got)
+	}
+}
+
+func TestResponseReturnsOnIngressLink(t *testing.T) {
+	h := newSimple(t, testConfig())
+	// Send on link 3; the response must appear on link 3 only.
+	sendReq(t, h, 0, 3, packet.Request{CUB: 0, Addr: 0, Tag: 5, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	for l := 0; l < 3; l++ {
+		if _, err := h.Recv(0, l); !errors.Is(err, ErrStall) {
+			t.Errorf("link %d unexpectedly has a response", l)
+		}
+	}
+	words, err := h.Recv(0, 3)
+	if err != nil {
+		t.Fatalf("Recv(link 3): %v", err)
+	}
+	rsp, _ := DecodeMemResponse(words)
+	if rsp.Tag != 5 || rsp.SLID != 3 {
+		t.Errorf("response = %+v", rsp)
+	}
+}
+
+func TestWeakOrderingPreservesLinkToBankStreams(t *testing.T) {
+	// "All reordering points must maintain the order of a stream of
+	// packets from a specific link to a specific bank within a vault."
+	// A write followed by a read of the same address from the same link
+	// must deliver correct and deterministic behavior.
+	h := newSimple(t, testConfig())
+	addr := addrFor(6, 2, 77)
+	sendReq(t, h, 0, 1, packet.Request{
+		CUB: 0, Addr: addr, Tag: 1, Cmd: packet.CmdWR16, Data: []uint64{0xABCD, 0x1234},
+	})
+	sendReq(t, h, 0, 1, packet.Request{CUB: 0, Addr: addr, Tag: 2, Cmd: packet.CmdRD16})
+	for i := 0; i < 3; i++ {
+		_ = h.Clock()
+	}
+	rsps := drain(t, h, 0)
+	if len(rsps) != 2 {
+		t.Fatalf("%d responses, want 2", len(rsps))
+	}
+	var read *packet.Response
+	for i := range rsps {
+		if rsps[i].Cmd == packet.CmdRDRS {
+			read = &rsps[i]
+		}
+	}
+	if read == nil {
+		t.Fatal("no read response")
+	}
+	if read.Data[0] != 0xABCD || read.Data[1] != 0x1234 {
+		t.Errorf("read-after-write returned %v", read.Data)
+	}
+}
+
+// newChain builds an n-device chain with the host on device 0.
+func newChain(t *testing.T, n int) *HMC {
+	t.Helper()
+	cfg := testConfig()
+	cfg.NumDevs = n
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := topo.Chain(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UseTopology(ch); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestChainedDeviceRoundTrip(t *testing.T) {
+	// The paper's structure-hierarchy example: a write request whose
+	// destination falls on a remote device must be forwarded across the
+	// device network and still complete correctly.
+	h := newChain(t, 3)
+	rec := &trace.Recorder{}
+	h.SetTracer(rec)
+	h.SetTraceMask(trace.MaskAll)
+
+	data := []uint64{0xFEED, 0xF00D}
+	sendReq(t, h, 0, 1, packet.Request{CUB: 2, Addr: 0x1000, Tag: 1, Cmd: packet.CmdWR16, Data: data})
+
+	var rsps []packet.Response
+	for i := 0; i < 20 && len(rsps) == 0; i++ {
+		_ = h.Clock()
+		rsps = drain(t, h, 0)
+	}
+	if len(rsps) != 1 || rsps[0].Cmd != packet.CmdWRRS {
+		t.Fatalf("chained write response = %+v", rsps)
+	}
+	if rsps[0].CUB != 2 {
+		t.Errorf("response CUB = %d, want 2 (the servicing device)", rsps[0].CUB)
+	}
+	// The data physically landed on device 2, not device 0.
+	dec := h.Device(2).Map.Decode(0x1000)
+	var got [2]uint64
+	h.Device(2).Bank(dec.Vault, dec.Bank).Read(dec.DRAM, got[:])
+	if got[0] != 0xFEED || got[1] != 0xF00D {
+		t.Errorf("device 2 bank contents = %v", got)
+	}
+	if h.Device(0).Bank(dec.Vault, dec.Bank).Stored() != 0 {
+		t.Error("data leaked onto device 0")
+	}
+	// Route hops were traced: 2 request hops (0->1, 1->2) and 2 response
+	// hops back.
+	if evs := rec.OfKind(trace.KindRoute); len(evs) != 4 {
+		t.Errorf("ROUTE events = %d, want 4", len(evs))
+	}
+}
+
+func TestChainedLatencyGrowsWithDistance(t *testing.T) {
+	// One hop per cycle: a request to the far end of a chain takes
+	// strictly more cycles than a local request.
+	lat := func(target int) int {
+		h := newChain(t, 4)
+		sendReq(t, h, 0, 1, packet.Request{CUB: uint8(target), Addr: 0, Tag: 1, Cmd: packet.CmdRD16})
+		for c := 1; c <= 40; c++ {
+			_ = h.Clock()
+			if rsps := drain(t, h, 0); len(rsps) == 1 {
+				return c
+			}
+		}
+		t.Fatalf("no response from device %d after 40 cycles", target)
+		return -1
+	}
+	l0, l1, l3 := lat(0), lat(1), lat(3)
+	if !(l0 < l1 && l1 < l3) {
+		t.Errorf("latencies not monotonic with chain distance: dev0=%d dev1=%d dev3=%d", l0, l1, l3)
+	}
+}
+
+func TestMultiDeviceClockFlow(t *testing.T) {
+	// Drive a ring of four devices with traffic addressed to every device
+	// and confirm total completion.
+	cfg := testConfig()
+	cfg.NumDevs = 4
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, _ := topo.Ring(4, 4)
+	if err := h.UseTopology(ring); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	tag := uint16(0)
+	for dev := 0; dev < 4; dev++ {
+		for i := 0; i < 8; i++ {
+			// Ring devices have host links 2 and 3 on every device.
+			words, err := h.BuildRequestPacket(packet.Request{
+				CUB: uint8(dev), Addr: uint64(i) * 64, Tag: tag, Cmd: packet.CmdRD16,
+			}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Send(dev%4, 2, words); err != nil {
+				t.Fatal(err)
+			}
+			tag++
+			want++
+		}
+	}
+	got := 0
+	for c := 0; c < 50 && got < want; c++ {
+		_ = h.Clock()
+		for dev := 0; dev < 4; dev++ {
+			got += len(drain(t, h, dev))
+		}
+	}
+	if got != want {
+		t.Fatalf("completed %d/%d requests", got, want)
+	}
+}
+
+func TestUnreachableDeviceErrorResponse(t *testing.T) {
+	// Deliberately misconfigured topology: device 1 exists but is wired to
+	// nothing. Requests for it elicit error responses with topology error
+	// structures.
+	cfg := testConfig()
+	cfg.NumDevs = 2
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 4; l++ {
+		if err := h.ConnectHost(0, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sendReq(t, h, 0, 0, packet.Request{CUB: 1, Addr: 0, Tag: 8, Cmd: packet.CmdRD64})
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 1 || rsps[0].Cmd != packet.CmdError {
+		t.Fatalf("responses = %+v, want one ERROR", rsps)
+	}
+	if rsps[0].ErrStat != packet.ErrStatTopology {
+		t.Errorf("errstat = %#x, want ErrStatTopology", rsps[0].ErrStat)
+	}
+}
+
+func TestHeadOfLineBlockingInVaultQueueDrain(t *testing.T) {
+	// Fill one vault's request queue, then confirm crossbar stalls are
+	// raised when more packets target it.
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	cfg.XbarDepth = 32
+	h := newSimple(t, cfg)
+	rec := &trace.Recorder{}
+	h.SetTracer(rec)
+	h.SetTraceMask(trace.MaskStalls)
+
+	// 12 requests for the same vault and bank: the vault services one per
+	// cycle; its 2-deep queue overflows and the crossbar stalls.
+	for i := 0; i < 12; i++ {
+		sendReq(t, h, 0, 0, packet.Request{
+			CUB: 0, Addr: addrFor(5, 1, uint64(i)), Tag: uint16(i), Cmd: packet.CmdRD16,
+		})
+	}
+	total := 0
+	for c := 0; c < 40 && total < 12; c++ {
+		_ = h.Clock()
+		total += len(drain(t, h, 0))
+	}
+	if total != 12 {
+		t.Fatalf("completed %d/12", total)
+	}
+	if h.Stats().XbarRqstStalls == 0 {
+		t.Error("no crossbar request stalls recorded")
+	}
+	if len(rec.OfKind(trace.KindXbarRqstStall)) == 0 {
+		t.Error("no stall trace events")
+	}
+}
+
+func TestRWSRegisterClearsOnClockEdge(t *testing.T) {
+	h := newSimple(t, testConfig())
+	if err := h.JTAGWrite(0, 0x2B0004, 0xFF); err != nil { // ERR register
+		t.Fatal(err)
+	}
+	v, _ := h.JTAGRead(0, 0x2B0004)
+	if v != 0xFF {
+		t.Fatalf("ERR = %#x before clock", v)
+	}
+	_ = h.Clock()
+	v, _ = h.JTAGRead(0, 0x2B0004)
+	if v != 0 {
+		t.Errorf("ERR = %#x after clock edge, want 0 (RWS self-clear)", v)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, Stats) {
+		h := newSimple(t, testConfig())
+		rng := rand.New(rand.NewSource(42))
+		completed := 0
+		tag := uint16(0)
+		sent := 0
+		for completed < 200 {
+			for sent-completed < 64 {
+				cmd := packet.CmdRD16
+				var data []uint64
+				if rng.Intn(2) == 0 {
+					cmd = packet.CmdWR16
+					data = []uint64{rng.Uint64(), rng.Uint64()}
+				}
+				link := sent % 4
+				words, err := h.BuildRequestPacket(packet.Request{
+					CUB: 0, Addr: uint64(rng.Int63()) & (1<<31 - 1) &^ 0xF,
+					Tag: tag & packet.MaxTag, Cmd: cmd, Data: data,
+				}, link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Send(0, link, words); err != nil {
+					break
+				}
+				tag++
+				sent++
+			}
+			_ = h.Clock()
+			completed += len(drain(t, h, 0))
+		}
+		return h.Clk(), h.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("simulation not deterministic: %d/%d cycles, %+v vs %+v", c1, c2, s1, s2)
+	}
+}
+
+// TestPropertyAllRequestsComplete drives random traffic and verifies
+// conservation: every non-posted request eventually yields exactly one
+// response with a matching outstanding tag, and read data matches what the
+// model wrote.
+func TestPropertyAllRequestsComplete(t *testing.T) {
+	seeds := []int64{1, 7, 99, 12345}
+	for _, seed := range seeds {
+		h := newSimple(t, testConfig())
+		rng := rand.New(rand.NewSource(seed))
+		type pending struct {
+			cmd  packet.Command
+			addr uint64
+		}
+		outstanding := make(map[uint16]pending)
+		model := make(map[uint64]uint64) // word address -> value
+		nextTag := uint16(0)
+		sent, completed, posted := 0, 0, 0
+		const total = 300
+
+		for sent < total || len(outstanding) > 0 {
+			// Inject while tags are available.
+			for sent < total && len(outstanding) < 256 {
+				addr := uint64(rng.Int63()) & (1<<24 - 1) &^ 0x3F
+				link := rng.Intn(4)
+				var req packet.Request
+				switch rng.Intn(3) {
+				case 0:
+					req = packet.Request{CUB: 0, Addr: addr, Tag: nextTag, Cmd: packet.CmdRD64}
+				case 1:
+					data := make([]uint64, 8)
+					for i := range data {
+						data[i] = rng.Uint64()
+					}
+					req = packet.Request{CUB: 0, Addr: addr, Tag: nextTag, Cmd: packet.CmdWR64, Data: data}
+				case 2:
+					data := make([]uint64, 8)
+					for i := range data {
+						data[i] = rng.Uint64()
+					}
+					req = packet.Request{CUB: 0, Addr: addr, Tag: nextTag, Cmd: packet.CmdPWR64, Data: data}
+				}
+				words, err := h.BuildRequestPacket(req, link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Send(0, link, words); err != nil {
+					break
+				}
+				if req.Cmd.IsWrite() {
+					for i, w := range req.Data {
+						model[addr+uint64(i)*8] = w
+					}
+				}
+				if req.Cmd.IsPosted() {
+					posted++
+				} else {
+					outstanding[nextTag] = pending{cmd: req.Cmd, addr: addr}
+				}
+				sent++
+				nextTag = (nextTag + 1) & packet.MaxTag
+			}
+			if err := h.Clock(); err != nil {
+				t.Fatal(err)
+			}
+			for _, rsp := range drain(t, h, 0) {
+				p, ok := outstanding[rsp.Tag]
+				if !ok {
+					t.Fatalf("seed %d: response with unknown tag %d", seed, rsp.Tag)
+				}
+				delete(outstanding, rsp.Tag)
+				completed++
+				wantCmd, _ := p.cmd.Response()
+				if rsp.Cmd != wantCmd {
+					t.Fatalf("seed %d: response cmd %v for request %v", seed, rsp.Cmd, p.cmd)
+				}
+				if p.cmd.IsRead() {
+					// Words the model knows about must match. (Unwritten
+					// words are pseudo-data — unchecked.)
+					for i, w := range rsp.Data {
+						if want, ok := model[p.addr+uint64(i)*8]; ok && w != want {
+							t.Fatalf("seed %d: read %#x word %d = %#x, want %#x",
+								seed, p.addr, i, w, want)
+						}
+					}
+				}
+			}
+			if h.Clk() > 10000 {
+				t.Fatalf("seed %d: no convergence: %d outstanding after %d cycles",
+					seed, len(outstanding), h.Clk())
+			}
+		}
+		// Posted writes produce no response; give the pipeline a few more
+		// cycles to retire them.
+		for i := 0; i < 20 && h.Stats().Serviced() < uint64(sent); i++ {
+			_ = h.Clock()
+		}
+		st := h.Stats()
+		if st.Serviced() != uint64(sent) {
+			t.Errorf("seed %d: serviced %d != sent %d", seed, st.Serviced(), sent)
+		}
+		if st.Posted != uint64(posted) {
+			t.Errorf("seed %d: posted %d != %d", seed, st.Posted, posted)
+		}
+	}
+}
+
+func TestPerStreamResponseOrdering(t *testing.T) {
+	// "All reordering points present in a given HMC implementation must
+	// maintain the order of a stream of packets from a specific link to a
+	// specific bank within a vault." Responses for one such stream must
+	// therefore return in request order.
+	h := newSimple(t, testConfig())
+	const n = 12
+	for i := 0; i < n; i++ {
+		sendReq(t, h, 0, 1, packet.Request{
+			CUB: 0, Addr: addrFor(4, 2, uint64(i)), Tag: uint16(i), Cmd: packet.CmdRD16,
+		})
+	}
+	var order []uint16
+	for c := 0; c < 50 && len(order) < n; c++ {
+		_ = h.Clock()
+		for _, r := range drain(t, h, 0) {
+			order = append(order, r.Tag)
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("completed %d/%d", len(order), n)
+	}
+	for i, tag := range order {
+		if tag != uint16(i) {
+			t.Fatalf("stream order violated: position %d has tag %d (full order %v)", i, tag, order)
+		}
+	}
+}

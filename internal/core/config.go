@@ -1,0 +1,152 @@
+// Package core implements the HMC-Sim simulation engine: the public API
+// for initializing one or more simulated Hybrid Memory Cube devices,
+// configuring the link topology between them, exchanging request and
+// response packets with an arbitrary host processor, and advancing the
+// rudimentary device clock domain through its six sub-cycle stages.
+//
+// The API mirrors the four function classes of the original ANSI-C
+// HMC-Sim library: device initialization (New/Free), topology
+// initialization (ConnectHost/ConnectDevices/UseTopology), packet handlers
+// (BuildMemRequest/Send/Recv/Clock) and register interface functions
+// (in-band MODE_READ/MODE_WRITE packets plus the out-of-band JTAG
+// interface).
+package core
+
+import (
+	"fmt"
+
+	"hmcsim/internal/device"
+	"hmcsim/internal/packet"
+)
+
+// Config carries the physical details of one or more target HMC devices.
+// It corresponds to the parameters of hmcsim_init: the device count, link
+// count, vault count, vault queue depth, bank count, DRAM count, capacity
+// and crossbar queue depth. All devices within a single simulation object
+// are physically homogeneous and are configured and reset to an identical
+// state.
+type Config struct {
+	// NumDevs is the number of HMC devices in this simulation object.
+	// The host processor is identified by cube ID NumDevs (one greater
+	// than the largest device cube ID).
+	NumDevs int
+	// NumLinks is the link count per device: 4 or 8. Mixing devices with
+	// different link counts is not supported.
+	NumLinks int
+	// NumVaults is the vault count per device; it must equal 4*NumLinks.
+	NumVaults int
+	// QueueDepth is the depth of every vault request and response queue.
+	QueueDepth int
+	// NumBanks is the bank count per vault.
+	NumBanks int
+	// NumDRAMs is the DRAM part count per bank.
+	NumDRAMs int
+	// CapacityGB is the per-device capacity in gigabytes.
+	CapacityGB int
+	// XbarDepth is the depth of every link crossbar request and response
+	// queue.
+	XbarDepth int
+
+	// BlockSize is the maximum block request size, in bytes, for the
+	// default address map (32, 64, 128 or 256; zero selects 64).
+	BlockSize int
+	// StoreData enables functional bank data storage (see device.Config).
+	StoreData bool
+	// ConflictWindow is the spatial window, in queue slots, that the
+	// bank-conflict recognition stage examines on each vault request
+	// queue. Zero selects the entire queue.
+	ConflictWindow int
+	// RefreshInterval enables DRAM refresh modeling (an extension beyond
+	// the paper's constant-time vault rule): every bank is refreshed once
+	// per interval (in clock cycles), staggered across the device, and is
+	// unavailable for RefreshDuration cycles while refreshing. Zero
+	// disables refresh.
+	RefreshInterval int
+	// RefreshDuration is the per-refresh bank blackout in cycles.
+	RefreshDuration int
+	// FaultPPM injects link transmission faults for error simulation:
+	// each packet transfer across a SERDES link (host send, request
+	// forward, response forward) fails with this probability in parts
+	// per million. A failed transfer behaves as a transparent link-level
+	// retry — the packet stays put for one cycle and a RETRY trace event
+	// is raised — modeling the specification's retry-pointer machinery
+	// at the rudimentary level HMC-Sim targets.
+	FaultPPM int
+	// FaultSeed seeds the deterministic fault generator.
+	FaultSeed uint64
+	// XbarPassing enables the specification's crossbar reordering point:
+	// arriving packets destined for ancillary devices (or for other
+	// vaults) may pass packets stalled waiting for local vault access.
+	// The reordering preserves the required per-(link, vault) stream
+	// order: a packet never passes an older packet bound for the same
+	// vault. Disabled, the crossbar queues are strict FIFOs with
+	// head-of-line blocking.
+	XbarPassing bool
+}
+
+// Table1Configs returns the four device configurations evaluated in the
+// paper's Table I, in order: 4-link/8-bank/2GB, 4-link/16-bank/4GB,
+// 8-link/8-bank/4GB and 8-link/16-bank/8GB, each with 128 crossbar slots
+// and 64 vault queue slots per direction.
+func Table1Configs() []Config {
+	mk := func(links, banks, capGB int) Config {
+		return Config{
+			NumDevs: 1, NumLinks: links, NumVaults: 4 * links,
+			QueueDepth: 64, NumBanks: banks, NumDRAMs: 20,
+			CapacityGB: capGB, XbarDepth: 128,
+		}
+	}
+	return []Config{
+		mk(4, 8, 2),
+		mk(4, 16, 4),
+		mk(8, 8, 4),
+		mk(8, 16, 8),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FaultPPM < 0 || c.FaultPPM >= 1000000 {
+		return fmt.Errorf("hmcsim: fault rate %d PPM out of [0, 1000000)", c.FaultPPM)
+	}
+	if c.RefreshInterval < 0 || c.RefreshDuration < 0 {
+		return fmt.Errorf("hmcsim: negative refresh parameters")
+	}
+	if c.RefreshInterval > 0 && c.RefreshDuration >= c.RefreshInterval {
+		return fmt.Errorf("hmcsim: refresh duration %d must be below the interval %d",
+			c.RefreshDuration, c.RefreshInterval)
+	}
+	if c.RefreshInterval == 0 && c.RefreshDuration > 0 {
+		return fmt.Errorf("hmcsim: refresh duration without an interval")
+	}
+	if c.NumDevs < 1 {
+		return fmt.Errorf("hmcsim: device count %d < 1", c.NumDevs)
+	}
+	if c.NumDevs >= packet.MaxCUB {
+		return fmt.Errorf("hmcsim: device count %d exceeds the %d-cube ID space",
+			c.NumDevs, packet.MaxCUB)
+	}
+	return c.deviceConfig().Validate()
+}
+
+func (c Config) deviceConfig() device.Config {
+	return device.Config{
+		NumLinks:   c.NumLinks,
+		NumVaults:  c.NumVaults,
+		NumBanks:   c.NumBanks,
+		NumDRAMs:   c.NumDRAMs,
+		CapacityGB: c.CapacityGB,
+		QueueDepth: c.QueueDepth,
+		XbarDepth:  c.XbarDepth,
+		BlockSize:  c.BlockSize,
+		StoreData:  c.StoreData,
+	}
+}
+
+// HostID returns the cube ID representing the host processor.
+func (c Config) HostID() int { return c.NumDevs }
+
+// String summarizes the configuration the way the paper labels them.
+func (c Config) String() string {
+	return fmt.Sprintf("%d-Link; %d-Bank; %dGB", c.NumLinks, c.NumBanks, c.CapacityGB)
+}

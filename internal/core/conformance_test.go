@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/reg"
+)
+
+// TestModeRequestsRouteToChainedDevices covers Section V-D: "the ability
+// to query or modify registers on devices that are chained or not
+// directly connected to the host. These packet types will route to the
+// destination cube ID as would any other packet type."
+func TestModeRequestsRouteToChainedDevices(t *testing.T) {
+	h := newChain(t, 3)
+	// MODE_WRITE the GC register of the far device (cube 2).
+	sendReq(t, h, 0, 1, packet.Request{
+		CUB: 2, Addr: reg.PhysGC, Tag: 1, Cmd: packet.CmdMDWR,
+		Data: []uint64{0xBEEF, 0},
+	})
+	var got []packet.Response
+	for i := 0; i < 20 && len(got) == 0; i++ {
+		_ = h.Clock()
+		got = drain(t, h, 0)
+	}
+	if len(got) != 1 || got[0].Cmd != packet.CmdMDWRRS {
+		t.Fatalf("chained mode write response = %+v", got)
+	}
+	if got[0].CUB != 2 {
+		t.Errorf("responding cube = %d, want 2", got[0].CUB)
+	}
+	// The register changed on device 2 only.
+	v2, err := h.JTAGRead(2, reg.PhysGC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 0xBEEF {
+		t.Errorf("device 2 GC = %#x", v2)
+	}
+	v0, _ := h.JTAGRead(0, reg.PhysGC)
+	if v0 != 0 {
+		t.Errorf("device 0 GC contaminated: %#x", v0)
+	}
+	// MODE_READ it back over the chain.
+	sendReq(t, h, 0, 1, packet.Request{CUB: 2, Addr: reg.PhysGC, Tag: 2, Cmd: packet.CmdMDRD})
+	got = nil
+	for i := 0; i < 20 && len(got) == 0; i++ {
+		_ = h.Clock()
+		got = drain(t, h, 0)
+	}
+	if len(got) != 1 || got[0].Cmd != packet.CmdMDRDRS || got[0].Data[0] != 0xBEEF {
+		t.Fatalf("chained mode read = %+v", got)
+	}
+}
+
+// TestLinkFairnessUnderSaturation checks that the crossbar stage serves
+// every link: under continuous saturation of all four links, per-link
+// serviced traffic stays balanced.
+func TestLinkFairnessUnderSaturation(t *testing.T) {
+	h := newSimple(t, testConfig())
+	tag := 0
+	for cycle := 0; cycle < 200; cycle++ {
+		// Keep every link's queue topped up.
+		for link := 0; link < 4; link++ {
+			for {
+				words, err := h.BuildRequestPacket(packet.Request{
+					CUB: 0, Addr: uint64(tag*64) & (1<<30 - 1),
+					Tag: uint16(tag % 512), Cmd: packet.CmdRD16,
+				}, link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Send(0, link, words); err != nil {
+					if errors.Is(err, ErrStall) {
+						break
+					}
+					t.Fatal(err)
+				}
+				tag++
+			}
+		}
+		_ = h.Clock()
+		drain(t, h, 0)
+	}
+	tr := h.LinkTraffic()
+	min, max := tr[0].ReqFlits, tr[0].ReqFlits
+	for _, l := range tr {
+		if l.ReqFlits < min {
+			min = l.ReqFlits
+		}
+		if l.ReqFlits > max {
+			max = l.ReqFlits
+		}
+	}
+	if min == 0 {
+		t.Fatal("a link was starved completely")
+	}
+	if max > 2*min {
+		t.Errorf("link traffic unbalanced: min %d, max %d", min, max)
+	}
+}
+
+// TestPacketSizesMatchSpecification pins the wire-format geometry quoted
+// throughout Section III-C.
+func TestPacketSizesMatchSpecification(t *testing.T) {
+	// "All packets are configured as a multiple of a single 16-byte flow
+	// unit" — every request command's packet is whole FLITs.
+	for c := packet.Command(0); c < 0x40; c++ {
+		if !c.IsRequest() {
+			continue
+		}
+		if got := c.Flits() * 16; got < 16 || got > 144 {
+			t.Errorf("%v packet is %d bytes", c, got)
+		}
+	}
+	// "The minimum 16-byte (one FLIT) packet contains a packet header and
+	// packet tail."
+	p, err := packet.BuildRequest(packet.Request{Cmd: packet.CmdRD16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes() != 16 || len(p.Data()) != 0 {
+		t.Errorf("minimum packet: %d bytes, %d data words", p.Bytes(), len(p.Data()))
+	}
+}
+
+// TestHostIDConvention pins "hosts are represented using non zero HMC
+// Cube ID's of one greater than the total number of devices".
+func TestHostIDConvention(t *testing.T) {
+	for _, n := range []int{1, 3, 7} {
+		cfg := testConfig()
+		cfg.NumDevs = n
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.HostID() != n {
+			t.Errorf("numDevs=%d: host ID %d, want %d", n, h.HostID(), n)
+		}
+		if h.HostID() == 0 && n > 0 {
+			t.Error("host ID must be nonzero for nonempty device sets")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/reg"
+	"hmcsim/internal/topo"
+)
+
+// Example reproduces the paper's Figure 4 calling sequence: init, link
+// config, build a request, send, clock, receive, free.
+func Example() {
+	hmc, err := core.New(core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, QueueDepth: 64,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for link := 0; link < 4; link++ {
+		if err := hmc.ConnectHost(0, link); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	head, tail, err := hmc.BuildMemRequest(0, 0x1000, 7, packet.CmdRD64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hmc.Send(0, 0, []uint64{head, tail}); err != nil {
+		log.Fatal(err)
+	}
+	if err := hmc.Clock(); err != nil {
+		log.Fatal(err)
+	}
+	words, err := hmc.Recv(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsp, err := core.DecodeMemResponse(words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v tag=%d bytes=%d\n", rsp.Cmd, rsp.Tag, len(rsp.Data)*8)
+	hmc.Free()
+	// Output: RD_RS tag=7 bytes=64
+}
+
+// ExampleHMC_JTAGRead shows side-band register access: the FEAT register
+// describes the device geometry without consuming memory bandwidth.
+func ExampleHMC_JTAGRead() {
+	hmc, err := core.New(core.Config{
+		NumDevs: 1, NumLinks: 8, NumVaults: 32, QueueDepth: 64,
+		NumBanks: 16, NumDRAMs: 20, CapacityGB: 8, XbarDepth: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feat, err := hmc.JTAGRead(0, reg.PhysFEAT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capGB, vaults, banks, _, links := reg.UnpackFeat(feat)
+	fmt.Printf("%dGB, %d vaults, %d banks/vault, %d links\n", capGB, vaults, banks, links)
+	// Output: 8GB, 32 vaults, 16 banks/vault, 8 links
+}
+
+// ExampleHMC_UseTopology wires a prebuilt chained topology and routes a
+// request to a remote cube.
+func ExampleHMC_UseTopology() {
+	hmc, err := core.New(core.Config{
+		NumDevs: 2, NumLinks: 4, NumVaults: 16, QueueDepth: 64,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain, err := topo.Chain(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hmc.UseTopology(chain); err != nil {
+		log.Fatal(err)
+	}
+
+	// Device 1 is one pass-through hop away; send on device 0's host
+	// link 1.
+	words, err := hmc.BuildRequestPacket(packet.Request{
+		CUB: 1, Addr: 0x40, Tag: 3, Cmd: packet.CmdRD16,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hmc.Send(0, 1, words); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if err := hmc.Clock(); err != nil {
+			log.Fatal(err)
+		}
+		raw, err := hmc.Recv(0, 1)
+		if err != nil {
+			continue
+		}
+		rsp, err := core.DecodeMemResponse(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v from cube %d after %d cycles\n", rsp.Cmd, rsp.CUB, hmc.Clk())
+		break
+	}
+	// Output: RD_RS from cube 1 after 3 cycles
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/topo"
+	"hmcsim/internal/trace"
+)
+
+func TestFaultConfigValidation(t *testing.T) {
+	c := testConfig()
+	c.FaultPPM = -1
+	if _, err := New(c); err == nil {
+		t.Error("accepted negative fault rate")
+	}
+	c.FaultPPM = 1000000
+	if _, err := New(c); err == nil {
+		t.Error("accepted certain-fault rate")
+	}
+	c.FaultPPM = 999999
+	if _, err := New(c); err != nil {
+		t.Errorf("rejected valid rate: %v", err)
+	}
+}
+
+func TestNoFaultsByDefault(t *testing.T) {
+	h := newSimple(t, testConfig())
+	for i := 0; i < 100; i++ {
+		sendReq(t, h, 0, i%4, packet.Request{
+			CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+		})
+		if i%32 == 31 {
+			_ = h.Clock() // keep the 16-slot crossbar queues from filling
+		}
+	}
+	for i := 0; i < 5; i++ {
+		_ = h.Clock()
+	}
+	drain(t, h, 0)
+	if h.Stats().LinkRetries != 0 {
+		t.Errorf("retries with FaultPPM=0: %d", h.Stats().LinkRetries)
+	}
+}
+
+// sendWithRetry retries a Send through injected-fault back-pressure.
+func sendWithRetry(t *testing.T, h *HMC, link int, req packet.Request) {
+	t.Helper()
+	words, err := h.BuildRequestPacket(req, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		err := h.Send(0, link, words)
+		if err == nil {
+			return
+		}
+		if err == ErrStall {
+			_ = h.Clock()
+			continue
+		}
+		t.Fatal(err)
+	}
+	t.Fatal("send never succeeded through faults")
+}
+
+func TestFaultInjectionRetriesAndCompletes(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultPPM = 200000 // 20% of transfers fault
+	cfg.FaultSeed = 7
+	h := newSimple(t, cfg)
+	rec := &trace.Recorder{}
+	h.SetTracer(rec)
+	h.SetTraceMask(trace.MaskAll)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		sendWithRetry(t, h, i%4, packet.Request{
+			CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i % 512), Cmd: packet.CmdRD16,
+		})
+	}
+	completed := 0
+	for i := 0; i < 50 && completed < n; i++ {
+		_ = h.Clock()
+		completed += len(drain(t, h, 0))
+	}
+	if completed != n {
+		t.Fatalf("completed %d/%d under fault injection", completed, n)
+	}
+	st := h.Stats()
+	if st.LinkRetries == 0 {
+		t.Fatal("no retries at a 20% fault rate")
+	}
+	// Roughly 20% of ~200 successful sends should have faulted at least
+	// once; allow a wide band.
+	if st.LinkRetries < n/10 {
+		t.Errorf("retries = %d, implausibly few", st.LinkRetries)
+	}
+	if got := len(rec.OfKind(trace.KindRetry)); uint64(got) != st.LinkRetries {
+		t.Errorf("retry trace events %d != stat %d", got, st.LinkRetries)
+	}
+}
+
+func TestFaultInjectionOnChainedPath(t *testing.T) {
+	// Faults on pass-through links delay but never lose packets.
+	run := func(ppm int) (uint64, uint64) {
+		cfg := testConfig()
+		cfg.NumDevs = 3
+		cfg.FaultPPM = ppm
+		cfg.FaultSeed = 3
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := topo.Chain(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.UseTopology(ch); err != nil {
+			t.Fatal(err)
+		}
+		const n = 50
+		for i := 0; i < n; i++ {
+			sendWithRetry(t, h, 1, packet.Request{
+				CUB: 2, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+			})
+		}
+		completed := 0
+		for i := 0; i < 400 && completed < n; i++ {
+			_ = h.Clock()
+			completed += len(drain(t, h, 0))
+		}
+		if completed != n {
+			t.Fatalf("ppm=%d: completed %d/%d", ppm, completed, n)
+		}
+		return h.Clk(), h.Stats().LinkRetries
+	}
+	cleanCycles, cleanRetries := run(0)
+	faultCycles, faultRetries := run(300000)
+	if cleanRetries != 0 {
+		t.Errorf("clean run retried %d times", cleanRetries)
+	}
+	if faultRetries == 0 {
+		t.Error("faulty run never retried")
+	}
+	if faultCycles <= cleanCycles {
+		t.Errorf("faults did not add latency: %d vs %d cycles", faultCycles, cleanCycles)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() Stats {
+		cfg := testConfig()
+		cfg.FaultPPM = 100000
+		cfg.FaultSeed = 99
+		h := newSimple(t, cfg)
+		for i := 0; i < 100; i++ {
+			sendWithRetry(t, h, i%4, packet.Request{
+				CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+			})
+		}
+		for i := 0; i < 20; i++ {
+			_ = h.Clock()
+		}
+		drain(t, h, 0)
+		return h.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fault injection not deterministic: %+v vs %+v", a, b)
+	}
+}

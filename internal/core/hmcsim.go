@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hmcsim/internal/device"
+	"hmcsim/internal/reg"
+	"hmcsim/internal/topo"
+	"hmcsim/internal/trace"
+)
+
+// Errors returned by the simulation API.
+var (
+	// ErrStall indicates that the target arbitration queue had no free
+	// slot (Send) or no candidate response packet (Recv). The host should
+	// clock the simulation and retry.
+	ErrStall = errors.New("hmcsim: stall")
+	// ErrSealed indicates a topology mutation after simulation start.
+	ErrSealed = errors.New("hmcsim: topology sealed after first send or clock")
+	// ErrNotHostLink indicates a send or receive on a link that is not
+	// connected to the host.
+	ErrNotHostLink = errors.New("hmcsim: link is not a host link")
+	// ErrLinkDown indicates a send or receive on a link whose link
+	// configuration register has the link-down bit set.
+	ErrLinkDown = errors.New("hmcsim: link is down (LC register)")
+)
+
+// LCLinkDown is the link-down control bit of the per-link LC registers.
+// Setting it (via a MODE_WRITE packet or the JTAG interface) takes the
+// link out of service: host sends and receives fail with ErrLinkDown and
+// pass-through traffic stalls on the link until the bit clears.
+const LCLinkDown uint64 = 1 << 0
+
+// linkDown reports whether the link's LC register link-down bit is set.
+func linkDown(d *device.Device, link int) bool {
+	v, err := d.Regs.Read(reg.PhysLC0 + uint64(link))
+	return err == nil && v&LCLinkDown != 0
+}
+
+// HMC is one HMC-Sim simulation object: a set of physically homogeneous
+// HMC devices, their link topology, and a shared internal clock domain. An
+// application may contain more than one HMC object to simulate
+// architectural characteristics such as non-uniform memory access; objects
+// are fully independent (devices cannot be linked across objects).
+type HMC struct {
+	cfg    Config
+	devs   []*device.Device
+	topo   *topo.Topology
+	routes *topo.Routes
+
+	clk    uint64
+	sealed bool
+
+	tracer trace.Tracer
+	mask   trace.Kind
+
+	// seq holds the per-host-link 3-bit sequence counters used by
+	// BuildMemRequest.
+	seq map[int]uint8
+
+	// rootOrder and childOrder cache the device processing order for the
+	// response and request sub-cycle stages.
+	rootOrder, childOrder []int
+
+	// rdbuf is the scratch buffer for bank read data en route to a
+	// response packet.
+	rdbuf [16]uint64
+
+	// faultState drives the deterministic link-fault generator.
+	faultState uint64
+
+	stats Stats
+}
+
+// New initializes one or more simulated HMC devices into a reset state.
+// It is the analogue of hmcsim_init. The returned object has no links
+// configured; wire the topology with ConnectHost / ConnectDevices /
+// UseTopology before clocking.
+func New(cfg Config) (*HMC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := topo.New(cfg.NumDevs, cfg.NumLinks, cfg.HostID())
+	if err != nil {
+		return nil, err
+	}
+	h := &HMC{
+		cfg:        cfg,
+		topo:       t,
+		tracer:     trace.Nop{},
+		mask:       trace.MaskNone,
+		seq:        make(map[int]uint8),
+		faultState: cfg.FaultSeed,
+	}
+	h.devs = make([]*device.Device, cfg.NumDevs)
+	for i := range h.devs {
+		d, err := device.New(i, cfg.deviceConfig())
+		if err != nil {
+			return nil, err
+		}
+		h.devs[i] = d
+	}
+	return h, nil
+}
+
+// Config returns the object's configuration.
+func (h *HMC) Config() Config { return h.cfg }
+
+// HostID returns the cube ID representing the host processor: one greater
+// than the largest device cube ID.
+func (h *HMC) HostID() int { return h.cfg.HostID() }
+
+// Clk returns the current value of the 64-bit internal clock.
+func (h *HMC) Clk() uint64 { return h.clk }
+
+// Stats returns a snapshot of the engine counters.
+func (h *HMC) Stats() Stats { return h.stats }
+
+// Device returns device cube. It is exposed for analysis and tests;
+// mutating a device mid-simulation is not supported.
+func (h *HMC) Device(cube int) *device.Device {
+	if cube < 0 || cube >= len(h.devs) {
+		return nil
+	}
+	return h.devs[cube]
+}
+
+// Topology returns the link topology.
+func (h *HMC) Topology() *topo.Topology { return h.topo }
+
+// SetTracer installs the trace consumer. A nil tracer disables output.
+func (h *HMC) SetTracer(t trace.Tracer) {
+	if t == nil {
+		h.tracer = trace.Nop{}
+		return
+	}
+	h.tracer = t
+}
+
+// SetTraceMask designates the tracing verbosity: only events whose kind is
+// present in the mask are emitted.
+func (h *HMC) SetTraceMask(mask trace.Kind) { h.mask = mask }
+
+// TraceMask returns the current verbosity mask.
+func (h *HMC) TraceMask() trace.Kind { return h.mask }
+
+// faultRoll reports whether the next link transfer suffers an injected
+// transmission fault (splitmix64 over the configured seed).
+func (h *HMC) faultRoll() bool {
+	if h.cfg.FaultPPM == 0 {
+		return false
+	}
+	h.faultState += 0x9E3779B97F4A7C15
+	x := h.faultState
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return x%1000000 < uint64(h.cfg.FaultPPM)
+}
+
+func (h *HMC) emit(e trace.Event) {
+	if e.Kind&h.mask != 0 {
+		e.Clock = h.clk
+		h.tracer.Trace(e)
+	}
+}
+
+// ConnectHost configures a device link as a host link.
+func (h *HMC) ConnectHost(dev, link int) error {
+	if h.sealed {
+		return ErrSealed
+	}
+	return h.topo.ConnectHost(dev, link)
+}
+
+// ConnectDevices configures a pass-through link between two devices
+// (chaining). Devices that link to one another must exist within the same
+// HMC object; loopbacks are prohibited.
+func (h *HMC) ConnectDevices(devA, linkA, devB, linkB int) error {
+	if h.sealed {
+		return ErrSealed
+	}
+	return h.topo.ConnectDevices(devA, linkA, devB, linkB)
+}
+
+// UseTopology replaces the object's topology with a prebuilt one (for
+// example topo.Ring or topo.Torus). The topology's device count, link
+// count and host ID must match the configuration.
+func (h *HMC) UseTopology(t *topo.Topology) error {
+	if h.sealed {
+		return ErrSealed
+	}
+	if t.NumDevs() != h.cfg.NumDevs || t.NumLinks() != h.cfg.NumLinks || t.HostID() != h.HostID() {
+		return fmt.Errorf("hmcsim: topology shape %d devs/%d links/host %d does not match config %d/%d/%d",
+			t.NumDevs(), t.NumLinks(), t.HostID(), h.cfg.NumDevs, h.cfg.NumLinks, h.HostID())
+	}
+	h.topo = t
+	return nil
+}
+
+// seal validates the topology, computes routes and device processing
+// order, and mirrors the wiring into the device link structures. It runs
+// once, on the first Send or Clock.
+func (h *HMC) seal() error {
+	if h.sealed {
+		return nil
+	}
+	if err := h.topo.Validate(); err != nil {
+		return err
+	}
+	h.routes = h.topo.Routes()
+	h.rootOrder = h.rootOrder[:0]
+	h.childOrder = h.childOrder[:0]
+	for cube := 0; cube < h.cfg.NumDevs; cube++ {
+		if h.topo.IsRoot(cube) {
+			h.rootOrder = append(h.rootOrder, cube)
+		} else {
+			h.childOrder = append(h.childOrder, cube)
+		}
+		d := h.devs[cube]
+		for l := range d.Links {
+			p := h.topo.Peer(cube, l)
+			d.Links[l].DstCube = p.Cube
+			d.Links[l].DstLink = p.Link
+			d.Links[l].Active = p.Cube != topo.Unconnected
+		}
+	}
+	h.sealed = true
+	return nil
+}
+
+// Free returns all devices to their initial reset state and reopens the
+// topology for reconfiguration. It is the analogue of hmcsim_free.
+func (h *HMC) Free() {
+	for _, d := range h.devs {
+		d.Reset()
+	}
+	t, _ := topo.New(h.cfg.NumDevs, h.cfg.NumLinks, h.HostID())
+	h.topo = t
+	h.routes = nil
+	h.sealed = false
+	h.clk = 0
+	h.stats = Stats{}
+	h.faultState = h.cfg.FaultSeed
+	clear(h.seq)
+}
+
+// Occupancy is a snapshot of queued packets per queuing layer, with the
+// corresponding slot capacities, for queue-depth tuning studies.
+type Occupancy struct {
+	XbarRqst, XbarRsp   int // packets in crossbar queues (all devices)
+	VaultRqst, VaultRsp int // packets in vault queues (all devices)
+	XbarSlots           int // total crossbar slots per direction
+	VaultSlots          int // total vault slots per direction
+}
+
+// Occupancy returns the current queue census.
+func (h *HMC) Occupancy() Occupancy {
+	var o Occupancy
+	for _, d := range h.devs {
+		for i := range d.Links {
+			o.XbarRqst += d.Links[i].RqstQ.Len()
+			o.XbarRsp += d.Links[i].RspQ.Len()
+			o.XbarSlots += d.Links[i].RqstQ.Depth()
+		}
+		for i := range d.Vaults {
+			o.VaultRqst += d.Vaults[i].RqstQ.Len()
+			o.VaultRsp += d.Vaults[i].RspQ.Len()
+			o.VaultSlots += d.Vaults[i].RqstQ.Depth()
+		}
+	}
+	return o
+}
+
+// Quiescent reports whether every queue in every device is empty: no
+// request or response is in flight anywhere in the simulated network.
+func (h *HMC) Quiescent() bool {
+	for _, d := range h.devs {
+		for i := range d.Links {
+			if d.Links[i].RqstQ.Len() > 0 || d.Links[i].RspQ.Len() > 0 {
+				return false
+			}
+		}
+		for i := range d.Vaults {
+			if d.Vaults[i].RqstQ.Len() > 0 || d.Vaults[i].RspQ.Len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// JTAGRead reads a device register through the side-band JTAG / I2C
+// interface. The access exists outside the simulation clock domains: it
+// does not consume memory bandwidth and completes immediately.
+func (h *HMC) JTAGRead(dev int, phys uint64) (uint64, error) {
+	d := h.Device(dev)
+	if d == nil {
+		return 0, fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	return d.Regs.Read(phys)
+}
+
+// JTAGWrite writes a device register through the side-band JTAG / I2C
+// interface, honoring the register class.
+func (h *HMC) JTAGWrite(dev int, phys uint64, v uint64) error {
+	d := h.Device(dev)
+	if d == nil {
+		return fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	return d.Regs.Write(phys, v)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/reg"
+)
+
+func TestLinkDownBlocksHostTraffic(t *testing.T) {
+	h := newSimple(t, testConfig())
+	// Take link 1 down through the side-band interface.
+	if err := h.JTAGWrite(0, reg.PhysLC0+1, LCLinkDown); err != nil {
+		t.Fatal(err)
+	}
+	words, _ := h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16}, 1)
+	if err := h.Send(0, 1, words); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("Send on downed link = %v, want ErrLinkDown", err)
+	}
+	if _, err := h.Recv(0, 1); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("Recv on downed link = %v, want ErrLinkDown", err)
+	}
+	// Other links unaffected.
+	words, _ = h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16, Tag: 1}, 0)
+	if err := h.Send(0, 0, words); err != nil {
+		t.Errorf("Send on healthy link: %v", err)
+	}
+	// Bring the link back up: traffic resumes.
+	if err := h.JTAGWrite(0, reg.PhysLC0+1, 0); err != nil {
+		t.Fatal(err)
+	}
+	words, _ = h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16, Tag: 2}, 1)
+	if err := h.Send(0, 1, words); err != nil {
+		t.Errorf("Send after link restore: %v", err)
+	}
+}
+
+func TestLinkDownViaModePacket(t *testing.T) {
+	h := newSimple(t, testConfig())
+	// Take link 3 down in-band with a MODE_WRITE on link 0.
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: reg.PhysLC0 + 3, Tag: 1, Cmd: packet.CmdMDWR,
+		Data: []uint64{LCLinkDown, 0},
+	})
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 1 || rsps[0].Cmd != packet.CmdMDWRRS {
+		t.Fatalf("mode write response = %+v", rsps)
+	}
+	words, _ := h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16, Tag: 2}, 3)
+	if err := h.Send(0, 3, words); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("Send after in-band link-down = %v, want ErrLinkDown", err)
+	}
+}
+
+func TestLinkDownStallsPassThrough(t *testing.T) {
+	h := newChain(t, 2)
+	// Take down the pass-through link on device 0 (link 0 connects to
+	// device 1).
+	if err := h.JTAGWrite(0, reg.PhysLC0, LCLinkDown); err != nil {
+		t.Fatal(err)
+	}
+	sendReq(t, h, 0, 1, packet.Request{CUB: 1, Addr: 0x40, Tag: 1, Cmd: packet.CmdRD16})
+	for i := 0; i < 10; i++ {
+		_ = h.Clock()
+	}
+	if rsps := drain(t, h, 0); len(rsps) != 0 {
+		t.Fatalf("traffic crossed a downed pass-through link: %+v", rsps)
+	}
+	if h.Stats().XbarRqstStalls == 0 {
+		t.Error("no stalls recorded while the link was down")
+	}
+	// Restore the link: the held request completes.
+	if err := h.JTAGWrite(0, reg.PhysLC0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for i := 0; i < 10 && got == 0; i++ {
+		_ = h.Clock()
+		got = len(drain(t, h, 0))
+	}
+	if got != 1 {
+		t.Fatalf("request did not complete after link restore: %d responses", got)
+	}
+}

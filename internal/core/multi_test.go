@@ -1,0 +1,377 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/topo"
+)
+
+func cfg8Dev(n int) Config {
+	return Config{
+		NumDevs: n, NumLinks: 8, NumVaults: 32, QueueDepth: 8,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 4, XbarDepth: 16,
+		StoreData: true,
+	}
+}
+
+func TestTorusTrafficCompletes(t *testing.T) {
+	// Drive a 3x3 torus with traffic addressed to every cube and verify
+	// every request completes with no error structures.
+	h, err := New(cfg8Dev(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := topo.Torus(3, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UseTopology(tor); err != nil {
+		t.Fatal(err)
+	}
+	hostLinks := tor.HostLinks(0)
+	if len(hostLinks) == 0 {
+		t.Fatal("no host links on device 0")
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	type key struct{ tag uint16 }
+	outstanding := make(map[key]int) // tag -> dest cube
+	sent, completed := 0, 0
+	const total = 200
+	for completed < total {
+		for sent < total && len(outstanding) < 64 {
+			tag := uint16(sent % 512)
+			if _, busy := outstanding[key{tag}]; busy {
+				break
+			}
+			dest := rng.Intn(9)
+			link := hostLinks[sent%len(hostLinks)]
+			words, err := h.BuildRequestPacket(packet.Request{
+				CUB: uint8(dest), Addr: uint64(rng.Int63()) & (1<<30 - 1) &^ 0xF,
+				Tag: tag, Cmd: packet.CmdRD16,
+			}, link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Send(0, link, words); err != nil {
+				break
+			}
+			outstanding[key{tag}] = dest
+			sent++
+		}
+		if err := h.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		// Responses surface at the host port of the servicing device; in
+		// this torus only device 0 has host ports, so everything returns
+		// there.
+		for _, l := range hostLinks {
+			for {
+				rsp, err := h.RecvPacket(0, l)
+				if errors.Is(err, ErrStall) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				dest, ok := outstanding[key{rsp.Tag}]
+				if !ok {
+					t.Fatalf("unknown tag %d", rsp.Tag)
+				}
+				if rsp.Cmd != packet.CmdRDRS {
+					t.Fatalf("response %v for cube %d", rsp.Cmd, dest)
+				}
+				if int(rsp.CUB) != dest {
+					t.Fatalf("response CUB %d, want %d", rsp.CUB, dest)
+				}
+				delete(outstanding, key{rsp.Tag})
+				completed++
+			}
+		}
+		if h.Clk() > 10000 {
+			t.Fatalf("stuck: %d/%d after %d cycles", completed, total, h.Clk())
+		}
+	}
+}
+
+func TestMultipleObjectsAreIndependent(t *testing.T) {
+	// An application may contain more than one HMC-Sim object to simulate
+	// characteristics such as non-uniform memory access; objects must not
+	// share any state.
+	a := newSimple(t, testConfig())
+	b := newSimple(t, testConfig())
+
+	sendReq(t, a, 0, 0, packet.Request{
+		CUB: 0, Addr: 0x1000, Tag: 1, Cmd: packet.CmdWR16, Data: []uint64{0xA, 0},
+	})
+	for i := 0; i < 3; i++ {
+		_ = a.Clock()
+	}
+	if a.Clk() != 3 || b.Clk() != 0 {
+		t.Errorf("clock domains coupled: a=%d b=%d", a.Clk(), b.Clk())
+	}
+	if got := a.Stats().Writes; got != 1 {
+		t.Errorf("a writes = %d", got)
+	}
+	if got := b.Stats().Writes; got != 0 {
+		t.Errorf("b writes = %d (leaked)", got)
+	}
+	// The write landed only in object a's banks.
+	dec := a.Device(0).Map.Decode(0x1000)
+	if a.Device(0).Bank(dec.Vault, dec.Bank).Stored() != 1 {
+		t.Error("data missing from object a")
+	}
+	if b.Device(0).Bank(dec.Vault, dec.Bank).Stored() != 0 {
+		t.Error("data leaked into object b")
+	}
+}
+
+func TestSequenceNumbersAdvancePerLink(t *testing.T) {
+	h := newSimple(t, testConfig())
+	var seqs []uint8
+	for i := 0; i < 10; i++ {
+		words, err := h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16, Tag: uint16(i)}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := packet.FromWords(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, p.Seq())
+	}
+	for i, s := range seqs {
+		if s != uint8(i%8) {
+			t.Fatalf("seq[%d] = %d, want %d (3-bit rolling counter)", i, s, i%8)
+		}
+	}
+	// A different link keeps its own counter.
+	words, _ := h.BuildRequestPacket(packet.Request{CUB: 0, Cmd: packet.CmdRD16}, 3)
+	p, _ := packet.FromWords(words)
+	if p.Seq() != 0 {
+		t.Errorf("link 3 first seq = %d, want 0", p.Seq())
+	}
+}
+
+func TestConservationUnderRandomTraffic(t *testing.T) {
+	// Conservation invariant: at every cycle, sent = completed + posted
+	// retired + packets in flight. Checked against the queue census.
+	h := newSimple(t, testConfig())
+	rng := rand.New(rand.NewSource(3))
+	sent, completed := uint64(0), uint64(0)
+	for cycle := 0; cycle < 300; cycle++ {
+		for i := 0; i < rng.Intn(20); i++ {
+			cmd := packet.CmdRD16
+			var data []uint64
+			if rng.Intn(2) == 0 {
+				cmd = packet.CmdPWR16
+				data = []uint64{1, 2}
+			}
+			words, err := h.BuildRequestPacket(packet.Request{
+				CUB: 0, Addr: uint64(rng.Int63()) & (1<<30 - 1) &^ 0xF,
+				Tag: uint16(rng.Intn(512)), Cmd: cmd, Data: data,
+			}, rng.Intn(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Send(0, rng.Intn(4), words); err != nil {
+				continue
+			}
+			sent++
+		}
+		_ = h.Clock()
+		for l := 0; l < 4; l++ {
+			for {
+				if _, err := h.Recv(0, l); err != nil {
+					break
+				}
+				completed++
+			}
+		}
+		inFlight := censusPackets(h)
+		retired := h.Stats().Posted
+		if sent != completed+retired+inFlight {
+			t.Fatalf("cycle %d: sent %d != completed %d + posted %d + in-flight %d",
+				cycle, sent, completed, retired, inFlight)
+		}
+	}
+}
+
+// censusPackets counts every valid packet in every queue of every device.
+func censusPackets(h *HMC) uint64 {
+	var n uint64
+	for cube := 0; cube < h.Config().NumDevs; cube++ {
+		d := h.Device(cube)
+		for i := range d.Links {
+			n += uint64(d.Links[i].RqstQ.Len() + d.Links[i].RspQ.Len())
+		}
+		for i := range d.Vaults {
+			n += uint64(d.Vaults[i].RqstQ.Len() + d.Vaults[i].RspQ.Len())
+		}
+	}
+	return n
+}
+
+func TestQuiescent(t *testing.T) {
+	h := newSimple(t, testConfig())
+	_ = h.Clock()
+	if !h.Quiescent() {
+		t.Error("idle device not quiescent")
+	}
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Cmd: packet.CmdRD16})
+	if h.Quiescent() {
+		t.Error("device with queued request reported quiescent")
+	}
+	_ = h.Clock()
+	// Response still waiting in the crossbar response queue.
+	if h.Quiescent() {
+		t.Error("device with waiting response reported quiescent")
+	}
+	drain(t, h, 0)
+	if !h.Quiescent() {
+		t.Error("drained device not quiescent")
+	}
+}
+
+func TestPostedAtomicsEndToEnd(t *testing.T) {
+	h := newSimple(t, testConfig())
+	addr := uint64(0x9000)
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: addr, Tag: 1, Cmd: packet.CmdWR16, Data: []uint64{10, 20},
+	})
+	_ = h.Clock()
+	drain(t, h, 0)
+	// Posted dual-8-byte add: no response.
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: addr, Tag: 2, Cmd: packet.CmdP2ADD8, Data: []uint64{1, 2},
+	})
+	_ = h.Clock()
+	if rsps := drain(t, h, 0); len(rsps) != 0 {
+		t.Fatalf("posted atomic produced %d responses", len(rsps))
+	}
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addr, Tag: 3, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 1 {
+		t.Fatal("no read response")
+	}
+	if rsps[0].Data[0] != 11 || rsps[0].Data[1] != 22 {
+		t.Errorf("after P_2ADD8: %v, want [11 22]", rsps[0].Data)
+	}
+}
+
+func TestBWREndToEnd(t *testing.T) {
+	h := newSimple(t, testConfig())
+	addr := uint64(0xA000)
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: addr, Tag: 1, Cmd: packet.CmdWR16,
+		Data: []uint64{0xFFFF0000FFFF0000, 5},
+	})
+	_ = h.Clock()
+	drain(t, h, 0)
+	// BWR: data then mask.
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: addr, Tag: 2, Cmd: packet.CmdBWR,
+		Data: []uint64{0x0000AAAA0000AAAA, 0x0000FFFF0000FFFF},
+	})
+	_ = h.Clock()
+	rsps := drain(t, h, 0)
+	if len(rsps) != 1 || rsps[0].Cmd != packet.CmdWRRS {
+		t.Fatalf("BWR response = %+v", rsps)
+	}
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addr, Tag: 3, Cmd: packet.CmdRD16})
+	_ = h.Clock()
+	rsps = drain(t, h, 0)
+	if rsps[0].Data[0] != 0xFFFFAAAAFFFFAAAA {
+		t.Errorf("after BWR: %#x", rsps[0].Data[0])
+	}
+	if rsps[0].Data[1] != 5 {
+		t.Errorf("BWR touched the high word: %#x", rsps[0].Data[1])
+	}
+}
+
+func TestOccupancyCensus(t *testing.T) {
+	h := newSimple(t, testConfig())
+	o := h.Occupancy()
+	if o.XbarRqst != 0 || o.VaultRqst != 0 {
+		t.Errorf("fresh object occupancy %+v", o)
+	}
+	if o.XbarSlots != 4*16 || o.VaultSlots != 16*8 {
+		t.Errorf("capacities %+v", o)
+	}
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Cmd: packet.CmdRD16})
+	if got := h.Occupancy().XbarRqst; got != 1 {
+		t.Errorf("xbar occupancy after send = %d", got)
+	}
+	_ = h.Clock()
+	if got := h.Occupancy().XbarRsp; got != 1 {
+		t.Errorf("xbar rsp occupancy after clock = %d", got)
+	}
+}
+
+func TestColumnFetchAccounting(t *testing.T) {
+	// "Read or write requests to a target bank are always performed in
+	// 32-bytes for each column fetch": RD16 costs one fetch, RD64 two,
+	// WR128 four.
+	h := newSimple(t, testConfig())
+	cases := []struct {
+		cmd  packet.Command
+		want uint64
+	}{
+		{packet.CmdRD16, 1},
+		{packet.CmdRD64, 2},
+		{packet.CmdWR128, 4},
+		{packet.CmdADD16, 1},
+	}
+	var total uint64
+	for i, c := range cases {
+		sendReq(t, h, 0, 0, packet.Request{
+			CUB: 0, Addr: uint64(i) * 256, Tag: uint16(i), Cmd: c.cmd,
+			Data: make([]uint64, c.cmd.DataBytes()/8),
+		})
+		_ = h.Clock()
+		drain(t, h, 0)
+		total += c.want
+		if got := h.Stats().ColumnFetches; got != total {
+			t.Errorf("%v: column fetches = %d, want %d", c.cmd, got, total)
+		}
+	}
+}
+
+func TestStateDigest(t *testing.T) {
+	run := func(n int) uint64 {
+		h := newSimple(t, testConfig())
+		for i := 0; i < n; i++ {
+			sendReq(t, h, 0, i%4, packet.Request{
+				CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+			})
+		}
+		for i := 0; i < 3; i++ {
+			_ = h.Clock()
+		}
+		drain(t, h, 0)
+		return h.StateDigest()
+	}
+	// Identical runs produce identical digests.
+	if run(20) != run(20) {
+		t.Error("deterministic runs produced different digests")
+	}
+	// Different runs diverge.
+	if run(20) == run(21) {
+		t.Error("different runs collided")
+	}
+	// The digest tracks state, not just inputs: mutating a register
+	// changes it.
+	h := newSimple(t, testConfig())
+	_ = h.Clock()
+	before := h.StateDigest()
+	if err := h.JTAGWrite(0, 0x280000, 0x1234); err != nil { // GC register
+		t.Fatal(err)
+	}
+	if h.StateDigest() == before {
+		t.Error("register write did not change the digest")
+	}
+}

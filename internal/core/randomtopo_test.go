@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hmcsim/internal/packet"
+	"hmcsim/internal/topo"
+)
+
+// TestPropertyArbitraryTopologiesAlwaysRespond is the "topologically
+// agnostic" guarantee as a property test: for randomly wired topologies —
+// including unreachable devices and dangling links — every request
+// injected at a host port eventually yields exactly one response, either
+// a normal completion or an error structure. The simulation never wedges
+// and never drops a non-posted request.
+func TestPropertyArbitraryTopologiesAlwaysRespond(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numDevs := 1 + rng.Intn(5)
+		tp, err := topo.New(numDevs, 4, numDevs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random wiring: every (device, link) endpoint gets a host link, a
+		// pass-through partner, or nothing.
+		type ep struct{ dev, link int }
+		var free []ep
+		for d := 0; d < numDevs; d++ {
+			for l := 0; l < 4; l++ {
+				free = append(free, ep{d, l})
+			}
+		}
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		used := make(map[ep]bool)
+		for i, e := range free {
+			if used[e] {
+				continue
+			}
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // host link
+				if err := tp.ConnectHost(e.dev, e.link); err != nil {
+					t.Fatal(err)
+				}
+				used[e] = true
+			case 4, 5, 6: // pass-through to a later free endpoint
+				for _, p := range free[i+1:] {
+					if used[p] || p.dev == e.dev {
+						continue
+					}
+					if err := tp.ConnectDevices(e.dev, e.link, p.dev, p.link); err != nil {
+						t.Fatal(err)
+					}
+					used[e], used[p] = true, true
+					break
+				}
+			default: // unconnected
+			}
+		}
+		if len(tp.Roots()) == 0 {
+			if err := tp.ConnectHost(0, firstFreeLink(tp, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cfg := testConfig()
+		cfg.NumDevs = numDevs
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.UseTopology(tp); err != nil {
+			t.Fatal(err)
+		}
+
+		root := tp.Roots()[0]
+		rootLinks := tp.HostLinks(root)
+		const n = 60
+		sent := 0
+		outstanding := map[uint16]bool{}
+		completed := 0
+		for completed < n {
+			for sent < n {
+				tag := uint16(sent)
+				link := rootLinks[sent%len(rootLinks)]
+				// Random destination, sometimes beyond the device space.
+				dest := rng.Intn(numDevs + 2)
+				words, err := h.BuildRequestPacket(packet.Request{
+					CUB: uint8(dest), Addr: uint64(rng.Int63()) & (1<<30 - 1) &^ 0xF,
+					Tag: tag, Cmd: packet.CmdRD16,
+				}, link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Send(root, link, words); err != nil {
+					break
+				}
+				outstanding[tag] = true
+				sent++
+			}
+			if err := h.Clock(); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range tp.Roots() {
+				for _, l := range tp.HostLinks(r) {
+					for {
+						rsp, err := h.RecvPacket(r, l)
+						if err != nil {
+							break
+						}
+						if !outstanding[rsp.Tag] {
+							t.Fatalf("seed %d: duplicate or unknown response tag %d", seed, rsp.Tag)
+						}
+						delete(outstanding, rsp.Tag)
+						completed++
+					}
+				}
+			}
+			if h.Clk() > 5000 {
+				t.Fatalf("seed %d: wedged with %d outstanding (%d devs, roots %v)",
+					seed, len(outstanding), numDevs, tp.Roots())
+			}
+		}
+		if len(outstanding) != 0 {
+			t.Fatalf("seed %d: %d requests unanswered", seed, len(outstanding))
+		}
+	}
+}
+
+func firstFreeLink(tp *topo.Topology, dev int) int {
+	for l := 0; l < tp.NumLinks(); l++ {
+		if tp.Peer(dev, l).Cube == topo.Unconnected {
+			return l
+		}
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/ddrsim"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/workload"
+)
+
+// HMCBackend adapts an HMC simulation object as a Core memory. Loads are
+// RD16 requests, stores are posted P_WR16 requests; requests round-robin
+// across the device's host links with per-link tag pools. Request IDs
+// encode (link, tag).
+type HMCBackend struct {
+	h         *core.HMC
+	dev       int
+	hostLinks []int
+	next      int
+	freeTags  [][]uint16
+	data      [2]uint64
+}
+
+// NewHMCBackend wraps h, injecting on device dev's host links.
+func NewHMCBackend(h *core.HMC, dev int) (*HMCBackend, error) {
+	links := h.Topology().HostLinks(dev)
+	if len(links) == 0 {
+		return nil, fmt.Errorf("cpu: device %d has no host links", dev)
+	}
+	b := &HMCBackend{h: h, dev: dev, hostLinks: links}
+	b.freeTags = make([][]uint16, h.Config().NumLinks)
+	for _, l := range links {
+		for tag := packet.MaxTag; tag >= 0; tag-- {
+			b.freeTags[l] = append(b.freeTags[l], uint16(tag))
+		}
+	}
+	return b, nil
+}
+
+func backendID(link int, tag uint16) uint64 { return uint64(link)<<16 | uint64(tag) }
+
+// Issue implements Memory.
+func (b *HMCBackend) Issue(a workload.Access) (uint64, bool) {
+	link := b.hostLinks[b.next%len(b.hostLinks)]
+	b.next++
+	ft := b.freeTags[link]
+	if len(ft) == 0 {
+		return 0, false
+	}
+	tag := ft[len(ft)-1]
+
+	req := packet.Request{CUB: uint8(b.dev), Addr: a.Addr &^ 0xF, Tag: tag}
+	if a.Write {
+		req.Cmd = packet.CmdPWR16
+		b.data[0], b.data[1] = a.Addr, 0
+		req.Data = b.data[:]
+	} else {
+		req.Cmd = packet.CmdRD16
+	}
+	words, err := b.h.BuildRequestPacket(req, link)
+	if err != nil {
+		return 0, false
+	}
+	if err := b.h.Send(b.dev, link, words); err != nil {
+		return 0, false
+	}
+	if !a.Write {
+		// Loads hold their tag until the response returns.
+		b.freeTags[link] = ft[:len(ft)-1]
+	}
+	return backendID(link, tag), true
+}
+
+// Tick implements Memory.
+func (b *HMCBackend) Tick() ([]uint64, error) {
+	if err := b.h.Clock(); err != nil {
+		return nil, err
+	}
+	var done []uint64
+	for _, link := range b.hostLinks {
+		for {
+			rsp, err := b.h.RecvPacket(b.dev, link)
+			if errors.Is(err, core.ErrStall) {
+				break
+			}
+			if err != nil {
+				return done, err
+			}
+			src := int(rsp.SLID)
+			b.freeTags[src] = append(b.freeTags[src], rsp.Tag)
+			done = append(done, backendID(src, rsp.Tag))
+		}
+	}
+	return done, nil
+}
+
+// OutstandingLimit implements Memory.
+func (b *HMCBackend) OutstandingLimit() int {
+	return len(b.hostLinks) * (packet.MaxTag + 1)
+}
+
+// DDRBackend adapts the banked-DDR baseline as a Core memory. Stores are
+// modelled as posted (they complete silently); loads complete when the
+// controller's data burst finishes.
+type DDRBackend struct {
+	d       *ddrsim.DDR
+	nextTag uint64
+	// loads tracks which in-flight tags are loads (stores complete
+	// silently toward the core).
+	loads map[uint64]bool
+}
+
+// NewDDRBackend wraps a DDR subsystem.
+func NewDDRBackend(cfg ddrsim.Config) (*DDRBackend, error) {
+	d, err := ddrsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DDRBackend{d: d, loads: make(map[uint64]bool)}, nil
+}
+
+// Issue implements Memory.
+func (b *DDRBackend) Issue(a workload.Access) (uint64, bool) {
+	tag := b.nextTag
+	if err := b.d.Enqueue(ddrsim.Request{Addr: a.Addr, Write: a.Write, Tag: tag}); err != nil {
+		return 0, false
+	}
+	b.nextTag++
+	if !a.Write {
+		b.loads[tag] = true
+	}
+	return tag, true
+}
+
+// Tick implements Memory.
+func (b *DDRBackend) Tick() ([]uint64, error) {
+	var done []uint64
+	for _, c := range b.d.Clock() {
+		if b.loads[c.Tag] {
+			delete(b.loads, c.Tag)
+			done = append(done, c.Tag)
+		}
+	}
+	return done, nil
+}
+
+// OutstandingLimit implements Memory.
+func (b *DDRBackend) OutstandingLimit() int { return 1 << 30 }

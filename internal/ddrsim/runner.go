@@ -1,0 +1,77 @@
+package ddrsim
+
+import (
+	"fmt"
+
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+// Result summarizes a workload run against the DDR baseline, mirroring
+// the fields of host.Result so the two memory models can be compared
+// directly.
+type Result struct {
+	Cycles  uint64
+	Sent    uint64
+	Stats   Stats
+	Latency stats.Histogram
+}
+
+// Throughput returns requests per cycle.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Sent) / float64(r.Cycles)
+}
+
+// Run drives n accesses from gen through a DDR subsystem with the same
+// inject-until-stall discipline the HMC host driver uses, and returns the
+// simulated runtime in controller cycles.
+func Run(cfg Config, gen workload.Generator, n uint64) (Result, error) {
+	d, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	issue := make(map[uint64]uint64, cfg.Channels*cfg.QueueDepth)
+	nextTag := uint64(0)
+	var queued *workload.Access
+	outstanding := 0
+	maxCycles := 1000*n + 100000
+
+	for res.Sent < n || outstanding > 0 {
+		// Inject until the controller stalls.
+		for res.Sent < n {
+			a := queued
+			if a == nil {
+				next := gen.Next()
+				a = &next
+			}
+			queued = a
+			err := d.Enqueue(Request{Addr: a.Addr, Write: a.Write, Tag: nextTag})
+			if err == ErrFull {
+				break
+			}
+			if err != nil {
+				return res, err
+			}
+			issue[nextTag] = d.Clk()
+			nextTag++
+			outstanding++
+			res.Sent++
+			queued = nil
+		}
+		for _, c := range d.Clock() {
+			res.Latency.Observe(c.Finish - issue[c.Tag])
+			delete(issue, c.Tag)
+			outstanding--
+		}
+		if d.Clk() > maxCycles {
+			return res, fmt.Errorf("ddrsim: run exceeded %d cycles with %d outstanding", maxCycles, outstanding)
+		}
+	}
+	res.Cycles = d.Clk()
+	res.Stats = d.Stats()
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package device
+
+// Bank is the software representation of a physical memory bank. Each
+// bank is physically nested within its respective vault such that I/O
+// operations never occur outside the owning vault's queue structures.
+//
+// The vault controller addresses bank storage in 16-byte blocks (two
+// 64-bit words). Functional data storage is sparse: blocks materialize on
+// first write, so a simulated multi-gigabyte device costs memory
+// proportional only to its touched footprint. With storage disabled the
+// bank serves deterministic pseudo-data, preserving request/response
+// behaviour for performance studies.
+type Bank struct {
+	ID    int // bank index within the vault
+	Vault int // owning vault index
+
+	store bool
+	data  map[uint64][2]uint64 // 16-byte blocks keyed by in-bank block index
+}
+
+// blockWords is the number of 64-bit words per bank storage block.
+const blockWords = 2
+
+// Reset drops all stored data.
+func (b *Bank) Reset() { b.data = nil }
+
+// Stored returns the number of materialized 16-byte blocks.
+func (b *Bank) Stored() int { return len(b.data) }
+
+// pseudo returns the deterministic fill pattern for word w of block blk
+// when functional storage is disabled or the block was never written. The
+// generator is a splitmix64 finalizer over the block coordinates, so every
+// block reads a unique, reproducible pattern.
+func (b *Bank) pseudo(blk uint64, w int) uint64 {
+	x := blk*2 + uint64(w) + uint64(b.Vault)<<48 + uint64(b.ID)<<40
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Read fills words with the contents of consecutive 16-byte blocks
+// starting at block index blk. len(words) must be a multiple of
+// blockWords.
+func (b *Bank) Read(blk uint64, words []uint64) {
+	for i := 0; i < len(words); i += blockWords {
+		cur := blk + uint64(i/blockWords)
+		if blkData, ok := b.data[cur]; ok {
+			words[i] = blkData[0]
+			words[i+1] = blkData[1]
+			continue
+		}
+		words[i] = b.pseudo(cur, 0)
+		words[i+1] = b.pseudo(cur, 1)
+	}
+}
+
+// Write stores words into consecutive 16-byte blocks starting at block
+// index blk. len(words) must be a multiple of blockWords. Writes are
+// dropped when functional storage is disabled.
+func (b *Bank) Write(blk uint64, words []uint64) {
+	if !b.store {
+		return
+	}
+	if b.data == nil {
+		b.data = make(map[uint64][2]uint64)
+	}
+	for i := 0; i < len(words); i += blockWords {
+		b.data[blk+uint64(i/blockWords)] = [2]uint64{words[i], words[i+1]}
+	}
+}
+
+// Add16 performs the single 16-byte add-immediate atomic: the 128-bit
+// little-endian value at block blk is incremented by the 128-bit operand
+// (two 64-bit words, low word first) with carry propagation. It returns
+// the original value.
+func (b *Bank) Add16(blk uint64, operand [2]uint64) (old [2]uint64) {
+	var cur [2]uint64
+	buf := cur[:]
+	b.Read(blk, buf)
+	old = cur
+	lo := cur[0] + operand[0]
+	carry := uint64(0)
+	if lo < cur[0] {
+		carry = 1
+	}
+	hi := cur[1] + operand[1] + carry
+	b.Write(blk, []uint64{lo, hi})
+	return old
+}
+
+// Add8Dual performs the dual 8-byte add-immediate atomic: each 64-bit
+// half of the block at blk is incremented independently by the matching
+// operand half. It returns the original value.
+func (b *Bank) Add8Dual(blk uint64, operand [2]uint64) (old [2]uint64) {
+	var cur [2]uint64
+	b.Read(blk, cur[:])
+	old = cur
+	b.Write(blk, []uint64{cur[0] + operand[0], cur[1] + operand[1]})
+	return old
+}
+
+// BitWrite performs the bit-write atomic: within the block at blk, the
+// low 64-bit word is updated to (old &^ mask) | (data & mask); the high
+// word is untouched. It returns the original value.
+func (b *Bank) BitWrite(blk uint64, data, mask uint64) (old [2]uint64) {
+	var cur [2]uint64
+	b.Read(blk, cur[:])
+	old = cur
+	b.Write(blk, []uint64{cur[0]&^mask | data&mask, cur[1]})
+	return old
+}

@@ -1,0 +1,9 @@
+package device
+
+import "unsafe"
+
+// Helpers for the single-block-allocation test.
+
+func ptr(b *Bank) unsafe.Pointer { return unsafe.Pointer(b) }
+
+func bankSize() uintptr { return unsafe.Sizeof(Bank{}) }

@@ -1,0 +1,325 @@
+// Package host implements the host-processor side of the simulation: a
+// driver that reproduces the behaviour of the paper's random access test
+// application (and, by extension, a minimal Goblin-Core64-style memory
+// front end). The driver sends as many memory requests as possible to the
+// target devices each cycle until an appropriate stall is received
+// indicating that the crossbar arbitration queues are full, selecting
+// links with a configurable policy (simple round-robin by default), and
+// drains response packets every cycle, correlating them to outstanding
+// requests by (link, tag).
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/packet"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+// Options configures a Driver.
+type Options struct {
+	// Dev is the root device whose host links carry the traffic.
+	Dev int
+	// Select chooses the injection link per access; nil selects simple
+	// round-robin across the device's host links.
+	Select workload.LinkSelector
+	// DestCube maps an access to a destination cube ID; nil sends
+	// everything to Dev (the directly attached device).
+	DestCube func(workload.Access) int
+	// Posted issues writes as posted requests (no responses).
+	Posted bool
+	// MaxCycles aborts the run when the clock passes this bound; zero
+	// selects a generous default proportional to the request count.
+	MaxCycles uint64
+	// FillData, when set, supplies the write payload for an access;
+	// nil writes a cheap deterministic address-derived pattern.
+	FillData func(a workload.Access, buf []uint64)
+	// SampleOccupancy records per-cycle queue occupancy histograms in the
+	// result, for queue-depth tuning studies.
+	SampleOccupancy bool
+	// Warmup excludes the first Warmup injected requests from the
+	// measured cycles, latency distribution and engine counters — the
+	// standard simulator methodology of discarding the cold-start
+	// transient. The warm-up requests still execute and still count in
+	// Sent.
+	Warmup uint64
+}
+
+// Result summarizes one driver run.
+type Result struct {
+	// Cycles is the simulated runtime in clock cycles: the number of
+	// clock cycles the simulator required to complete all requests.
+	Cycles uint64
+	// Sent is the number of requests injected.
+	Sent uint64
+	// Completed is the number of responses received and correlated.
+	Completed uint64
+	// Errors is the number of error response packets received.
+	Errors uint64
+	// Latency is the distribution of request round-trip latencies in
+	// cycles, measured from Send to Recv for non-posted requests.
+	Latency stats.Histogram
+	// VaultOccupancy and XbarOccupancy are per-cycle queue censuses
+	// (request direction), recorded when Options.SampleOccupancy is set.
+	VaultOccupancy stats.Histogram
+	XbarOccupancy  stats.Histogram
+	// Engine is the simulator's own counter snapshot at completion.
+	Engine core.Stats
+}
+
+// Throughput returns completed requests per cycle.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Sent) / float64(r.Cycles)
+}
+
+// Driver drives one HMC object from the host side.
+type Driver struct {
+	h    *core.HMC
+	opts Options
+
+	hostLinks []int
+	// drainPorts lists every (device, link) host port in the topology:
+	// in multi-root topologies a response exits at the host port nearest
+	// the servicing device, which need not be the injection device.
+	drainPorts [][2]int
+	// pending[link][tag] records the issue cycle; a tag is free when its
+	// entry is negative. Responses are correlated by their preserved
+	// source link ID (the injection link), not the port they surfaced on.
+	pending [][]int64
+	// freeTags[link] is a stack of unallocated tags.
+	freeTags [][]uint16
+
+	queued  *workload.Access // access awaiting a free slot after a stall
+	dataBuf [16]uint64
+}
+
+// NewDriver prepares a driver for h. The topology must already be wired;
+// the device must expose at least one host link.
+func NewDriver(h *core.HMC, opts Options) (*Driver, error) {
+	d := &Driver{h: h, opts: opts}
+	t := h.Topology()
+	d.hostLinks = t.HostLinks(opts.Dev)
+	if len(d.hostLinks) == 0 {
+		return nil, fmt.Errorf("host: device %d has no host links", opts.Dev)
+	}
+	for _, root := range t.Roots() {
+		for _, l := range t.HostLinks(root) {
+			d.drainPorts = append(d.drainPorts, [2]int{root, l})
+		}
+	}
+	if d.opts.Select == nil {
+		d.opts.Select = &workload.RoundRobin{NumLinks: len(d.hostLinks)}
+	}
+	nl := h.Config().NumLinks
+	d.pending = make([][]int64, nl)
+	d.freeTags = make([][]uint16, nl)
+	for _, l := range d.hostLinks {
+		d.pending[l] = make([]int64, packet.MaxTag+1)
+		for i := range d.pending[l] {
+			d.pending[l][i] = -1
+		}
+		d.freeTags[l] = make([]uint16, 0, packet.MaxTag+1)
+		for tag := packet.MaxTag; tag >= 0; tag-- {
+			d.freeTags[l] = append(d.freeTags[l], uint16(tag))
+		}
+	}
+	return d, nil
+}
+
+// Run injects n accesses from gen and clocks the simulation until every
+// request has been serviced and every non-posted request's response has
+// been received.
+func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
+	var res Result
+	maxCycles := d.opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1000*n + 100000
+	}
+
+	outstanding := uint64(0)
+	warmedUp := d.opts.Warmup == 0
+	var baseCycles uint64
+	var baseStats core.Stats
+	for {
+		// Drain every candidate response first so tags recycle.
+		got, errs, err := d.drain(&res.Latency)
+		if err != nil {
+			return res, err
+		}
+		res.Completed += got
+		res.Errors += errs
+		outstanding -= got
+
+		// Inject until a stall or tag exhaustion.
+		injected, done, err := d.inject(gen, n, &res)
+		if err != nil {
+			return res, err
+		}
+		outstanding += injected
+
+		if !warmedUp && res.Sent >= d.opts.Warmup {
+			// Open the measurement window: forget the transient.
+			warmedUp = true
+			baseCycles = d.h.Clk()
+			baseStats = d.h.Stats()
+			res.Latency = stats.Histogram{}
+			res.VaultOccupancy = stats.Histogram{}
+			res.XbarOccupancy = stats.Histogram{}
+		}
+
+		if done && outstanding == 0 && d.h.Quiescent() {
+			break
+		}
+		if err := d.h.Clock(); err != nil {
+			return res, err
+		}
+		if d.opts.SampleOccupancy {
+			o := d.h.Occupancy()
+			res.VaultOccupancy.Observe(uint64(o.VaultRqst))
+			res.XbarOccupancy.Observe(uint64(o.XbarRqst))
+		}
+		if d.h.Clk() > maxCycles {
+			return res, fmt.Errorf("host: run exceeded %d cycles with %d outstanding (%d/%d sent)",
+				maxCycles, outstanding, res.Sent, n)
+		}
+	}
+	res.Cycles = d.h.Clk() - baseCycles
+	res.Engine = d.h.Stats().Sub(baseStats)
+	return res, nil
+}
+
+// inject sends accesses until n have been sent, a queue stalls, or tags
+// run out. It reports the number of newly outstanding (non-posted)
+// requests and whether all n accesses have been injected.
+func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, bool, error) {
+	var outstanding uint64
+	for res.Sent < n {
+		a := d.queued
+		if a == nil {
+			next := gen.Next()
+			a = &next
+		}
+		d.queued = a
+
+		li := d.opts.Select.Select(*a) % len(d.hostLinks)
+		link := d.hostLinks[li]
+		if len(d.freeTags[link]) == 0 {
+			// No tag available on this link; other links may still have
+			// capacity, but a blocked stream must preserve order — stop
+			// injecting for this cycle.
+			return outstanding, false, nil
+		}
+		tag := d.takeTag(link)
+		posted := d.opts.Posted && a.Write
+
+		cube := d.opts.Dev
+		if d.opts.DestCube != nil {
+			cube = d.opts.DestCube(*a)
+		}
+
+		var cmd packet.Command
+		var data []uint64
+		var err error
+		if a.Write {
+			cmd, err = packet.WriteForSize(a.Size, posted)
+			if err == nil {
+				data = d.dataBuf[:a.Size/8]
+				if d.opts.FillData != nil {
+					d.opts.FillData(*a, data)
+				} else {
+					for i := range data {
+						data[i] = a.Addr + uint64(i)
+					}
+				}
+			}
+		} else {
+			cmd, err = packet.ReadForSize(a.Size)
+		}
+		if err != nil {
+			d.putTag(link, tag)
+			return outstanding, false, err
+		}
+
+		words, err := d.h.BuildRequestPacket(packet.Request{
+			CUB: uint8(cube), Addr: a.Addr, Tag: tag, Cmd: cmd, Data: data,
+		}, link)
+		if err != nil {
+			d.putTag(link, tag)
+			return outstanding, false, err
+		}
+		err = d.h.Send(d.opts.Dev, link, words)
+		if errors.Is(err, core.ErrStall) {
+			d.putTag(link, tag)
+			return outstanding, false, nil
+		}
+		if err != nil {
+			d.putTag(link, tag)
+			return outstanding, false, err
+		}
+		res.Sent++
+		d.queued = nil
+		if posted {
+			d.putTag(link, tag)
+		} else {
+			d.pending[link][tag] = int64(d.h.Clk())
+			outstanding++
+		}
+	}
+	return outstanding, true, nil
+}
+
+// drain receives every waiting response on every host link, recording
+// latencies and counting error responses.
+func (d *Driver) drain(lat *stats.Histogram) (completed, errs uint64, err error) {
+	for _, port := range d.drainPorts {
+		for {
+			rsp, rerr := d.h.RecvPacket(port[0], port[1])
+			if errors.Is(rerr, core.ErrStall) {
+				break
+			}
+			if rerr != nil {
+				return completed, errs, rerr
+			}
+			// The source link ID identifies the injection link regardless
+			// of which host port the response surfaced on.
+			link := int(rsp.SLID)
+			if link >= len(d.pending) || d.pending[link] == nil {
+				return completed, errs, fmt.Errorf("host: response with unknown source link %d", link)
+			}
+			issue := d.pending[link][rsp.Tag]
+			if issue < 0 {
+				return completed, errs, fmt.Errorf("host: response on link %d with unknown tag %d", link, rsp.Tag)
+			}
+			lat.Observe(d.h.Clk() - uint64(issue))
+			d.putTag(link, rsp.Tag)
+			completed++
+			if rsp.Cmd == packet.CmdError {
+				errs++
+			}
+		}
+	}
+	return completed, errs, nil
+}
+
+// takeTag allocates a free tag on a link. The caller must have checked
+// len(d.freeTags[link]) > 0.
+func (d *Driver) takeTag(link int) uint16 {
+	ft := d.freeTags[link]
+	tag := ft[len(ft)-1]
+	d.freeTags[link] = ft[:len(ft)-1]
+	d.pending[link][tag] = int64(d.h.Clk()) // provisional; overwritten on success
+	return tag
+}
+
+func (d *Driver) putTag(link int, tag uint16) {
+	if d.pending[link][tag] >= 0 {
+		d.pending[link][tag] = -1
+		d.freeTags[link] = append(d.freeTags[link], tag)
+	}
+}

@@ -1,0 +1,176 @@
+// Package numa drives several independent HMC simulation objects as the
+// channels of one host, reproducing the paper's multi-object usage: the
+// rudimentary clock domains "promote the ability to connect multiple
+// HMC-Sim devices or objects to a single host and operate them completely
+// independently — analogous to the current system-on-chip methodology of
+// utilizing multiple memory channels per socket", and an application "may
+// contain more than one HMC-Sim object in order to simulate architectural
+// characteristics such as non-uniform memory access".
+//
+// Because the objects share no state, the package runs each channel's
+// driver in its own goroutine: the simulation parallelizes across host
+// cores exactly as the architecture parallelizes across channels.
+package numa
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/host"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+// Config describes a multi-channel memory system.
+type Config struct {
+	// Channels is the number of independent HMC objects.
+	Channels int
+	// Object is the per-channel device configuration.
+	Object core.Config
+	// InterleaveBytes is the channel interleave granularity for Shard
+	// (a power of two; zero selects 64).
+	InterleaveBytes uint64
+}
+
+// Validate checks cfg.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("numa: channel count %d < 1", c.Channels)
+	}
+	if bits.OnesCount(uint(c.Channels)) != 1 {
+		return fmt.Errorf("numa: channel count %d not a power of two", c.Channels)
+	}
+	if iv := c.interleave(); iv&(iv-1) != 0 || iv < 16 {
+		return fmt.Errorf("numa: interleave %d not a power of two >= 16", iv)
+	}
+	return c.Object.Validate()
+}
+
+func (c Config) interleave() uint64 {
+	if c.InterleaveBytes == 0 {
+		return 64
+	}
+	return c.InterleaveBytes
+}
+
+// System is a set of independent HMC objects attached to one host.
+type System struct {
+	cfg   Config
+	chans []*core.HMC
+}
+
+// New builds the system: Channels identical HMC objects, each with every
+// link of every device wired to the host.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		h, err := core.New(cfg.Object)
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < cfg.Object.NumDevs; d++ {
+			for l := 0; l < cfg.Object.NumLinks; l++ {
+				if err := h.ConnectHost(d, l); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s.chans = append(s.chans, h)
+	}
+	return s, nil
+}
+
+// Channels returns the channel count.
+func (s *System) Channels() int { return s.cfg.Channels }
+
+// Channel returns channel i's HMC object.
+func (s *System) Channel(i int) *core.HMC {
+	if i < 0 || i >= len(s.chans) {
+		return nil
+	}
+	return s.chans[i]
+}
+
+// Shard maps a flat system address to its channel and channel-local
+// address under block interleave: the channel bits are removed so each
+// channel sees a dense local space.
+func (s *System) Shard(addr uint64) (channel int, local uint64) {
+	iv := s.cfg.interleave()
+	ivBits := uint(bits.TrailingZeros64(iv))
+	chBits := uint(bits.TrailingZeros(uint(s.cfg.Channels)))
+	channel = int(addr >> ivBits & uint64(s.cfg.Channels-1))
+	local = addr>>(ivBits+chBits)<<ivBits | addr&(iv-1)
+	return channel, local
+}
+
+// Unshard is the inverse of Shard.
+func (s *System) Unshard(channel int, local uint64) uint64 {
+	iv := s.cfg.interleave()
+	ivBits := uint(bits.TrailingZeros64(iv))
+	chBits := uint(bits.TrailingZeros(uint(s.cfg.Channels)))
+	high := local >> ivBits
+	return high<<(ivBits+chBits) | uint64(channel)<<ivBits | local&(iv-1)
+}
+
+// Result aggregates a multi-channel run.
+type Result struct {
+	// PerChannel holds each channel's driver result.
+	PerChannel []host.Result
+	// Cycles is the wall-clock of the run in memory cycles: the slowest
+	// channel (channels run concurrently in their own clock domains).
+	Cycles uint64
+	// Requests is the total across channels.
+	Requests uint64
+	// Latency merges every channel's latency distribution.
+	Latency stats.Histogram
+}
+
+// Throughput returns aggregate requests per (slowest-channel) cycle.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Requests) / float64(r.Cycles)
+}
+
+// Run drives every channel concurrently: channel i executes nPerChannel
+// accesses from mkGen(i) under its own clock domain and host driver. The
+// channels share nothing; goroutine parallelism mirrors the hardware
+// parallelism.
+func (s *System) Run(mkGen func(channel int) workload.Generator, nPerChannel uint64, opts host.Options) (Result, error) {
+	results := make([]host.Result, len(s.chans))
+	errs := make([]error, len(s.chans))
+	var wg sync.WaitGroup
+	for i := range s.chans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := host.NewDriver(s.chans[i], opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = d.Run(mkGen(i), nPerChannel)
+		}(i)
+	}
+	wg.Wait()
+
+	var res Result
+	for i := range results {
+		if errs[i] != nil {
+			return res, fmt.Errorf("numa: channel %d: %w", i, errs[i])
+		}
+		res.PerChannel = append(res.PerChannel, results[i])
+		if results[i].Cycles > res.Cycles {
+			res.Cycles = results[i].Cycles
+		}
+		res.Requests += results[i].Sent
+		res.Latency.Merge(&results[i].Latency)
+	}
+	return res, nil
+}

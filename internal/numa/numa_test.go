@@ -1,0 +1,203 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/workload"
+)
+
+func cfg(channels int) Config {
+	return Config{
+		Channels: channels,
+		Object: core.Config{
+			NumDevs: 1, NumLinks: 4, NumVaults: 16, QueueDepth: 16,
+			NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 32,
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0)
+	if err := c.Validate(); err == nil {
+		t.Error("accepted 0 channels")
+	}
+	c = cfg(3)
+	if err := c.Validate(); err == nil {
+		t.Error("accepted non-power-of-two channels")
+	}
+	c = cfg(2)
+	c.InterleaveBytes = 48
+	if err := c.Validate(); err == nil {
+		t.Error("accepted non-power-of-two interleave")
+	}
+	c = cfg(2)
+	c.Object.NumVaults = 3
+	if err := c.Validate(); err == nil {
+		t.Error("accepted bad object config")
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	s, err := New(cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		addr := raw & (1<<40 - 1)
+		ch, local := s.Shard(addr)
+		if ch < 0 || ch >= 4 {
+			return false
+		}
+		return s.Unshard(ch, local) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardInterleavesBlocks(t *testing.T) {
+	s, err := New(cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive 64-byte blocks rotate channels; local addresses are
+	// dense per channel.
+	for i := uint64(0); i < 16; i++ {
+		ch, local := s.Shard(i * 64)
+		if ch != int(i%4) {
+			t.Errorf("block %d on channel %d, want %d", i, ch, i%4)
+		}
+		if want := i / 4 * 64; local != want {
+			t.Errorf("block %d local addr %#x, want %#x", i, local, want)
+		}
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	s, err := New(cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	res, err := s.Run(func(ch int) workload.Generator {
+		g, err := workload.NewRandomAccess(uint32(ch+1), 1<<30, 64, 50)
+		if err != nil {
+			t.Error(err)
+		}
+		return g
+	}, n, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4*n {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if len(res.PerChannel) != 4 {
+		t.Fatalf("%d channel results", len(res.PerChannel))
+	}
+	for i, pc := range res.PerChannel {
+		if pc.Sent != n || pc.Errors != 0 {
+			t.Errorf("channel %d: %+v", i, pc)
+		}
+		if pc.Cycles > res.Cycles {
+			t.Errorf("aggregate cycles %d below channel %d's %d", res.Cycles, i, pc.Cycles)
+		}
+	}
+	if res.Latency.Count() != 4*n {
+		t.Errorf("merged latency count = %d", res.Latency.Count())
+	}
+	if res.Throughput() <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestConcurrentMatchesSerial(t *testing.T) {
+	// Running channels in goroutines must produce exactly the results of
+	// running the same objects serially: the objects share nothing.
+	mk := func(ch int) workload.Generator {
+		g, err := workload.NewRandomAccess(uint32(100+ch), 1<<30, 64, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	s, err := New(cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	parallel, err := s.Run(mk, n, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < 4; ch++ {
+		h, err := eval.BuildSimple(cfg(4).Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := host.NewDriver(h, host.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := d.Run(mk(ch), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Cycles != parallel.PerChannel[ch].Cycles ||
+			serial.Engine != parallel.PerChannel[ch].Engine {
+			t.Errorf("channel %d diverged: serial %d cycles, parallel %d",
+				ch, serial.Cycles, parallel.PerChannel[ch].Cycles)
+		}
+	}
+}
+
+func TestChannelScaling(t *testing.T) {
+	// Aggregate throughput scales with channel count for equal-length
+	// per-channel runs (wall cycles stay flat, requests multiply).
+	run := func(channels int) Result {
+		s, err := New(cfg(channels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(func(ch int) workload.Generator {
+			g, _ := workload.NewRandomAccess(uint32(ch+1), 1<<30, 64, 50)
+			return g
+		}, 2000, host.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.Throughput() < 3*one.Throughput() {
+		t.Errorf("4-channel throughput %.1f not ~4x 1-channel %.1f",
+			four.Throughput(), one.Throughput())
+	}
+}
+
+func TestChannelAccessor(t *testing.T) {
+	s, err := New(cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Channels() != 2 {
+		t.Error("channel count")
+	}
+	if s.Channel(0) == nil || s.Channel(1) == nil {
+		t.Error("channels missing")
+	}
+	if s.Channel(0) == s.Channel(1) {
+		t.Error("channels share an object")
+	}
+	if s.Channel(-1) != nil || s.Channel(2) != nil {
+		t.Error("out-of-range channel returned")
+	}
+}

@@ -1,0 +1,284 @@
+// Package packet implements the Hybrid Memory Cube in-band packet protocol
+// as described by the HMC 1.0 specification and modeled by HMC-Sim.
+//
+// All in-band communication between host devices and HMC devices is
+// performed in a packetized format. Packets are multiples of a single
+// 16-byte flow unit (FLIT). The maximum packet size is 9 FLITs (144 bytes)
+// and the minimum is a single FLIT carrying only the 64-bit packet header
+// and the 64-bit packet tail.
+//
+// The package provides the command vocabulary (read, write, posted write,
+// atomic, mode, flow-control and response commands), the bit-level header
+// and tail layouts, the Koopman CRC-32 integrity code computed over every
+// packet, and encode/decode helpers for fully formed request and response
+// packets.
+package packet
+
+import "fmt"
+
+// Command is the 6-bit HMC packet command code carried in bits [5:0] of the
+// packet header. The code space follows the HMC 1.0 specification: flow
+// control commands occupy the low codes, write and atomic requests the
+// 0x08-0x17 range, posted variants the 0x18-0x27 range, mode and read
+// requests the 0x28-0x37 range, and responses the 0x38+ range.
+type Command uint8
+
+// Flow-control commands. Flow packets are never routed to a vault; they are
+// consumed by link logic.
+const (
+	// CmdNULL is the null flow packet. All-zero FLITs are ignored.
+	CmdNULL Command = 0x00
+	// CmdPRET is the packet-return retry pointer flow command.
+	CmdPRET Command = 0x01
+	// CmdTRET is the token-return flow command; it returns link-level flow
+	// control tokens to the transmitter.
+	CmdTRET Command = 0x02
+	// CmdIRTRY is the initiate-retry flow command.
+	CmdIRTRY Command = 0x03
+)
+
+// Write request commands. A WRnn request carries nn bytes of write data and
+// receives a single-FLIT write response when it completes.
+const (
+	CmdWR16  Command = 0x08
+	CmdWR32  Command = 0x09
+	CmdWR48  Command = 0x0A
+	CmdWR64  Command = 0x0B
+	CmdWR80  Command = 0x0C
+	CmdWR96  Command = 0x0D
+	CmdWR112 Command = 0x0E
+	CmdWR128 Command = 0x0F
+)
+
+// Mode write and atomic request commands.
+const (
+	// CmdMDWR is MODE_WRITE: an in-band write of a device configuration
+	// register addressed by the packet's physical address field.
+	CmdMDWR Command = 0x10
+	// CmdBWR is the bit-write atomic: 8 bytes of write data qualified by an
+	// 8-byte bit mask.
+	CmdBWR Command = 0x11
+	// Cmd2ADD8 is the dual 8-byte add-immediate atomic.
+	Cmd2ADD8 Command = 0x12
+	// CmdADD16 is the single 16-byte add-immediate atomic.
+	CmdADD16 Command = 0x13
+)
+
+// Posted request commands. Posted requests generate no response packet.
+const (
+	CmdPWR16  Command = 0x18
+	CmdPWR32  Command = 0x19
+	CmdPWR48  Command = 0x1A
+	CmdPWR64  Command = 0x1B
+	CmdPWR80  Command = 0x1C
+	CmdPWR96  Command = 0x1D
+	CmdPWR112 Command = 0x1E
+	CmdPWR128 Command = 0x1F
+	CmdPBWR   Command = 0x21
+	CmdP2ADD8 Command = 0x22
+	CmdPADD16 Command = 0x23
+)
+
+// Mode read and read request commands. Read requests carry no data payload
+// and are always a single FLIT.
+const (
+	// CmdMDRD is MODE_READ: an in-band read of a device configuration
+	// register addressed by the packet's physical address field.
+	CmdMDRD  Command = 0x28
+	CmdRD16  Command = 0x30
+	CmdRD32  Command = 0x31
+	CmdRD48  Command = 0x32
+	CmdRD64  Command = 0x33
+	CmdRD80  Command = 0x34
+	CmdRD96  Command = 0x35
+	CmdRD112 Command = 0x36
+	CmdRD128 Command = 0x37
+)
+
+// Response commands.
+const (
+	// CmdRDRS is the read response; it carries the read data payload.
+	CmdRDRS Command = 0x38
+	// CmdWRRS is the write (and non-posted atomic) response.
+	CmdWRRS Command = 0x39
+	// CmdMDRDRS is the MODE_READ response carrying register contents.
+	CmdMDRDRS Command = 0x3A
+	// CmdMDWRRS is the MODE_WRITE response.
+	CmdMDWRRS Command = 0x3B
+	// CmdError is the error response generated when a request cannot be
+	// completed; the ERRSTAT field of the tail describes the failure.
+	CmdError Command = 0x3E
+)
+
+// IsFlow reports whether c is a flow-control command.
+func (c Command) IsFlow() bool {
+	switch c {
+	case CmdNULL, CmdPRET, CmdTRET, CmdIRTRY:
+		return true
+	}
+	return false
+}
+
+// IsRead reports whether c is a memory read request.
+func (c Command) IsRead() bool { return c >= CmdRD16 && c <= CmdRD128 }
+
+// IsWrite reports whether c is a memory write request, posted or not.
+// Atomic and mode commands are not writes.
+func (c Command) IsWrite() bool {
+	return (c >= CmdWR16 && c <= CmdWR128) || (c >= CmdPWR16 && c <= CmdPWR128)
+}
+
+// IsAtomic reports whether c is a read-modify-write atomic request.
+func (c Command) IsAtomic() bool {
+	switch c {
+	case CmdBWR, Cmd2ADD8, CmdADD16, CmdPBWR, CmdP2ADD8, CmdPADD16:
+		return true
+	}
+	return false
+}
+
+// IsMode reports whether c is a register-access (MODE_READ / MODE_WRITE)
+// request.
+func (c Command) IsMode() bool { return c == CmdMDRD || c == CmdMDWR }
+
+// IsPosted reports whether c is a posted request. Posted requests generate
+// no response packet and therefore consume no response queue slots.
+func (c Command) IsPosted() bool {
+	return (c >= CmdPWR16 && c <= CmdPWR128) ||
+		c == CmdPBWR || c == CmdP2ADD8 || c == CmdPADD16
+}
+
+// IsRequest reports whether c is any request command (memory, atomic, or
+// mode access). Flow and response commands are not requests.
+func (c Command) IsRequest() bool {
+	return c.IsRead() || c.IsWrite() || c.IsAtomic() || c.IsMode()
+}
+
+// IsResponse reports whether c is a response command.
+func (c Command) IsResponse() bool {
+	switch c {
+	case CmdRDRS, CmdWRRS, CmdMDRDRS, CmdMDWRRS, CmdError:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether c is a command defined by this implementation.
+func (c Command) Valid() bool {
+	return c.IsFlow() || c.IsRequest() || c.IsResponse()
+}
+
+// DataBytes returns the number of request data payload bytes carried by a
+// packet with command c. Read requests, mode reads, flow packets and
+// responses carry zero request payload bytes.
+func (c Command) DataBytes() int {
+	switch {
+	case c >= CmdWR16 && c <= CmdWR128:
+		return 16 * (int(c-CmdWR16) + 1)
+	case c >= CmdPWR16 && c <= CmdPWR128:
+		return 16 * (int(c-CmdPWR16) + 1)
+	}
+	switch c {
+	case CmdMDWR:
+		return 16 // one FLIT of register data (low 64 bits significant)
+	case CmdBWR, CmdPBWR:
+		return 16 // 8 bytes of data plus an 8-byte bit mask
+	case Cmd2ADD8, CmdP2ADD8:
+		return 16 // two 8-byte add operands
+	case CmdADD16, CmdPADD16:
+		return 16 // one 16-byte add operand
+	}
+	return 0
+}
+
+// ResponseDataBytes returns the number of data payload bytes carried by the
+// response to a request with command c. Only read-class requests return
+// data.
+func (c Command) ResponseDataBytes() int {
+	switch {
+	case c.IsRead():
+		return 16 * (int(c-CmdRD16) + 1)
+	case c == CmdMDRD:
+		return 16
+	}
+	return 0
+}
+
+// Flits returns the total packet length, in FLITs, of a request packet with
+// command c: one FLIT of header+tail plus one FLIT per 16 payload bytes.
+func (c Command) Flits() int { return 1 + c.DataBytes()/16 }
+
+// ResponseFlits returns the total packet length, in FLITs, of the response
+// to a request with command c. Posted requests have no response and return
+// zero.
+func (c Command) ResponseFlits() int {
+	if c.IsPosted() {
+		return 0
+	}
+	return 1 + c.ResponseDataBytes()/16
+}
+
+// Response returns the response command generated by a successfully
+// completed request with command c, or CmdNULL (and false) when c is posted
+// or is not a request.
+func (c Command) Response() (Command, bool) {
+	if c.IsPosted() || !c.IsRequest() {
+		return CmdNULL, false
+	}
+	switch {
+	case c.IsRead():
+		return CmdRDRS, true
+	case c == CmdMDRD:
+		return CmdMDRDRS, true
+	case c == CmdMDWR:
+		return CmdMDWRRS, true
+	}
+	// Non-posted writes and atomics complete with a write response.
+	return CmdWRRS, true
+}
+
+// ReadForSize returns the read request command for a block of size bytes
+// (16-128 in multiples of 16).
+func ReadForSize(size int) (Command, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return CmdNULL, fmt.Errorf("packet: no read command for %d-byte block", size)
+	}
+	return CmdRD16 + Command(size/16-1), nil
+}
+
+// WriteForSize returns the write request command for a block of size bytes
+// (16-128 in multiples of 16). If posted is true the posted variant is
+// returned.
+func WriteForSize(size int, posted bool) (Command, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return CmdNULL, fmt.Errorf("packet: no write command for %d-byte block", size)
+	}
+	base := CmdWR16
+	if posted {
+		base = CmdPWR16
+	}
+	return base + Command(size/16-1), nil
+}
+
+var cmdNames = map[Command]string{
+	CmdNULL: "NULL", CmdPRET: "PRET", CmdTRET: "TRET", CmdIRTRY: "IRTRY",
+	CmdWR16: "WR16", CmdWR32: "WR32", CmdWR48: "WR48", CmdWR64: "WR64",
+	CmdWR80: "WR80", CmdWR96: "WR96", CmdWR112: "WR112", CmdWR128: "WR128",
+	CmdMDWR: "MD_WR", CmdBWR: "BWR", Cmd2ADD8: "2ADD8", CmdADD16: "ADD16",
+	CmdPWR16: "P_WR16", CmdPWR32: "P_WR32", CmdPWR48: "P_WR48", CmdPWR64: "P_WR64",
+	CmdPWR80: "P_WR80", CmdPWR96: "P_WR96", CmdPWR112: "P_WR112", CmdPWR128: "P_WR128",
+	CmdPBWR: "P_BWR", CmdP2ADD8: "P_2ADD8", CmdPADD16: "P_ADD16",
+	CmdMDRD: "MD_RD",
+	CmdRD16: "RD16", CmdRD32: "RD32", CmdRD48: "RD48", CmdRD64: "RD64",
+	CmdRD80: "RD80", CmdRD96: "RD96", CmdRD112: "RD112", CmdRD128: "RD128",
+	CmdRDRS: "RD_RS", CmdWRRS: "WR_RS", CmdMDRDRS: "MD_RD_RS", CmdMDWRRS: "MD_WR_RS",
+	CmdError: "ERROR",
+}
+
+// String returns the specification mnemonic for c.
+func (c Command) String() string {
+	if s, ok := cmdNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CMD(%#02x)", uint8(c))
+}

@@ -1,0 +1,221 @@
+package packet
+
+import "testing"
+
+func TestCommandClassification(t *testing.T) {
+	tests := []struct {
+		cmd                                          Command
+		flow, read, write, atomic, mode, posted, rsp bool
+	}{
+		{CmdNULL, true, false, false, false, false, false, false},
+		{CmdPRET, true, false, false, false, false, false, false},
+		{CmdTRET, true, false, false, false, false, false, false},
+		{CmdIRTRY, true, false, false, false, false, false, false},
+		{CmdRD16, false, true, false, false, false, false, false},
+		{CmdRD64, false, true, false, false, false, false, false},
+		{CmdRD128, false, true, false, false, false, false, false},
+		{CmdWR16, false, false, true, false, false, false, false},
+		{CmdWR64, false, false, true, false, false, false, false},
+		{CmdWR128, false, false, true, false, false, false, false},
+		{CmdPWR16, false, false, true, false, false, true, false},
+		{CmdPWR128, false, false, true, false, false, true, false},
+		{CmdBWR, false, false, false, true, false, false, false},
+		{Cmd2ADD8, false, false, false, true, false, false, false},
+		{CmdADD16, false, false, false, true, false, false, false},
+		{CmdPBWR, false, false, false, true, false, true, false},
+		{CmdP2ADD8, false, false, false, true, false, true, false},
+		{CmdPADD16, false, false, false, true, false, true, false},
+		{CmdMDRD, false, false, false, false, true, false, false},
+		{CmdMDWR, false, false, false, false, true, false, false},
+		{CmdRDRS, false, false, false, false, false, false, true},
+		{CmdWRRS, false, false, false, false, false, false, true},
+		{CmdMDRDRS, false, false, false, false, false, false, true},
+		{CmdMDWRRS, false, false, false, false, false, false, true},
+		{CmdError, false, false, false, false, false, false, true},
+	}
+	for _, tt := range tests {
+		if got := tt.cmd.IsFlow(); got != tt.flow {
+			t.Errorf("%v.IsFlow() = %v, want %v", tt.cmd, got, tt.flow)
+		}
+		if got := tt.cmd.IsRead(); got != tt.read {
+			t.Errorf("%v.IsRead() = %v, want %v", tt.cmd, got, tt.read)
+		}
+		if got := tt.cmd.IsWrite(); got != tt.write {
+			t.Errorf("%v.IsWrite() = %v, want %v", tt.cmd, got, tt.write)
+		}
+		if got := tt.cmd.IsAtomic(); got != tt.atomic {
+			t.Errorf("%v.IsAtomic() = %v, want %v", tt.cmd, got, tt.atomic)
+		}
+		if got := tt.cmd.IsMode(); got != tt.mode {
+			t.Errorf("%v.IsMode() = %v, want %v", tt.cmd, got, tt.mode)
+		}
+		if got := tt.cmd.IsPosted(); got != tt.posted {
+			t.Errorf("%v.IsPosted() = %v, want %v", tt.cmd, got, tt.posted)
+		}
+		if got := tt.cmd.IsResponse(); got != tt.rsp {
+			t.Errorf("%v.IsResponse() = %v, want %v", tt.cmd, got, tt.rsp)
+		}
+		if !tt.cmd.Valid() {
+			t.Errorf("%v.Valid() = false, want true", tt.cmd)
+		}
+	}
+}
+
+func TestCommandClassesAreDisjoint(t *testing.T) {
+	for c := Command(0); c < 0x40; c++ {
+		n := 0
+		if c.IsFlow() {
+			n++
+		}
+		if c.IsRequest() {
+			n++
+		}
+		if c.IsResponse() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("command %#02x belongs to %d classes", uint8(c), n)
+		}
+		if c.Valid() && n != 1 {
+			t.Errorf("valid command %v belongs to %d classes", c, n)
+		}
+	}
+}
+
+func TestInvalidCommands(t *testing.T) {
+	for _, c := range []Command{0x04, 0x07, 0x14, 0x17, 0x20, 0x24, 0x29, 0x2F, 0x3C, 0x3F} {
+		if c.Valid() {
+			t.Errorf("command %#02x should be invalid", uint8(c))
+		}
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	tests := []struct {
+		cmd  Command
+		want int
+	}{
+		{CmdWR16, 16}, {CmdWR32, 32}, {CmdWR64, 64}, {CmdWR128, 128},
+		{CmdPWR16, 16}, {CmdPWR64, 64}, {CmdPWR128, 128},
+		{CmdRD16, 0}, {CmdRD64, 0}, {CmdRD128, 0},
+		{CmdMDWR, 16}, {CmdMDRD, 0},
+		{CmdBWR, 16}, {Cmd2ADD8, 16}, {CmdADD16, 16},
+		{CmdNULL, 0}, {CmdRDRS, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.cmd.DataBytes(); got != tt.want {
+			t.Errorf("%v.DataBytes() = %d, want %d", tt.cmd, got, tt.want)
+		}
+	}
+}
+
+func TestResponseDataBytes(t *testing.T) {
+	tests := []struct {
+		cmd  Command
+		want int
+	}{
+		{CmdRD16, 16}, {CmdRD32, 32}, {CmdRD64, 64}, {CmdRD128, 128},
+		{CmdWR64, 0}, {CmdMDRD, 16}, {CmdMDWR, 0}, {CmdADD16, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.cmd.ResponseDataBytes(); got != tt.want {
+			t.Errorf("%v.ResponseDataBytes() = %d, want %d", tt.cmd, got, tt.want)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	// Per the paper: read requests are always one FLIT; write and atomic
+	// requests are 2-9 FLITs.
+	for c := CmdRD16; c <= CmdRD128; c++ {
+		if got := c.Flits(); got != 1 {
+			t.Errorf("%v.Flits() = %d, want 1", c, got)
+		}
+	}
+	if got := CmdWR16.Flits(); got != 2 {
+		t.Errorf("WR16.Flits() = %d, want 2", got)
+	}
+	if got := CmdWR128.Flits(); got != 9 {
+		t.Errorf("WR128.Flits() = %d, want 9", got)
+	}
+	if got := CmdRD128.ResponseFlits(); got != 9 {
+		t.Errorf("RD128.ResponseFlits() = %d, want 9", got)
+	}
+	if got := CmdWR64.ResponseFlits(); got != 1 {
+		t.Errorf("WR64.ResponseFlits() = %d, want 1", got)
+	}
+	if got := CmdPWR64.ResponseFlits(); got != 0 {
+		t.Errorf("P_WR64.ResponseFlits() = %d, want 0", got)
+	}
+}
+
+func TestResponseMapping(t *testing.T) {
+	tests := []struct {
+		cmd  Command
+		want Command
+		ok   bool
+	}{
+		{CmdRD64, CmdRDRS, true},
+		{CmdWR64, CmdWRRS, true},
+		{CmdADD16, CmdWRRS, true},
+		{CmdBWR, CmdWRRS, true},
+		{CmdMDRD, CmdMDRDRS, true},
+		{CmdMDWR, CmdMDWRRS, true},
+		{CmdPWR64, CmdNULL, false},
+		{CmdPADD16, CmdNULL, false},
+		{CmdNULL, CmdNULL, false},
+		{CmdRDRS, CmdNULL, false},
+	}
+	for _, tt := range tests {
+		got, ok := tt.cmd.Response()
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("%v.Response() = %v, %v; want %v, %v", tt.cmd, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestReadWriteForSize(t *testing.T) {
+	for size := 16; size <= 128; size += 16 {
+		rd, err := ReadForSize(size)
+		if err != nil {
+			t.Fatalf("ReadForSize(%d): %v", size, err)
+		}
+		if rd.ResponseDataBytes() != size {
+			t.Errorf("ReadForSize(%d) = %v with response size %d", size, rd, rd.ResponseDataBytes())
+		}
+		wr, err := WriteForSize(size, false)
+		if err != nil {
+			t.Fatalf("WriteForSize(%d): %v", size, err)
+		}
+		if wr.DataBytes() != size {
+			t.Errorf("WriteForSize(%d) = %v with data size %d", size, wr, wr.DataBytes())
+		}
+		pwr, err := WriteForSize(size, true)
+		if err != nil {
+			t.Fatalf("WriteForSize(%d, posted): %v", size, err)
+		}
+		if !pwr.IsPosted() || pwr.DataBytes() != size {
+			t.Errorf("WriteForSize(%d, posted) = %v", size, pwr)
+		}
+	}
+	for _, bad := range []int{0, 8, 17, 144, 256, -16} {
+		if _, err := ReadForSize(bad); err == nil {
+			t.Errorf("ReadForSize(%d) succeeded, want error", bad)
+		}
+		if _, err := WriteForSize(bad, false); err == nil {
+			t.Errorf("WriteForSize(%d) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	if got := CmdRD64.String(); got != "RD64" {
+		t.Errorf("CmdRD64.String() = %q", got)
+	}
+	if got := CmdPWR128.String(); got != "P_WR128" {
+		t.Errorf("CmdPWR128.String() = %q", got)
+	}
+	if got := Command(0x3F).String(); got != "CMD(0x3f)" {
+		t.Errorf("Command(0x3F).String() = %q", got)
+	}
+}

@@ -1,0 +1,53 @@
+package packet
+
+// The HMC specification protects every packet with a 32-bit cyclic
+// redundancy code carried in the upper 32 bits of the packet tail. The
+// polynomial is the Koopman CRC-32K polynomial (0x741B8CD7), selected for
+// embedded-network error detection (Koopman & Chakravarty, DSN 2004, the
+// paper's reference [29]).
+//
+// The CRC is computed over the entire packet with the CRC field itself
+// taken as zero, most-significant-word-first, one byte at a time in
+// little-endian byte order within each 64-bit word.
+
+// crcPoly is the Koopman CRC-32K generator polynomial in the conventional
+// MSB-first (normal) representation.
+const crcPoly uint32 = 0x741B8CD7
+
+// crcTable is the byte-indexed lookup table for crcPoly, built at package
+// initialization.
+var crcTable [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint32(i) << 24
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ crcPoly
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// crcUpdate folds the eight bytes of word w (little-endian order) into crc.
+func crcUpdate(crc uint32, w uint64) uint32 {
+	for i := 0; i < 8; i++ {
+		b := byte(w >> (8 * i))
+		crc = crc<<8 ^ crcTable[byte(crc>>24)^b]
+	}
+	return crc
+}
+
+// CRC computes the packet CRC over words. The caller must zero the CRC
+// field of the tail word before calling (Finalize and VerifyCRC do this
+// automatically).
+func CRC(words []uint64) uint32 {
+	crc := uint32(0)
+	for _, w := range words {
+		crc = crcUpdate(crc, w)
+	}
+	return crc
+}

@@ -1,0 +1,51 @@
+package packet
+
+import "testing"
+
+// FuzzFromWords ensures arbitrary word soup never panics the packet
+// validator, and that anything it accepts is internally consistent.
+func FuzzFromWords(f *testing.F) {
+	good, err := BuildRequest(Request{Cmd: CmdWR16, Addr: 0x40, Data: []uint64{1, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	var seed []byte
+	for _, w := range good.Words() {
+		for i := 0; i < 8; i++ {
+			seed = append(seed, byte(w>>(8*i)))
+		}
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			for b := 0; b < 8; b++ {
+				words[i] |= uint64(raw[i*8+b]) << (8 * b)
+			}
+		}
+		p, err := FromWords(words)
+		if err != nil {
+			return
+		}
+		// Accepted packets have consistent geometry and survive a
+		// revalidation.
+		if p.LNG() != p.Flits() || p.DLN() != p.LNG() {
+			t.Fatalf("accepted packet with inconsistent length fields: %v", p.String())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("revalidation failed: %v", err)
+		}
+		cmd := p.Cmd()
+		switch {
+		case cmd.IsRequest():
+			if _, err := p.AsRequest(); err != nil {
+				t.Fatalf("AsRequest on accepted request: %v", err)
+			}
+		case cmd.IsResponse():
+			if _, err := p.AsResponse(); err != nil {
+				t.Fatalf("AsResponse on accepted response: %v", err)
+			}
+		}
+	})
+}

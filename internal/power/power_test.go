@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/workload"
+)
+
+func run(t *testing.T, n uint64) *core.HMC {
+	t.Helper()
+	cfg := core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, QueueDepth: 64,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 128,
+	}
+	h, err := eval.BuildSimple(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewRandomAccess(1, 2<<30, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := host.NewDriver(h, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(gen, n); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestEstimateBasics(t *testing.T) {
+	h := run(t, 10000)
+	rep, err := Estimate(h, HMCDefaults(), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalPJ() <= 0 {
+		t.Fatal("zero total energy")
+	}
+	if rep.DataBits != float64(10000*64*8) {
+		t.Errorf("data bits = %v, want %v (10k 64-byte requests)", rep.DataBits, 10000*64*8)
+	}
+	// Components are all positive and sum to the total.
+	sum := rep.LinkPJ + rep.XbarPJ + rep.DRAMPJ + rep.StaticPJ
+	if math.Abs(sum-rep.TotalPJ()) > 1e-6 {
+		t.Error("components do not sum")
+	}
+	if rep.AvgWatts() <= 0 {
+		t.Error("no average power")
+	}
+	if s := rep.String(); !strings.Contains(s, "pJ/bit") {
+		t.Errorf("String() = %q", s)
+	}
+	if _, err := Estimate(h, HMCDefaults(), 0); err == nil {
+		t.Error("accepted zero clock")
+	}
+}
+
+func TestPJPerBitNearHMCClaim(t *testing.T) {
+	// Under a saturating workload the dynamic energy dominates and the
+	// efficiency should land in the ~10 pJ/bit regime the HMC consortium
+	// quotes — and far below the DDR3 comparison figure.
+	h := run(t, 100000)
+	rep, err := Estimate(h, HMCDefaults(), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj := rep.PJPerBit()
+	if pj < 5 || pj > 30 {
+		t.Errorf("pJ/bit = %.2f, want in the HMC regime (5-30)", pj)
+	}
+	if pj >= DDR3PJPerBit {
+		t.Errorf("pJ/bit %.2f not below the DDR3 figure %.0f", pj, DDR3PJPerBit)
+	}
+}
+
+func TestStaticEnergyScalesWithIdleTime(t *testing.T) {
+	cfg := core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, QueueDepth: 8,
+		NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 8,
+	}
+	h, err := eval.BuildSimple(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clock an idle device: only static energy accrues.
+	for i := 0; i < 1000; i++ {
+		if err := h.Clock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Estimate(h, HMCDefaults(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LinkPJ != 0 || rep.DRAMPJ != 0 {
+		t.Error("idle device shows dynamic energy")
+	}
+	// 1000 cycles at 1 GHz = 1 us at 2.5 W = 2.5 uJ.
+	want := 2.5e6
+	if math.Abs(rep.StaticPJ-want) > want*1e-6 {
+		t.Errorf("static energy %.0f pJ, want %.0f", rep.StaticPJ, want)
+	}
+}
+
+func TestEnergyMonotoneInTraffic(t *testing.T) {
+	small, err := Estimate(run(t, 2000), HMCDefaults(), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Estimate(run(t, 20000), HMCDefaults(), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.TotalPJ() <= small.TotalPJ() {
+		t.Errorf("10x traffic did not raise energy: %v vs %v", large.TotalPJ(), small.TotalPJ())
+	}
+}

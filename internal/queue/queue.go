@@ -1,0 +1,201 @@
+// Package queue implements the shared queuing structure used throughout
+// the HMC-Sim device hierarchy.
+//
+// All queuing structures present in the HMC-Sim structure hierarchy — the
+// crossbar request and response queues attached to every link and the vault
+// request and response queues attached to every vault controller — share
+// the same software representation. Each queue contains one or more queue
+// slots; each slot carries a valid designator describing whether the slot
+// is in use, and storage sufficient for the largest possible packet of nine
+// FLITs.
+//
+// The specification deliberately leaves queuing behaviour ambiguous so that
+// implementers may tailor devices to specific requirements; HMC-Sim follows
+// that paradigm by requiring users to specify the depth of both queuing
+// layers at initialization time. The queues here are strict FIFOs with
+// head-of-line semantics: packets drain in arrival order, and a stalled
+// head blocks the packets behind it.
+package queue
+
+import (
+	"errors"
+	"fmt"
+
+	"hmcsim/internal/packet"
+)
+
+// ErrFull is returned by Push when no free queue slot exists. Callers
+// translate it into crossbar or vault stall events.
+var ErrFull = errors.New("queue: all slots valid (queue full)")
+
+// Slot is a registered input or output logic stage holding at most one
+// packet.
+type Slot struct {
+	// Valid designates whether the slot is in use.
+	Valid bool
+	// Packet is the slot storage, sized for the largest 9-FLIT packet.
+	Packet packet.Packet
+	// Deferred marks the slot as not eligible for processing in the
+	// current clock cycle. The bank-conflict recognition stage sets it on
+	// request packets that lost bank arbitration; the vault processing
+	// stage skips deferred slots and the flag clears at the next clock
+	// edge.
+	Deferred bool
+	// Moved marks a packet that already progressed by one internal stage
+	// during the current clock cycle. Packets progress at most a single
+	// stage per sub-cycle operation; the crossbar stages skip moved slots
+	// and the flag clears at the next clock edge.
+	Moved bool
+	// Arrived records the device clock value at which the packet entered
+	// this queue, for latency tracing.
+	Arrived uint64
+}
+
+// Queue is a fixed-depth FIFO of packet slots.
+type Queue struct {
+	slots []Slot
+	head  int // index of the oldest valid slot
+	count int
+}
+
+// New returns a queue with the given number of slots. Depth must be at
+// least one: there must exist at least one queue slot for each logical
+// queue representation to act as a registered input or output stage.
+func New(depth int) (*Queue, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("queue: depth %d < 1", depth)
+	}
+	return &Queue{slots: make([]Slot, depth)}, nil
+}
+
+// MustNew is New for statically valid depths; it panics on error.
+func MustNew(depth int) *Queue {
+	q, err := New(depth)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Slab allocates n queues of the given depth whose slot storage shares a
+// single contiguous allocation. HMC-Sim performs well-aligned internal
+// memory allocation at initialization time — each structure type is
+// allocated as one block with hierarchical pointers into it — to promote
+// good memory utilization and large-page allocation; Slab reproduces that
+// layout for queue slots.
+func Slab(n, depth int) ([]Queue, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("queue: slab count %d < 1", n)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("queue: depth %d < 1", depth)
+	}
+	slots := make([]Slot, n*depth)
+	qs := make([]Queue, n)
+	for i := range qs {
+		qs[i].slots = slots[i*depth : (i+1)*depth : (i+1)*depth]
+	}
+	return qs, nil
+}
+
+// Depth returns the configured slot count.
+func (q *Queue) Depth() int { return len(q.slots) }
+
+// Len returns the number of valid slots.
+func (q *Queue) Len() int { return q.count }
+
+// Free returns the number of empty slots.
+func (q *Queue) Free() int { return len(q.slots) - q.count }
+
+// Full reports whether every slot is valid.
+func (q *Queue) Full() bool { return q.count == len(q.slots) }
+
+// Empty reports whether no slot is valid.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Push appends p to the tail of the queue, recording the arrival clock.
+// It returns ErrFull when no free slot exists.
+func (q *Queue) Push(p packet.Packet, clock uint64) error {
+	if q.Full() {
+		return ErrFull
+	}
+	i := (q.head + q.count) % len(q.slots)
+	q.slots[i] = Slot{Valid: true, Packet: p, Arrived: clock}
+	q.count++
+	return nil
+}
+
+// Head returns the oldest valid slot, or nil when the queue is empty. The
+// returned pointer remains valid until the next Pop or Push.
+func (q *Queue) Head() *Slot {
+	if q.Empty() {
+		return nil
+	}
+	return &q.slots[q.head]
+}
+
+// At returns the i-th valid slot in FIFO order (0 is the head), or nil
+// when fewer than i+1 slots are valid.
+func (q *Queue) At(i int) *Slot {
+	if i < 0 || i >= q.count {
+		return nil
+	}
+	return &q.slots[(q.head+i)%len(q.slots)]
+}
+
+// Pop removes and returns the head packet. The second result is false when
+// the queue is empty.
+func (q *Queue) Pop() (packet.Packet, bool) {
+	if q.Empty() {
+		return packet.Packet{}, false
+	}
+	s := &q.slots[q.head]
+	p := s.Packet
+	*s = Slot{}
+	q.head = (q.head + 1) % len(q.slots)
+	q.count--
+	return p, true
+}
+
+// Remove deletes the i-th valid slot (FIFO order) and compacts the queue,
+// preserving the relative order of the remaining packets. It reports
+// whether a slot was removed. Remove supports the vault processing stage,
+// which may service an unconflicted packet behind a deferred head.
+func (q *Queue) Remove(i int) bool {
+	if i < 0 || i >= q.count {
+		return false
+	}
+	// Shift everything after i forward by one slot.
+	for j := i; j < q.count-1; j++ {
+		cur := (q.head + j) % len(q.slots)
+		next := (q.head + j + 1) % len(q.slots)
+		q.slots[cur] = q.slots[next]
+	}
+	last := (q.head + q.count - 1) % len(q.slots)
+	q.slots[last] = Slot{}
+	q.count--
+	return true
+}
+
+// ClearCycleFlags resets the Deferred and Moved marks on every valid
+// slot. The clock engine calls it at the start of each cycle.
+func (q *Queue) ClearCycleFlags() {
+	for i := 0; i < q.count; i++ {
+		s := &q.slots[(q.head+i)%len(q.slots)]
+		s.Deferred = false
+		s.Moved = false
+	}
+}
+
+// Reset invalidates every slot.
+func (q *Queue) Reset() {
+	for i := range q.slots {
+		q.slots[i] = Slot{}
+	}
+	q.head, q.count = 0, 0
+}
+
+// String summarizes occupancy.
+func (q *Queue) String() string {
+	return fmt.Sprintf("queue[%d/%d]", q.count, len(q.slots))
+}

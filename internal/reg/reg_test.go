@@ -1,0 +1,192 @@
+package reg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearPhysicalRoundTrip(t *testing.T) {
+	for lin := 0; lin < NumRegs; lin++ {
+		phys, err := Physical(lin)
+		if err != nil {
+			t.Fatalf("Physical(%d): %v", lin, err)
+		}
+		back, err := Linear(phys)
+		if err != nil {
+			t.Fatalf("Linear(%#x): %v", phys, err)
+		}
+		if back != lin {
+			t.Errorf("Linear(Physical(%d)) = %d", lin, back)
+		}
+	}
+}
+
+func TestLinearIsDense(t *testing.T) {
+	seen := make(map[int]uint64)
+	for lin := 0; lin < NumRegs; lin++ {
+		phys, err := Physical(lin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[lin]; dup {
+			t.Errorf("linear index %d maps twice: %#x and %#x", lin, prev, phys)
+		}
+		seen[lin] = phys
+	}
+	if len(seen) != NumRegs {
+		t.Errorf("dense map has %d entries, want %d", len(seen), NumRegs)
+	}
+}
+
+func TestLinearRejectsNonRegisters(t *testing.T) {
+	for _, phys := range []uint64{0, 1, 0x240008, 0x240018, 0x280002, 0x2B0008, 0x2C0002, 0xFFFFFFFF} {
+		if _, err := Linear(phys); err == nil {
+			t.Errorf("Linear(%#x) succeeded, want error", phys)
+		}
+	}
+	if _, err := Physical(-1); err == nil {
+		t.Error("Physical(-1) succeeded")
+	}
+	if _, err := Physical(NumRegs); err == nil {
+		t.Error("Physical(NumRegs) succeeded")
+	}
+}
+
+func TestPerLinkRegisters(t *testing.T) {
+	f := NewFile(4, 32, 16, 20, 8)
+	for i := uint64(0); i < 8; i++ {
+		if err := f.Write(PhysLC0+i, 0x100+i); err != nil {
+			t.Fatalf("Write(LC%d): %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, err := f.Read(PhysLC0 + i)
+		if err != nil {
+			t.Fatalf("Read(LC%d): %v", i, err)
+		}
+		if v != 0x100+i {
+			t.Errorf("LC%d = %#x, want %#x", i, v, 0x100+i)
+		}
+	}
+}
+
+func TestReadOnlyRegisters(t *testing.T) {
+	f := NewFile(2, 16, 8, 20, 4)
+	for _, phys := range []uint64{PhysFEAT, PhysRVID, PhysEDR0, PhysEDR0 + 3} {
+		if err := f.Write(phys, 0xDEAD); err == nil {
+			t.Errorf("Write to RO register %#x succeeded", phys)
+		}
+		c, err := f.ClassOf(phys)
+		if err != nil || c != RO {
+			t.Errorf("ClassOf(%#x) = %v, %v; want RO", phys, c, err)
+		}
+	}
+	// Poke bypasses the class for internal device updates.
+	if err := f.Poke(PhysEDR0, 0xBEEF); err != nil {
+		t.Fatalf("Poke: %v", err)
+	}
+	if v, _ := f.Read(PhysEDR0); v != 0xBEEF {
+		t.Errorf("EDR0 after Poke = %#x", v)
+	}
+}
+
+func TestRWSSelfClears(t *testing.T) {
+	f := NewFile(2, 16, 8, 20, 4)
+	if c, _ := f.ClassOf(PhysERR); c != RWS {
+		t.Fatalf("ERR class = %v, want RWS", c)
+	}
+	if err := f.Write(PhysERR, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	// Value visible until the next clock edge.
+	if v, _ := f.Read(PhysERR); v != 0xFF {
+		t.Errorf("ERR before tick = %#x, want 0xFF", v)
+	}
+	f.Tick()
+	if v, _ := f.Read(PhysERR); v != 0 {
+		t.Errorf("ERR after tick = %#x, want 0 (self-clearing)", v)
+	}
+	// A second tick with no intervening write must not clear a Poked value.
+	if err := f.Poke(PhysERR, 0x7); err != nil {
+		t.Fatal(err)
+	}
+	f.Tick()
+	if v, _ := f.Read(PhysERR); v != 0x7 {
+		t.Errorf("ERR after Poke+tick = %#x, want 0x7 (Tick only clears host writes)", v)
+	}
+}
+
+func TestRWRegistersPersistAcrossTicks(t *testing.T) {
+	f := NewFile(2, 16, 8, 20, 4)
+	if err := f.Write(PhysGC, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f.Tick()
+	}
+	if v, _ := f.Read(PhysGC); v != 0x1234 {
+		t.Errorf("GC after ticks = %#x, want 0x1234", v)
+	}
+}
+
+func TestFeatEncodesGeometry(t *testing.T) {
+	f := NewFile(8, 32, 16, 20, 8)
+	v, err := f.Read(PhysFEAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capGB, vaults, banks, drams, links := UnpackFeat(v)
+	if capGB != 8 || vaults != 32 || banks != 16 || drams != 20 || links != 8 {
+		t.Errorf("FEAT decoded to %d GB, %d vaults, %d banks, %d drams, %d links",
+			capGB, vaults, banks, drams, links)
+	}
+	rv, _ := f.Read(PhysRVID)
+	if rv != Revision {
+		t.Errorf("RVID = %#x, want %#x", rv, Revision)
+	}
+}
+
+func TestPropertyFeatRoundTrip(t *testing.T) {
+	f := func(c, v, b, d, l uint8) bool {
+		capGB, vaults, banks, drams, links := UnpackFeat(PackFeat(int(c), int(v), int(b), int(d), int(l)))
+		return capGB == int(c) && vaults == int(v) && banks == int(b) &&
+			drams == int(d) && links == int(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistersSnapshot(t *testing.T) {
+	f := NewFile(2, 16, 8, 20, 4)
+	regs := f.Registers()
+	if len(regs) != NumRegs {
+		t.Fatalf("snapshot has %d registers, want %d", len(regs), NumRegs)
+	}
+	// Snapshot is a copy: mutating it must not affect the file.
+	regs[0].Value = 0xFFFF
+	phys := regs[0].Phys
+	if v, _ := f.Read(phys); v == 0xFFFF {
+		t.Error("Registers() exposed internal storage")
+	}
+	// Every register's class matches ClassOf through its physical index.
+	for _, r := range regs {
+		c, err := f.ClassOf(r.Phys)
+		if err != nil {
+			t.Errorf("ClassOf(%#x): %v", r.Phys, err)
+			continue
+		}
+		if c != r.Class {
+			t.Errorf("register %#x: snapshot class %v, file class %v", r.Phys, r.Class, c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if RW.String() != "RW" || RO.String() != "RO" || RWS.String() != "RWS" {
+		t.Error("class mnemonics wrong")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class String empty")
+	}
+}

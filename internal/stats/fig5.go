@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hmcsim/internal/trace"
+)
+
+// Sample is one Figure 5 time bucket: the number of bank conflicts, read
+// requests and write requests that occurred within each vault during the
+// bucket, plus the device-wide crossbar request stalls and routed-latency
+// penalty events.
+type Sample struct {
+	// CycleStart is the first clock cycle covered by this sample; the
+	// sample spans [CycleStart, CycleStart+Interval).
+	CycleStart uint64
+	// Conflicts, Reads and Writes are indexed by vault.
+	Conflicts []uint32
+	Reads     []uint32
+	Writes    []uint32
+	// XbarStalls counts crossbar request stalls observed internal to the
+	// device.
+	XbarStalls uint32
+	// Latency counts events raised due to potential routed latency
+	// penalties.
+	Latency uint32
+}
+
+// Fig5Collector is a trace.Tracer that reconstructs the five data series
+// of the paper's Figure 5 for one device: bank conflicts, read requests
+// and write requests per vault per cycle, plus crossbar request stalls and
+// latency penalty events per cycle. Install it with
+// hmc.SetTracer(collector) and a mask including trace.MaskPerf.
+type Fig5Collector struct {
+	// Dev selects the device to observe.
+	Dev int
+	// NumVaults sizes the per-vault series.
+	NumVaults int
+	// Interval aggregates this many cycles per sample (1 = per-cycle
+	// fidelity; larger values bound memory for long runs).
+	Interval uint64
+
+	cur     Sample
+	started bool
+	// Samples accumulates finished buckets in cycle order.
+	Samples []Sample
+}
+
+// NewFig5Collector returns a collector for device dev with the given vault
+// count and sampling interval.
+func NewFig5Collector(dev, numVaults int, interval uint64) *Fig5Collector {
+	if interval == 0 {
+		interval = 1
+	}
+	return &Fig5Collector{Dev: dev, NumVaults: numVaults, Interval: interval}
+}
+
+func (c *Fig5Collector) newSample(start uint64) Sample {
+	return Sample{
+		CycleStart: start,
+		Conflicts:  make([]uint32, c.NumVaults),
+		Reads:      make([]uint32, c.NumVaults),
+		Writes:     make([]uint32, c.NumVaults),
+	}
+}
+
+// Trace implements trace.Tracer.
+func (c *Fig5Collector) Trace(e trace.Event) {
+	if e.Dev != c.Dev {
+		return
+	}
+	bucket := e.Clock / c.Interval * c.Interval
+	if !c.started {
+		c.cur = c.newSample(bucket)
+		c.started = true
+	}
+	for bucket > c.cur.CycleStart {
+		// The clock advanced past the current bucket; flush and open the
+		// next one. (Skipped buckets with no events are elided.)
+		c.Samples = append(c.Samples, c.cur)
+		next := c.cur.CycleStart + c.Interval
+		if bucket > next {
+			next = bucket
+		}
+		c.cur = c.newSample(next)
+	}
+	switch e.Kind {
+	case trace.KindBankConflict:
+		if e.Vault >= 0 && e.Vault < c.NumVaults {
+			c.cur.Conflicts[e.Vault]++
+		}
+	case trace.KindRqst:
+		if e.Vault >= 0 && e.Vault < c.NumVaults {
+			if strings.HasPrefix(e.Cmd, "RD") {
+				c.cur.Reads[e.Vault]++
+			} else {
+				// Writes, posted writes and atomics all store.
+				c.cur.Writes[e.Vault]++
+			}
+		}
+	case trace.KindXbarRqstStall:
+		c.cur.XbarStalls++
+	case trace.KindLatency:
+		c.cur.Latency++
+	}
+}
+
+// Flush closes the in-progress bucket. Call it after the final clock
+// cycle and before reading Samples.
+func (c *Fig5Collector) Flush() {
+	if c.started {
+		c.Samples = append(c.Samples, c.cur)
+		c.started = false
+	}
+}
+
+// Totals sums every sample into a single aggregate.
+func (c *Fig5Collector) Totals() Sample {
+	t := c.newSample(0)
+	for _, s := range c.Samples {
+		for v := 0; v < c.NumVaults; v++ {
+			t.Conflicts[v] += s.Conflicts[v]
+			t.Reads[v] += s.Reads[v]
+			t.Writes[v] += s.Writes[v]
+		}
+		t.XbarStalls += s.XbarStalls
+		t.Latency += s.Latency
+	}
+	return t
+}
+
+// WriteCSV emits the per-vault long-format series:
+//
+//	cycle,vault,conflicts,reads,writes
+//
+// one row per (sample, vault) pair, matching the per-vault traces of
+// Figure 5.
+func (c *Fig5Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,vault,conflicts,reads,writes"); err != nil {
+		return err
+	}
+	for _, s := range c.Samples {
+		for v := 0; v < c.NumVaults; v++ {
+			if s.Conflicts[v] == 0 && s.Reads[v] == 0 && s.Writes[v] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n",
+				s.CycleStart, v, s.Conflicts[v], s.Reads[v], s.Writes[v]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSummaryCSV emits the per-cycle device-wide series:
+//
+//	cycle,conflicts,reads,writes,xbar_stalls,latency
+func (c *Fig5Collector) WriteSummaryCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,conflicts,reads,writes,xbar_stalls,latency"); err != nil {
+		return err
+	}
+	for _, s := range c.Samples {
+		var conf, rd, wr uint64
+		for v := 0; v < c.NumVaults; v++ {
+			conf += uint64(s.Conflicts[v])
+			rd += uint64(s.Reads[v])
+			wr += uint64(s.Writes[v])
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			s.CycleStart, conf, rd, wr, s.XbarStalls, s.Latency); err != nil {
+			return err
+		}
+	}
+	return nil
+}

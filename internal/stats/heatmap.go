@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// heatRunes shade cells from idle to saturated.
+var heatRunes = []rune(" ░▒▓█")
+
+// WriteHeatmap renders a vault x time text heatmap of one Figure 5 series
+// ("reads", "writes", "conflicts", or "requests" for reads+writes): one
+// row per vault, one column per downsampled time bucket, shading scaled
+// to the global maximum. It makes per-vault load imbalance visible at a
+// glance in a terminal.
+func (c *Fig5Collector) WriteHeatmap(w io.Writer, series string, width int) error {
+	if width < 1 {
+		width = 64
+	}
+	if len(c.Samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+
+	value := func(s *Sample, v int) float64 {
+		switch series {
+		case "reads":
+			return float64(s.Reads[v])
+		case "writes":
+			return float64(s.Writes[v])
+		case "conflicts":
+			return float64(s.Conflicts[v])
+		default: // "requests"
+			return float64(s.Reads[v]) + float64(s.Writes[v])
+		}
+	}
+
+	// Downsample time into width buckets by averaging.
+	cols := width
+	if len(c.Samples) < cols {
+		cols = len(c.Samples)
+	}
+	grid := make([][]float64, c.NumVaults)
+	var max float64
+	for v := 0; v < c.NumVaults; v++ {
+		grid[v] = make([]float64, cols)
+		for col := 0; col < cols; col++ {
+			lo := col * len(c.Samples) / cols
+			hi := (col + 1) * len(c.Samples) / cols
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, s := range c.Samples[lo:hi] {
+				sum += value(&s, v)
+			}
+			grid[v][col] = sum / float64(hi-lo)
+			if grid[v][col] > max {
+				max = grid[v][col]
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s per vault over time (max %.1f/sample):\n", series, max); err != nil {
+		return err
+	}
+	for v := 0; v < c.NumVaults; v++ {
+		var sb strings.Builder
+		for col := 0; col < cols; col++ {
+			idx := 0
+			if max > 0 {
+				idx = int(grid[v][col] / max * float64(len(heatRunes)-1))
+				if idx >= len(heatRunes) {
+					idx = len(heatRunes) - 1
+				}
+			}
+			sb.WriteRune(heatRunes[idx])
+		}
+		if _, err := fmt.Fprintf(w, "  vault %2d |%s|\n", v, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package stats
+
+import "hmcsim/internal/trace"
+
+// LatencyReconstructor rebuilds per-request service latency from a trace
+// stream: the gap, in clock cycles, between a request's SEND event (host
+// injection) and its RQST event (vault service). The RQST event's Aux
+// field carries the source link ID, so requests are matched by
+// (link, tag) — unique among in-flight requests per injection port.
+//
+// It implements trace.Tracer and works both live and during offline
+// replay of a stored trace file.
+type LatencyReconstructor struct {
+	// Service is the distribution of send-to-service latencies.
+	Service Histogram
+	// Unmatched counts RQST events with no recorded SEND (for example a
+	// trace captured with SEND masked out, or forwarded traffic injected
+	// before tracing began).
+	Unmatched uint64
+
+	inflight map[latKey]uint64
+}
+
+type latKey struct {
+	link int
+	tag  uint16
+}
+
+// NewLatencyReconstructor returns an empty reconstructor.
+func NewLatencyReconstructor() *LatencyReconstructor {
+	return &LatencyReconstructor{inflight: make(map[latKey]uint64)}
+}
+
+// Trace implements trace.Tracer.
+func (l *LatencyReconstructor) Trace(e trace.Event) {
+	switch e.Kind {
+	case trace.KindSend:
+		l.inflight[latKey{link: e.Link, tag: e.Tag}] = e.Clock
+	case trace.KindRqst:
+		if e.Vault < 0 {
+			return // register-interface service; no vault latency
+		}
+		k := latKey{link: int(e.Aux), tag: e.Tag}
+		sent, ok := l.inflight[k]
+		if !ok {
+			l.Unmatched++
+			return
+		}
+		delete(l.inflight, k)
+		l.Service.Observe(e.Clock - sent)
+	}
+}
+
+// Pending returns the number of sends still awaiting their service event.
+func (l *LatencyReconstructor) Pending() int { return len(l.inflight) }

@@ -1,0 +1,82 @@
+package stats
+
+import "strings"
+
+// sparkRunes are the eight block glyphs used to render value magnitude.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line unicode bar chart scaled to
+// the series maximum, downsampling (by bucket averaging) to at most width
+// glyphs. It returns "" for an empty series.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	// Downsample to width buckets by averaging.
+	series := values
+	if len(values) > width {
+		series = make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			series[i] = sum / float64(hi-lo)
+		}
+	}
+	var max float64
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range series {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// SeriesOf extracts one named per-sample series from a Figure 5
+// collector, summed across vaults where the series is per-vault.
+func (c *Fig5Collector) SeriesOf(name string) []float64 {
+	out := make([]float64, 0, len(c.Samples))
+	for _, s := range c.Samples {
+		var v float64
+		switch name {
+		case "conflicts":
+			for _, x := range s.Conflicts {
+				v += float64(x)
+			}
+		case "reads":
+			for _, x := range s.Reads {
+				v += float64(x)
+			}
+		case "writes":
+			for _, x := range s.Writes {
+				v += float64(x)
+			}
+		case "xbar_stalls":
+			v = float64(s.XbarStalls)
+		case "latency":
+			v = float64(s.Latency)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"hmcsim/internal/trace"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("rendered %d glyphs, want 8 (%q)", utf8.RuneCountInString(s), s)
+	}
+	// Monotone input renders monotone glyphs, lowest first, highest last.
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints = %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotone at %d: %q", i, s)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i % 10)
+	}
+	s := Sparkline(vals, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Errorf("rendered %d glyphs, want 20", utf8.RuneCountInString(s))
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	s := Sparkline([]float64{0, 0, 0}, 3)
+	if s != strings.Repeat("▁", 3) {
+		t.Errorf("all-zero series = %q", s)
+	}
+}
+
+func TestSeriesOf(t *testing.T) {
+	c := NewFig5Collector(0, 2, 1)
+	c.Trace(trace.Event{Clock: 0, Kind: trace.KindRqst, Vault: 0, Cmd: "RD16"})
+	c.Trace(trace.Event{Clock: 0, Kind: trace.KindRqst, Vault: 1, Cmd: "RD16"})
+	c.Trace(trace.Event{Clock: 0, Kind: trace.KindRqst, Vault: 1, Cmd: "WR16"})
+	c.Trace(trace.Event{Clock: 1, Kind: trace.KindBankConflict, Vault: 0})
+	c.Trace(trace.Event{Clock: 1, Kind: trace.KindXbarRqstStall, Vault: -1})
+	c.Trace(trace.Event{Clock: 1, Kind: trace.KindLatency, Vault: 0})
+	c.Flush()
+
+	check := func(name string, want []float64) {
+		t.Helper()
+		got := c.SeriesOf(name)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d samples, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("reads", []float64{2, 0})
+	check("writes", []float64{1, 0})
+	check("conflicts", []float64{0, 1})
+	check("xbar_stalls", []float64{0, 1})
+	check("latency", []float64{0, 1})
+	if got := c.SeriesOf("nope"); got[0] != 0 || got[1] != 0 {
+		t.Error("unknown series should be zero")
+	}
+}
+
+func TestWriteHeatmap(t *testing.T) {
+	c := NewFig5Collector(0, 2, 1)
+	for clk := uint64(0); clk < 20; clk++ {
+		c.Trace(trace.Event{Clock: clk, Kind: trace.KindRqst, Vault: 0, Cmd: "RD16"})
+		if clk < 5 {
+			c.Trace(trace.Event{Clock: clk, Kind: trace.KindRqst, Vault: 1, Cmd: "WR16"})
+		}
+	}
+	c.Flush()
+	var sb strings.Builder
+	if err := c.WriteHeatmap(&sb, "requests", 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "vault  0") || !strings.Contains(out, "vault  1") {
+		t.Errorf("heatmap missing vault rows:\n%s", out)
+	}
+	// Vault 0 is continuously loaded: its row is all full blocks; vault 1
+	// goes quiet after cycle 5.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if strings.Contains(lines[1], " ") && strings.Contains(lines[1], "█") == false {
+		t.Errorf("vault 0 row unexpectedly idle: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], " ") {
+		t.Errorf("vault 1 row shows no idle time: %q", lines[2])
+	}
+	// Empty collector renders a placeholder.
+	var empty strings.Builder
+	if err := NewFig5Collector(0, 2, 1).WriteHeatmap(&empty, "reads", 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no samples") {
+		t.Error("empty heatmap placeholder missing")
+	}
+}

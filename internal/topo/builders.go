@@ -1,0 +1,178 @@
+package topo
+
+import "fmt"
+
+// The builders in this file construct the four device topologies of the
+// paper's Figure 1: simple, ring, mesh and 2-D torus. Every builder wires
+// unused links of device 0 (and, for larger fabrics, other boundary
+// devices) to the host so the result always passes Validate.
+
+// Simple builds the base topology: a single device with every link
+// attached to the host.
+func Simple(numLinks int) (*Topology, error) {
+	t, err := New(1, numLinks, 1)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < numLinks; l++ {
+		if err := t.ConnectHost(0, l); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Ring builds a cycle of n devices. Each device spends two links on its
+// ring neighbours; all remaining links of every device connect to the
+// host, so each quadrant keeps a local injection point.
+func Ring(n, numLinks int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs at least 3 devices, got %d", n)
+	}
+	t, err := New(n, numLinks, n)
+	if err != nil {
+		return nil, err
+	}
+	// Link 0 of each device points clockwise to link 1 of the successor.
+	for d := 0; d < n; d++ {
+		next := (d + 1) % n
+		if err := t.ConnectDevices(d, 0, next, 1); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < n; d++ {
+		for l := 2; l < numLinks; l++ {
+			if err := t.ConnectHost(d, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Chain builds a linear chain of n devices with the host attached to every
+// free link of device 0. It is the minimal chained configuration used by
+// the latency experiments: traffic for device n-1 crosses n-1 pass-through
+// hops.
+func Chain(n, numLinks int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: chain needs at least 1 device, got %d", n)
+	}
+	t, err := New(n, numLinks, n)
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d+1 < n; d++ {
+		if err := t.ConnectDevices(d, 0, d+1, 1); err != nil {
+			return nil, err
+		}
+	}
+	start := 1
+	if n == 1 {
+		start = 0
+	}
+	for l := start; l < numLinks; l++ {
+		if err := t.ConnectHost(0, l); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Mesh builds a rows x cols grid. Interior devices spend up to four links
+// on their north/south/east/west neighbours; every remaining link of every
+// boundary device connects to the host.
+func Mesh(rows, cols, numLinks int) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topo: mesh needs at least 2 devices, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	t, err := New(n, numLinks, n)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) int { return r*cols + c }
+	used := make([]int, n)
+	connect := func(a, b int) error {
+		if err := t.ConnectDevices(a, used[a], b, used[b]); err != nil {
+			return err
+		}
+		used[a]++
+		used[b]++
+		return nil
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := connect(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := connect(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		for l := used[d]; l < numLinks; l++ {
+			if err := t.ConnectHost(d, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: mesh %dx%d with %d links leaves no host link: %w",
+			rows, cols, numLinks, err)
+	}
+	return t, nil
+}
+
+// Torus builds a rows x cols 2-D torus (a mesh with wrap-around links).
+// Every device spends four links on its neighbours, so eight-link devices
+// are required to retain host connectivity; the four remaining links of
+// device 0 connect to the host.
+func Torus(rows, cols, numLinks int) (*Topology, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("topo: torus needs at least 3x3 devices, got %dx%d", rows, cols)
+	}
+	if numLinks != 8 {
+		return nil, fmt.Errorf("topo: a 2-D torus consumes 4 links per device; 8-link devices required")
+	}
+	n := rows * cols
+	t, err := New(n, numLinks, n)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) int { return r*cols + c }
+	used := make([]int, n)
+	connect := func(a, b int) error {
+		if err := t.ConnectDevices(a, used[a], b, used[b]); err != nil {
+			return err
+		}
+		used[a]++
+		used[b]++
+		return nil
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := connect(id(r, c), id(r, (c+1)%cols)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if err := connect(id(r, c), id((r+1)%rows, c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for l := used[0]; l < numLinks; l++ {
+		if err := t.ConnectHost(0, l); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the topology as a Graphviz graph: one node per cube,
+// one node for the host, an edge per configured link. Pass-through edges
+// are labeled with both link indices; host edges with the device link.
+// The output is deterministic for stable golden tests.
+func (t *Topology) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "hmc"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  host [shape=box label=\"host (cube %d)\"];\n", t.hostID); err != nil {
+		return err
+	}
+	for d := 0; d < t.numDevs; d++ {
+		if _, err := fmt.Fprintf(w, "  d%d [shape=circle label=\"cube %d\"];\n", d, d); err != nil {
+			return err
+		}
+	}
+
+	type edge struct {
+		a, b   string
+		label  string
+		weight int
+	}
+	var edges []edge
+	for d := 0; d < t.numDevs; d++ {
+		for l := 0; l < t.numLinks; l++ {
+			p := t.peers[d][l]
+			switch {
+			case p.Cube == Unconnected:
+				continue
+			case p.Cube == t.hostID:
+				edges = append(edges, edge{
+					a: fmt.Sprintf("d%d", d), b: "host",
+					label: fmt.Sprintf("L%d", l),
+				})
+			case p.Cube > d || (p.Cube == d && p.Link > l):
+				// Emit each pass-through link once (lower cube owns it).
+				edges = append(edges, edge{
+					a: fmt.Sprintf("d%d", d), b: fmt.Sprintf("d%d", p.Cube),
+					label: fmt.Sprintf("L%d-L%d", l, p.Link),
+				})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		if edges[i].b != edges[j].b {
+			return edges[i].b < edges[j].b
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "  %s -- %s [label=%q];\n", e.a, e.b, e.label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

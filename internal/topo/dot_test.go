@@ -1,0 +1,73 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTSimple(t *testing.T) {
+	tp, err := Simple(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tp.WriteDOT(&sb, "simple"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		`graph "simple" {`, "host [shape=box", "d0 [shape=circle",
+		`d0 -- host [label="L0"]`, `d0 -- host [label="L3"]`, "}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteDOTRingEdgesOnce(t *testing.T) {
+	tp, err := Ring(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tp.WriteDOT(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Each pass-through link appears exactly once.
+	if got := strings.Count(out, "d0 -- d1"); got != 1 {
+		t.Errorf("d0--d1 appears %d times", got)
+	}
+	// The wrap-around edge d3->d0 is emitted by the lower cube as d0--d3.
+	if got := strings.Count(out, "d0 -- d3"); got != 1 {
+		t.Errorf("d0--d3 appears %d times:\n%s", got, out)
+	}
+	if strings.Contains(out, "d3 -- d0") || strings.Contains(out, "d1 -- d0") {
+		t.Error("pass-through edge emitted twice")
+	}
+	// Ring devices have two host links each.
+	if got := strings.Count(out, "-- host"); got != 8 {
+		t.Errorf("%d host edges, want 8", got)
+	}
+	if !strings.Contains(out, `graph "hmc" {`) {
+		t.Error("default name missing")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	tp, err := Mesh(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := tp.WriteDOT(&a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.WriteDOT(&b, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT output not deterministic")
+	}
+}

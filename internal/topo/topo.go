@@ -1,0 +1,304 @@
+// Package topo implements HMC link and topology configuration.
+//
+// The link structure of the HMC specification supports attaching devices
+// both to hosts (processors) and to other HMC devices. This chaining
+// permits memory subsystems larger than a single device without perturbing
+// the link structure or the packetized transaction protocol. Links can be
+// configured as host links or pass-through (device-to-device) links in a
+// multitude of topologies: simple, ring, mesh, 2-D torus and arbitrary
+// chains (the paper's Figure 1).
+//
+// Following HMC-Sim's "topologically agnostic" requirement, the package
+// deliberately supports misconfigured topologies — devices that are
+// unreachable from any host simply cause error responses at simulation
+// time. Only three constraints are hard errors, mirroring the constraints
+// the simulation infrastructure itself induces: links may not be
+// configured as loopbacks, each link endpoint may be connected at most
+// once, and at least one device must connect to a host link.
+package topo
+
+import "fmt"
+
+// Unconnected marks a link with no configured peer.
+const Unconnected = -1
+
+// Peer describes the far end of a configured link.
+type Peer struct {
+	// Cube is the peer cube ID; the topology's HostID denotes the host
+	// processor, Unconnected an inactive link.
+	Cube int
+	// Link is the peer's link index for device-to-device connections, or
+	// Unconnected for host links.
+	Link int
+}
+
+// Topology describes the link wiring of a set of HMC devices attached to a
+// single host.
+type Topology struct {
+	numDevs  int
+	numLinks int
+	hostID   int
+	peers    [][]Peer // peers[dev][link]
+}
+
+// New returns a topology for numDevs devices of numLinks links each, with
+// every link unconnected. Devices are identified by cube IDs 0..numDevs-1
+// and the host by hostID (conventionally numDevs, one greater than the
+// largest device ID).
+func New(numDevs, numLinks, hostID int) (*Topology, error) {
+	if numDevs < 1 {
+		return nil, fmt.Errorf("topo: device count %d < 1", numDevs)
+	}
+	if numLinks != 4 && numLinks != 8 {
+		return nil, fmt.Errorf("topo: link count %d not 4 or 8", numLinks)
+	}
+	if hostID >= 0 && hostID < numDevs {
+		return nil, fmt.Errorf("topo: host ID %d collides with a device cube ID", hostID)
+	}
+	t := &Topology{numDevs: numDevs, numLinks: numLinks, hostID: hostID}
+	t.peers = make([][]Peer, numDevs)
+	for d := range t.peers {
+		t.peers[d] = make([]Peer, numLinks)
+		for l := range t.peers[d] {
+			t.peers[d][l] = Peer{Cube: Unconnected, Link: Unconnected}
+		}
+	}
+	return t, nil
+}
+
+// NumDevs returns the device count.
+func (t *Topology) NumDevs() int { return t.numDevs }
+
+// NumLinks returns the per-device link count.
+func (t *Topology) NumLinks() int { return t.numLinks }
+
+// HostID returns the cube ID representing the host processor.
+func (t *Topology) HostID() int { return t.hostID }
+
+func (t *Topology) checkEndpoint(dev, link int) error {
+	if dev < 0 || dev >= t.numDevs {
+		return fmt.Errorf("topo: device %d out of range [0,%d)", dev, t.numDevs)
+	}
+	if link < 0 || link >= t.numLinks {
+		return fmt.Errorf("topo: link %d out of range [0,%d)", link, t.numLinks)
+	}
+	return nil
+}
+
+// ConnectHost configures the given device link as a host link. If the
+// device link is connected to a host device (a non-HMC device), the source
+// link is always configured as the host-side connection.
+func (t *Topology) ConnectHost(dev, link int) error {
+	if err := t.checkEndpoint(dev, link); err != nil {
+		return err
+	}
+	if t.peers[dev][link].Cube != Unconnected {
+		return fmt.Errorf("topo: device %d link %d already connected", dev, link)
+	}
+	t.peers[dev][link] = Peer{Cube: t.hostID, Link: Unconnected}
+	return nil
+}
+
+// ConnectDevices configures a pass-through link between two devices
+// (chaining). Loopbacks — links from a device to itself — are rejected:
+// they have a high probability of inducing zombie response packets that
+// never reach a reasonable destination.
+func (t *Topology) ConnectDevices(devA, linkA, devB, linkB int) error {
+	if err := t.checkEndpoint(devA, linkA); err != nil {
+		return err
+	}
+	if err := t.checkEndpoint(devB, linkB); err != nil {
+		return err
+	}
+	if devA == devB {
+		return fmt.Errorf("topo: loopback link on device %d prohibited", devA)
+	}
+	if t.peers[devA][linkA].Cube != Unconnected {
+		return fmt.Errorf("topo: device %d link %d already connected", devA, linkA)
+	}
+	if t.peers[devB][linkB].Cube != Unconnected {
+		return fmt.Errorf("topo: device %d link %d already connected", devB, linkB)
+	}
+	t.peers[devA][linkA] = Peer{Cube: devB, Link: linkB}
+	t.peers[devB][linkB] = Peer{Cube: devA, Link: linkA}
+	return nil
+}
+
+// Peer returns the configured peer of a device link.
+func (t *Topology) Peer(dev, link int) Peer {
+	if err := t.checkEndpoint(dev, link); err != nil {
+		return Peer{Cube: Unconnected, Link: Unconnected}
+	}
+	return t.peers[dev][link]
+}
+
+// HostLinks returns the link indices of dev that connect to the host.
+func (t *Topology) HostLinks(dev int) []int {
+	var out []int
+	if dev < 0 || dev >= t.numDevs {
+		return nil
+	}
+	for l, p := range t.peers[dev] {
+		if p.Cube == t.hostID {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// IsRoot reports whether dev has at least one host link. Root devices are
+// processed before child devices in the response sub-cycle stages.
+func (t *Topology) IsRoot(dev int) bool { return len(t.HostLinks(dev)) > 0 }
+
+// Roots returns the cube IDs of all root (host-connected) devices.
+func (t *Topology) Roots() []int {
+	var out []int
+	for d := 0; d < t.numDevs; d++ {
+		if t.IsRoot(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Validate enforces the hard constraints the simulation infrastructure
+// induces: at least one device must connect to a host link (otherwise the
+// host has no access to main memory). Loopbacks and double connections are
+// already rejected at construction. Unreachable devices are deliberately
+// not errors — misconfigured topologies are simulated and produce error
+// response packets.
+func (t *Topology) Validate() error {
+	if len(t.Roots()) == 0 {
+		return fmt.Errorf("topo: no device connects to a host link")
+	}
+	return nil
+}
+
+// Unreachable returns the cube IDs of devices with no path to any host
+// link. Traffic addressed to them elicits error responses rather than a
+// configuration failure.
+func (t *Topology) Unreachable() []int {
+	r := t.routes()
+	var out []int
+	for d := 0; d < t.numDevs; d++ {
+		if r.toHost[d] == Unconnected && !t.IsRoot(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Routes holds precomputed next-hop tables: for every device, the link on
+// which to forward a packet toward any destination cube or back toward the
+// host.
+type Routes struct {
+	numDevs int
+	hostID  int
+	// next[dev][dst] is the egress link from dev toward device dst, or
+	// Unconnected when dst is unreachable or dst == dev.
+	next [][]int
+	// toHost[dev] is the egress link from dev toward the nearest
+	// host-connected device, or Unconnected. For root devices it is
+	// Unconnected: responses exit on their stored source link instead.
+	toHost []int
+	// hostHops[dev] is the device-hop distance from dev to the nearest
+	// root device (0 for roots), or -1.
+	hostHops []int
+}
+
+// Routes computes next-hop tables with breadth-first search over the
+// pass-through links, so forwarding always follows a minimal-hop path.
+func (t *Topology) Routes() *Routes { return t.routes() }
+
+func (t *Topology) routes() *Routes {
+	r := &Routes{
+		numDevs:  t.numDevs,
+		hostID:   t.hostID,
+		next:     make([][]int, t.numDevs),
+		toHost:   make([]int, t.numDevs),
+		hostHops: make([]int, t.numDevs),
+	}
+	for d := range r.next {
+		r.next[d] = make([]int, t.numDevs)
+	}
+
+	// Per-destination BFS: for destination dst, walk outward from dst and
+	// record, for every device reached, the link that leads one hop back
+	// toward dst.
+	for dst := 0; dst < t.numDevs; dst++ {
+		for d := 0; d < t.numDevs; d++ {
+			r.next[d][dst] = Unconnected
+		}
+		queue := []int{dst}
+		seen := make([]bool, t.numDevs)
+		seen[dst] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// Examine cur's neighbours; a neighbour reaches dst via the
+			// reverse link.
+			for _, p := range t.peers[cur] {
+				if p.Cube < 0 || p.Cube >= t.numDevs || seen[p.Cube] {
+					continue
+				}
+				seen[p.Cube] = true
+				r.next[p.Cube][dst] = p.Link
+				queue = append(queue, p.Cube)
+			}
+		}
+	}
+
+	// BFS from the set of root devices for host-bound routing.
+	for d := 0; d < t.numDevs; d++ {
+		r.toHost[d] = Unconnected
+		r.hostHops[d] = -1
+	}
+	var queue []int
+	for _, d := range t.Roots() {
+		r.hostHops[d] = 0
+		queue = append(queue, d)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range t.peers[cur] {
+			if p.Cube < 0 || p.Cube >= t.numDevs || r.hostHops[p.Cube] != -1 {
+				continue
+			}
+			r.hostHops[p.Cube] = r.hostHops[cur] + 1
+			r.toHost[p.Cube] = p.Link
+			queue = append(queue, p.Cube)
+		}
+	}
+	return r
+}
+
+// NextHop returns the egress link from dev toward destination cube dst.
+// ok is false when dst is unreachable, equals dev, or is not a device.
+func (r *Routes) NextHop(dev, dst int) (link int, ok bool) {
+	if dev < 0 || dev >= r.numDevs || dst < 0 || dst >= r.numDevs || dev == dst {
+		return Unconnected, false
+	}
+	l := r.next[dev][dst]
+	return l, l != Unconnected
+}
+
+// ToHost returns the egress link from dev toward the nearest root device.
+// ok is false for root devices (which deliver responses on their own host
+// links) and for devices with no path to a host.
+func (r *Routes) ToHost(dev int) (link int, ok bool) {
+	if dev < 0 || dev >= r.numDevs {
+		return Unconnected, false
+	}
+	l := r.toHost[dev]
+	return l, l != Unconnected
+}
+
+// HostHops returns the hop distance from dev to the nearest root device,
+// or -1 when unreachable.
+func (r *Routes) HostHops(dev int) int {
+	if dev < 0 || dev >= r.numDevs {
+		return -1
+	}
+	return r.hostHops[dev]
+}

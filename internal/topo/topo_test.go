@@ -1,0 +1,368 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Error("New accepted 0 devices")
+	}
+	if _, err := New(1, 6, 1); err == nil {
+		t.Error("New accepted 6 links")
+	}
+	if _, err := New(4, 4, 2); err == nil {
+		t.Error("New accepted host ID colliding with a device ID")
+	}
+	if _, err := New(4, 4, 4); err != nil {
+		t.Errorf("New(4,4,4): %v", err)
+	}
+}
+
+func TestConnectHost(t *testing.T) {
+	tp, err := New(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.ConnectHost(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := tp.Peer(0, 0)
+	if p.Cube != 2 || p.Link != Unconnected {
+		t.Errorf("host peer = %+v", p)
+	}
+	if err := tp.ConnectHost(0, 0); err == nil {
+		t.Error("double connect succeeded")
+	}
+	if err := tp.ConnectHost(0, 4); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if err := tp.ConnectHost(5, 0); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+}
+
+func TestLoopbackProhibited(t *testing.T) {
+	tp, _ := New(2, 4, 2)
+	if err := tp.ConnectDevices(0, 0, 0, 1); err == nil {
+		t.Error("loopback link accepted")
+	}
+}
+
+func TestConnectDevicesSymmetric(t *testing.T) {
+	tp, _ := New(2, 4, 2)
+	if err := tp.ConnectDevices(0, 3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p := tp.Peer(0, 3); p.Cube != 1 || p.Link != 2 {
+		t.Errorf("peer(0,3) = %+v", p)
+	}
+	if p := tp.Peer(1, 2); p.Cube != 0 || p.Link != 3 {
+		t.Errorf("peer(1,2) = %+v", p)
+	}
+	// Endpoints are single-use.
+	if err := tp.ConnectDevices(0, 3, 1, 1); err == nil {
+		t.Error("reuse of connected endpoint accepted")
+	}
+	if err := tp.ConnectDevices(1, 0, 0, 3); err == nil {
+		t.Error("reuse of connected endpoint accepted")
+	}
+}
+
+func TestValidateRequiresHostLink(t *testing.T) {
+	tp, _ := New(2, 4, 2)
+	_ = tp.ConnectDevices(0, 0, 1, 0)
+	if err := tp.Validate(); err == nil {
+		t.Error("Validate passed with no host link")
+	}
+	_ = tp.ConnectHost(0, 1)
+	if err := tp.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRootsAndHostLinks(t *testing.T) {
+	tp, _ := New(3, 4, 3)
+	_ = tp.ConnectHost(0, 0)
+	_ = tp.ConnectHost(0, 1)
+	_ = tp.ConnectHost(2, 0)
+	_ = tp.ConnectDevices(0, 2, 1, 0)
+	roots := tp.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 2 {
+		t.Errorf("Roots() = %v, want [0 2]", roots)
+	}
+	if got := tp.HostLinks(0); len(got) != 2 {
+		t.Errorf("HostLinks(0) = %v", got)
+	}
+	if tp.IsRoot(1) {
+		t.Error("device 1 should not be a root")
+	}
+}
+
+func TestSimpleTopology(t *testing.T) {
+	for _, links := range []int{4, 8} {
+		tp, err := Simple(links)
+		if err != nil {
+			t.Fatalf("Simple(%d): %v", links, err)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("Simple(%d).Validate: %v", links, err)
+		}
+		if got := len(tp.HostLinks(0)); got != links {
+			t.Errorf("Simple(%d): %d host links", links, got)
+		}
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	tp, err := Ring(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := tp.Routes()
+	// Every device must reach every other device.
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a == b {
+				continue
+			}
+			if _, ok := r.NextHop(a, b); !ok {
+				t.Errorf("no route %d -> %d in ring", a, b)
+			}
+		}
+	}
+	// Ring distance: opposite device is 2 hops; routing must not exceed it.
+	hops := countHops(t, tp, r, 0, 2)
+	if hops != 2 {
+		t.Errorf("ring 0->2 took %d hops, want 2", hops)
+	}
+	if _, err := Ring(2, 4); err == nil {
+		t.Error("Ring(2) accepted")
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	tp, err := Chain(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := tp.Routes()
+	if got := countHops(t, tp, r, 0, 3); got != 3 {
+		t.Errorf("chain 0->3 took %d hops, want 3", got)
+	}
+	if got := r.HostHops(3); got != 3 {
+		t.Errorf("HostHops(3) = %d, want 3", got)
+	}
+	if got := r.HostHops(0); got != 0 {
+		t.Errorf("HostHops(0) = %d, want 0", got)
+	}
+	// Single-device chain: all links go to the host.
+	tp1, err := Chain(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp1.HostLinks(0)); got != 4 {
+		t.Errorf("Chain(1): %d host links, want 4", got)
+	}
+}
+
+func TestMeshTopology(t *testing.T) {
+	tp, err := Mesh(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := tp.Routes()
+	// Corner-to-corner in a 2x2 mesh is 2 hops.
+	if got := countHops(t, tp, r, 0, 3); got != 2 {
+		t.Errorf("mesh 0->3 took %d hops, want 2", got)
+	}
+	// A 3x3 mesh of 4-link devices: the center device (4) has no free
+	// links, but corners do, so Validate passes.
+	tp3, err := Mesh(3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp3.IsRoot(4) {
+		t.Error("center of 3x3 mesh should not be a root")
+	}
+	if len(tp3.Roots()) == 0 {
+		t.Error("3x3 mesh has no roots")
+	}
+}
+
+func TestTorusTopology(t *testing.T) {
+	tp, err := Torus(3, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every device has exactly 4 neighbour links; device 0 also has 4 host
+	// links.
+	for d := 0; d < 9; d++ {
+		devLinks := 0
+		for l := 0; l < 8; l++ {
+			if p := tp.Peer(d, l); p.Cube >= 0 && p.Cube < 9 {
+				devLinks++
+			}
+		}
+		if devLinks != 4 {
+			t.Errorf("torus device %d has %d device links, want 4", d, devLinks)
+		}
+	}
+	if got := len(tp.HostLinks(0)); got != 4 {
+		t.Errorf("torus device 0 has %d host links, want 4", got)
+	}
+	// Wrap-around shortens paths: 0 -> 6 (two rows down) is 1 hop up.
+	r := tp.Routes()
+	if got := countHops(t, tp, r, 0, 6); got != 1 {
+		t.Errorf("torus 0->6 took %d hops, want 1 (wrap-around)", got)
+	}
+	if _, err := Torus(3, 3, 4); err == nil {
+		t.Error("Torus with 4-link devices accepted")
+	}
+	if _, err := Torus(2, 3, 8); err == nil {
+		t.Error("Torus(2,3) accepted")
+	}
+}
+
+// countHops walks the next-hop table from src to dst and returns the hop
+// count, failing the test on a forwarding loop.
+func countHops(t *testing.T, tp *Topology, r *Routes, src, dst int) int {
+	t.Helper()
+	cur, hops := src, 0
+	for cur != dst {
+		link, ok := r.NextHop(cur, dst)
+		if !ok {
+			t.Fatalf("no route %d -> %d at hop %d", src, dst, hops)
+		}
+		p := tp.Peer(cur, link)
+		cur = p.Cube
+		hops++
+		if hops > tp.NumDevs() {
+			t.Fatalf("forwarding loop routing %d -> %d", src, dst)
+		}
+	}
+	return hops
+}
+
+func TestUnreachableDevices(t *testing.T) {
+	tp, _ := New(3, 4, 3)
+	_ = tp.ConnectHost(0, 0)
+	_ = tp.ConnectDevices(0, 1, 1, 0)
+	// Device 2 is wired to nothing.
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v (misconfigured topologies must be allowed)", err)
+	}
+	un := tp.Unreachable()
+	if len(un) != 1 || un[0] != 2 {
+		t.Errorf("Unreachable() = %v, want [2]", un)
+	}
+	r := tp.Routes()
+	if _, ok := r.NextHop(0, 2); ok {
+		t.Error("route to unreachable device reported")
+	}
+	if got := r.HostHops(2); got != -1 {
+		t.Errorf("HostHops(unreachable) = %d, want -1", got)
+	}
+}
+
+func TestRoutesToHost(t *testing.T) {
+	tp, _ := Chain(3, 4)
+	r := tp.Routes()
+	// Root device: responses exit on host links, not pass-through links.
+	if _, ok := r.ToHost(0); ok {
+		t.Error("ToHost(root) reported a pass-through link")
+	}
+	// Child devices route toward device 0.
+	l1, ok := r.ToHost(1)
+	if !ok {
+		t.Fatal("no host route from device 1")
+	}
+	if p := tp.Peer(1, l1); p.Cube != 0 {
+		t.Errorf("device 1 host route goes to device %d, want 0", p.Cube)
+	}
+	l2, ok := r.ToHost(2)
+	if !ok {
+		t.Fatal("no host route from device 2")
+	}
+	if p := tp.Peer(2, l2); p.Cube != 1 {
+		t.Errorf("device 2 host route goes to device %d, want 1", p.Cube)
+	}
+}
+
+func TestNextHopBounds(t *testing.T) {
+	tp, _ := Chain(2, 4)
+	r := tp.Routes()
+	if _, ok := r.NextHop(0, 0); ok {
+		t.Error("NextHop to self reported a route")
+	}
+	if _, ok := r.NextHop(-1, 1); ok {
+		t.Error("NextHop accepted negative device")
+	}
+	if _, ok := r.NextHop(0, 9); ok {
+		t.Error("NextHop accepted out-of-range destination")
+	}
+	if _, ok := r.ToHost(-1); ok {
+		t.Error("ToHost accepted negative device")
+	}
+	if got := r.HostHops(99); got != -1 {
+		t.Errorf("HostHops(99) = %d", got)
+	}
+}
+
+// TestPropertyRingRoutesAreMinimal checks BFS minimality on rings of
+// varying size: hop count must equal the circular distance.
+func TestPropertyRingRoutesAreMinimal(t *testing.T) {
+	f := func(rawN, rawA, rawB uint8) bool {
+		n := 3 + int(rawN)%13
+		a, b := int(rawA)%n, int(rawB)%n
+		if a == b {
+			return true
+		}
+		tp, err := Ring(n, 4)
+		if err != nil {
+			return false
+		}
+		r := tp.Routes()
+		want := min(abs(a-b), n-abs(a-b))
+		return countHopsQuiet(tp, r, a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countHopsQuiet(tp *Topology, r *Routes, src, dst int) int {
+	cur, hops := src, 0
+	for cur != dst {
+		link, ok := r.NextHop(cur, dst)
+		if !ok {
+			return -1
+		}
+		cur = tp.Peer(cur, link).Cube
+		hops++
+		if hops > tp.NumDevs() {
+			return -2
+		}
+	}
+	return hops
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the reverse direction of the Writer: parsing text
+// trace files back into Events so that entire application memory traces
+// can be revisited and analyzed for accuracy, latency characteristics,
+// bandwidth utilization and overall transaction efficiency.
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// KindByName resolves a trace mnemonic ("BANK_CONFLICT", ...) to its Kind.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// ParseLine decodes one HMCSIM_TRACE text line into an Event.
+func ParseLine(line string) (Event, error) {
+	var e Event
+	parts := strings.Split(line, " : ")
+	if len(parts) != 5 || strings.TrimSpace(parts[0]) != "HMCSIM_TRACE" {
+		return e, fmt.Errorf("trace: malformed line %q", line)
+	}
+	clock, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad clock in %q: %w", line, err)
+	}
+	e.Clock = clock
+	kind, ok := KindByName(strings.TrimSpace(parts[2]))
+	if !ok {
+		return e, fmt.Errorf("trace: unknown kind in %q", line)
+	}
+	e.Kind = kind
+
+	loc := strings.Split(strings.TrimSpace(parts[3]), ":")
+	if len(loc) != 5 {
+		return e, fmt.Errorf("trace: malformed locality in %q", line)
+	}
+	ints := make([]int, 5)
+	for i, f := range loc {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return e, fmt.Errorf("trace: bad locality field %q: %w", f, err)
+		}
+		ints[i] = v
+	}
+	e.Dev, e.Link, e.Quad, e.Vault, e.Bank = ints[0], ints[1], ints[2], ints[3], ints[4]
+
+	for _, field := range strings.Fields(strings.TrimSpace(parts[4])) {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return e, fmt.Errorf("trace: malformed field %q", field)
+		}
+		switch key {
+		case "addr":
+			a, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return e, fmt.Errorf("trace: bad addr %q: %w", val, err)
+			}
+			e.Addr = a
+		case "tag":
+			tg, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return e, fmt.Errorf("trace: bad tag %q: %w", val, err)
+			}
+			e.Tag = uint16(tg)
+		case "cmd":
+			e.Cmd = val
+		case "aux":
+			x, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("trace: bad aux %q: %w", val, err)
+			}
+			e.Aux = x
+		default:
+			return e, fmt.Errorf("trace: unknown field %q", field)
+		}
+	}
+	return e, nil
+}
+
+// Scanner streams Events from a text trace produced by Writer.
+type Scanner struct {
+	s    *bufio.Scanner
+	err  error
+	ev   Event
+	line int
+}
+
+// NewScanner wraps r. Lines may be up to 1 MiB long.
+func NewScanner(r io.Reader) *Scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Scanner{s: s}
+}
+
+// Scan advances to the next trace event, skipping blank lines. It returns
+// false at EOF or on the first malformed line (see Err).
+func (sc *Scanner) Scan() bool {
+	if sc.err != nil {
+		return false
+	}
+	for sc.s.Scan() {
+		sc.line++
+		line := strings.TrimSpace(sc.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := ParseLine(line)
+		if err != nil {
+			sc.err = fmt.Errorf("line %d: %w", sc.line, err)
+			return false
+		}
+		sc.ev = ev
+		return true
+	}
+	sc.err = sc.s.Err()
+	return false
+}
+
+// Event returns the event produced by the last successful Scan.
+func (sc *Scanner) Event() Event { return sc.ev }
+
+// Err returns the first error encountered, if any.
+func (sc *Scanner) Err() error { return sc.err }
+
+// Replay streams every event of a text trace into tr, returning the event
+// count. It lets any Tracer implementation — counters, Figure 5
+// collectors — be applied after the fact to a stored trace.
+func Replay(r io.Reader, tr Tracer) (uint64, error) {
+	sc := NewScanner(r)
+	var n uint64
+	for sc.Scan() {
+		tr.Trace(sc.Event())
+		n++
+	}
+	return n, sc.Err()
+}

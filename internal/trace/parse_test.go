@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLineRoundTrip(t *testing.T) {
+	in := Event{
+		Clock: 1234, Kind: KindBankConflict,
+		Dev: 1, Link: 2, Quad: 3, Vault: 4, Bank: 5,
+		Addr: 0xDEAD00, Tag: 311, Cmd: "RD64", Aux: 7,
+	}
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Trace(in)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseLine(strings.TrimSpace(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestParseLineNegativeLocality(t *testing.T) {
+	in := Event{
+		Clock: 9, Kind: KindXbarRqstStall,
+		Dev: 0, Link: 1, Quad: None, Vault: None, Bank: None,
+		Cmd: "WR64", Aux: 128,
+	}
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Trace(in)
+	_ = w.Flush()
+	out, err := ParseLine(strings.TrimSpace(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Vault != None || out.Bank != None {
+		t.Errorf("sentinels lost: %+v", out)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"HMCSIM_TRACE : x : RQST : 0:0:0:0:0 : addr=0x0 tag=0 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : NOT_A_KIND : 0:0:0:0:0 : addr=0x0 tag=0 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0 : addr=0x0 tag=0 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0:0:z : addr=0x0 tag=0 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0:0:0 : addr=zz tag=0 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0:0:0 : addr=0x0 tag=99999 cmd=RD16 aux=0",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0:0:0 : bogusfield",
+		"HMCSIM_TRACE : 5 : RQST : 0:0:0:0:0 : what=1",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) succeeded", line)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for k, name := range kindNames {
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := KindByName("NOPE"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+}
+
+func TestScannerStreamsEvents(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for i := 0; i < 10; i++ {
+		w.Trace(Event{Clock: uint64(i), Kind: KindRqst, Vault: i % 4, Cmd: "RD16"})
+	}
+	_ = w.Flush()
+
+	sc := NewScanner(strings.NewReader(sb.String() + "\n\n"))
+	n := 0
+	for sc.Scan() {
+		if sc.Event().Clock != uint64(n) {
+			t.Fatalf("event %d has clock %d", n, sc.Event().Clock)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("scanned %d events, want 10", n)
+	}
+	// Scan after EOF stays false.
+	if sc.Scan() {
+		t.Error("Scan after EOF returned true")
+	}
+}
+
+func TestScannerReportsMalformedLine(t *testing.T) {
+	in := "HMCSIM_TRACE : 1 : RQST : 0:0:0:0:0 : addr=0x0 tag=0 cmd=RD16 aux=0\nbroken line\n"
+	sc := NewScanner(strings.NewReader(in))
+	if !sc.Scan() {
+		t.Fatal("first line failed")
+	}
+	if sc.Scan() {
+		t.Fatal("malformed line accepted")
+	}
+	if sc.Err() == nil {
+		t.Error("no error reported")
+	}
+}
+
+func TestCommentHeaderSkipped(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Comment("hmcsim trace v1: %d links, %d vaults", 4, 16)
+	w.Comment("seed=1")
+	w.Trace(Event{Clock: 5, Kind: KindRqst, Cmd: "RD16"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# hmcsim trace v1: 4 links, 16 vaults") {
+		t.Errorf("header missing: %q", sb.String())
+	}
+	sc := NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("scanned %d events, want 1 (comments skipped)", n)
+	}
+}
+
+func TestReplayIntoCounter(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for i := 0; i < 7; i++ {
+		w.Trace(Event{Clock: uint64(i), Kind: KindRqst, Cmd: "WR64"})
+	}
+	w.Trace(Event{Clock: 7, Kind: KindBankConflict, Cmd: "WR64"})
+	_ = w.Flush()
+
+	c := NewCounter()
+	n, err := Replay(strings.NewReader(sb.String()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("replayed %d events", n)
+	}
+	if c.Count(KindRqst) != 7 || c.Count(KindBankConflict) != 1 {
+		t.Errorf("counts: rqst=%d conflict=%d", c.Count(KindRqst), c.Count(KindBankConflict))
+	}
+}
+
+func TestPropertyWriteParseRoundTrip(t *testing.T) {
+	kinds := []Kind{
+		KindBankConflict, KindXbarRqstStall, KindXbarRspStall,
+		KindVaultRspStall, KindLatency, KindRqst, KindRsp, KindRoute, KindError,
+	}
+	cmds := []string{"RD16", "RD64", "WR64", "P_WR128", "ADD16", "MD_RD", ""}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := Event{
+			Clock: r.Uint64() >> 1,
+			Kind:  kinds[r.Intn(len(kinds))],
+			Dev:   r.Intn(64), Link: r.Intn(8) - 1, Quad: r.Intn(9) - 1,
+			Vault: r.Intn(33) - 1, Bank: r.Intn(17) - 1,
+			Addr: r.Uint64() & (1<<34 - 1), Tag: uint16(r.Intn(512)),
+			Cmd: cmds[r.Intn(len(cmds))], Aux: uint64(r.Intn(1 << 20)),
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		w.Trace(in)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := ParseLine(strings.TrimSpace(sb.String()))
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package trace implements HMC-Sim's cycle-by-cycle and sub-cycle
+// simulation tracing.
+//
+// Every trace event is marked with its physical locality (device, link,
+// quad, vault, bank) as well as the internal clock tick at which it was
+// raised. Users designate the tracing verbosity via a bitmask of event
+// kinds and the target output via a Tracer implementation, so entire
+// application memory traces can be revisited and analyzed for accuracy,
+// latency characteristics, bandwidth utilization and overall transaction
+// efficiency.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind identifies a trace event category. Kinds double as verbosity mask
+// bits.
+type Kind uint32
+
+const (
+	// KindBankConflict is raised by the bank-conflict recognition stage
+	// when two queued requests address the same bank of the same vault in
+	// the same cycle.
+	KindBankConflict Kind = 1 << iota
+	// KindXbarRqstStall is raised when a request cannot be routed from a
+	// crossbar arbiter to the target vault due to inadequate open vault
+	// queue slots, or cannot be forwarded to a chained device.
+	KindXbarRqstStall
+	// KindXbarRspStall is raised when a response cannot be registered with
+	// a crossbar response queue.
+	KindXbarRspStall
+	// KindVaultRspStall is raised when a vault cannot register a response
+	// because its response queue is full.
+	KindVaultRspStall
+	// KindLatency is raised when a request is received on a link that is
+	// not co-located with the destination quadrant and vault (a routed
+	// latency penalty).
+	KindLatency
+	// KindRqst records a memory request processed by a vault.
+	KindRqst
+	// KindRsp records a response packet registered by a vault.
+	KindRsp
+	// KindRoute records a packet forwarded between chained devices.
+	KindRoute
+	// KindError records the generation of an error response packet.
+	KindError
+	// KindRetry records a link-level transfer retry caused by an injected
+	// transmission fault (error simulation).
+	KindRetry
+	// KindSend records a request accepted from the host into a crossbar
+	// request queue. Together with the vault-side RQST event (whose Aux
+	// carries the source link ID) it reconstructs per-request service
+	// latency from a stored trace.
+	KindSend
+)
+
+// Masks for common verbosity selections.
+const (
+	// MaskNone disables all tracing.
+	MaskNone Kind = 0
+	// MaskStalls selects congestion events only.
+	MaskStalls = KindXbarRqstStall | KindXbarRspStall | KindVaultRspStall
+	// MaskPerf selects the five values plotted by the paper's Figure 5:
+	// bank conflicts, read/write requests (KindRqst), crossbar request
+	// stalls and latency events.
+	MaskPerf = KindBankConflict | KindXbarRqstStall | KindLatency | KindRqst
+	// MaskAll selects every event kind.
+	MaskAll Kind = ^Kind(0)
+)
+
+var kindNames = map[Kind]string{
+	KindBankConflict:  "BANK_CONFLICT",
+	KindXbarRqstStall: "XBAR_RQST_STALL",
+	KindXbarRspStall:  "XBAR_RSP_STALL",
+	KindVaultRspStall: "VAULT_RSP_STALL",
+	KindLatency:       "LATENCY",
+	KindRqst:          "RQST",
+	KindRsp:           "RSP",
+	KindRoute:         "ROUTE",
+	KindError:         "ERROR",
+	KindRetry:         "RETRY",
+	KindSend:          "SEND",
+}
+
+// String returns the trace mnemonic for k.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("KIND(%#x)", uint32(k))
+}
+
+// None is the sentinel for locality coordinates that do not apply to an
+// event (for example, the bank of a crossbar stall).
+const None = -1
+
+// Event is one trace record.
+type Event struct {
+	Clock uint64 // internal device clock tick when the event was raised
+	Kind  Kind
+	Dev   int // cube ID
+	Link  int // link ID or None
+	Quad  int // quad ID or None
+	Vault int // vault ID or None
+	Bank  int // bank ID or None
+	Addr  uint64
+	Tag   uint16
+	// Cmd is the packet command mnemonic associated with the event, when
+	// one applies.
+	Cmd string
+	// Aux carries kind-specific detail: queue occupancy for stalls, hop
+	// count for routes, ERRSTAT for errors.
+	Aux uint64
+}
+
+// Tracer consumes trace events. Implementations must be safe for use from
+// a single simulation goroutine; concurrent simulations should use
+// separate Tracers or a locking wrapper.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Nop is a Tracer that discards all events.
+type Nop struct{}
+
+// Trace implements Tracer.
+func (Nop) Trace(Event) {}
+
+// Filter forwards events matching the verbosity mask to the next tracer.
+type Filter struct {
+	Mask Kind
+	Next Tracer
+}
+
+// Trace implements Tracer.
+func (f *Filter) Trace(e Event) {
+	if e.Kind&f.Mask != 0 && f.Next != nil {
+		f.Next.Trace(e)
+	}
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Trace implements Tracer.
+func (m Multi) Trace(e Event) {
+	for _, t := range m {
+		t.Trace(e)
+	}
+}
+
+// Writer renders events as HMC-Sim-style text trace lines:
+//
+//	HMCSIM_TRACE : <clock> : <KIND> : dev:link:quad:vault:bank : addr=0x… …
+//
+// Writer buffers output; call Flush (or Close) before inspecting the
+// underlying stream.
+type Writer struct {
+	bw  *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter returns a text tracer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Trace implements Tracer.
+func (w *Writer) Trace(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.n++
+	_, err := fmt.Fprintf(w.bw, "HMCSIM_TRACE : %d : %s : %d:%d:%d:%d:%d : addr=%#x tag=%d cmd=%s aux=%d\n",
+		e.Clock, e.Kind, e.Dev, e.Link, e.Quad, e.Vault, e.Bank, e.Addr, e.Tag, e.Cmd, e.Aux)
+	if err != nil {
+		w.err = err
+	}
+}
+
+// Comment writes a "# ..."-prefixed header or annotation line. Comment
+// lines are skipped by the trace parser, so runs can embed their
+// configuration at the top of a trace file.
+func (w *Writer) Comment(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w.bw, "# "+format+"\n", args...); err != nil {
+		w.err = err
+	}
+}
+
+// Events returns the number of events written.
+func (w *Writer) Events() uint64 { return w.n }
+
+// Flush drains buffered output and returns the first write error
+// encountered, if any.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Counter tallies events by kind without retaining them; it is the
+// zero-overhead alternative to multi-gigabyte text traces for performance
+// runs.
+type Counter struct {
+	counts map[Kind]uint64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[Kind]uint64)} }
+
+// Trace implements Tracer.
+func (c *Counter) Trace(e Event) { c.counts[e.Kind]++ }
+
+// Count returns the number of events of kind k observed.
+func (c *Counter) Count(k Kind) uint64 { return c.counts[k] }
+
+// Total returns the number of events observed across all kinds.
+func (c *Counter) Total() uint64 {
+	var n uint64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Reset zeroes all counts.
+func (c *Counter) Reset() { clear(c.counts) }
+
+// Recorder retains every event in memory, for tests and small analyses.
+type Recorder struct {
+	Events []Event
+	// Cap bounds the number of retained events; zero means unbounded.
+	Cap int
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(e Event) {
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// OfKind returns the retained events of kind k.
+func (r *Recorder) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Locked wraps a Tracer with a mutex so multiple simulation goroutines can
+// share it.
+type Locked struct {
+	mu   sync.Mutex
+	next Tracer
+}
+
+// NewLocked returns a mutex-guarded wrapper around next.
+func NewLocked(next Tracer) *Locked { return &Locked{next: next} }
+
+// Trace implements Tracer.
+func (l *Locked) Trace(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next.Trace(e)
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	tests := map[Kind]string{
+		KindBankConflict:  "BANK_CONFLICT",
+		KindXbarRqstStall: "XBAR_RQST_STALL",
+		KindLatency:       "LATENCY",
+		KindRqst:          "RQST",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint32(k), got, want)
+		}
+	}
+	if Kind(1<<30).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}
+
+func TestKindsAreDistinctBits(t *testing.T) {
+	kinds := []Kind{
+		KindBankConflict, KindXbarRqstStall, KindXbarRspStall,
+		KindVaultRspStall, KindLatency, KindRqst, KindRsp, KindRoute,
+		KindError, KindRetry, KindSend,
+	}
+	var acc Kind
+	for _, k := range kinds {
+		if k == 0 || k&(k-1) != 0 {
+			t.Errorf("kind %v is not a single bit", k)
+		}
+		if acc&k != 0 {
+			t.Errorf("kind %v overlaps another kind", k)
+		}
+		acc |= k
+	}
+}
+
+func TestFilterMask(t *testing.T) {
+	rec := &Recorder{}
+	f := &Filter{Mask: KindBankConflict | KindLatency, Next: rec}
+	f.Trace(Event{Kind: KindBankConflict})
+	f.Trace(Event{Kind: KindRqst})
+	f.Trace(Event{Kind: KindLatency})
+	f.Trace(Event{Kind: KindXbarRqstStall})
+	if len(rec.Events) != 2 {
+		t.Fatalf("filter passed %d events, want 2", len(rec.Events))
+	}
+	if rec.Events[0].Kind != KindBankConflict || rec.Events[1].Kind != KindLatency {
+		t.Error("filter passed wrong kinds")
+	}
+}
+
+func TestFilterNilNext(t *testing.T) {
+	f := &Filter{Mask: MaskAll}
+	// Must not panic.
+	f.Trace(Event{Kind: KindRqst})
+}
+
+func TestMulti(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi{a, b}
+	m.Trace(Event{Kind: KindRsp, Clock: 7})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Trace(Event{
+		Clock: 123, Kind: KindBankConflict,
+		Dev: 1, Link: 2, Quad: 3, Vault: 4, Bank: 5,
+		Addr: 0x1000, Tag: 42, Cmd: "RD64", Aux: 9,
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := sb.String()
+	for _, frag := range []string{
+		"HMCSIM_TRACE", ": 123 :", "BANK_CONFLICT", "1:2:3:4:5",
+		"addr=0x1000", "tag=42", "cmd=RD64", "aux=9",
+	} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("trace line %q missing %q", line, frag)
+		}
+	}
+	if w.Events() != 1 {
+		t.Errorf("Events() = %d, want 1", w.Events())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	return 0, &writeError{}
+}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "boom" }
+
+func TestWriterErrorSticky(t *testing.T) {
+	w := NewWriter(&failWriter{})
+	for i := 0; i < 20000; i++ {
+		w.Trace(Event{Kind: KindRqst})
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("Flush did not surface the write error")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 5; i++ {
+		c.Trace(Event{Kind: KindRqst})
+	}
+	c.Trace(Event{Kind: KindBankConflict})
+	if c.Count(KindRqst) != 5 {
+		t.Errorf("Count(RQST) = %d, want 5", c.Count(KindRqst))
+	}
+	if c.Count(KindBankConflict) != 1 {
+		t.Errorf("Count(BANK_CONFLICT) = %d, want 1", c.Count(KindBankConflict))
+	}
+	if c.Count(KindLatency) != 0 {
+		t.Errorf("Count(LATENCY) = %d, want 0", c.Count(KindLatency))
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total() = %d, want 6", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset did not clear counts")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := &Recorder{Cap: 3}
+	for i := 0; i < 10; i++ {
+		r.Trace(Event{Kind: KindRqst, Clock: uint64(i)})
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("recorder retained %d events, want 3", len(r.Events))
+	}
+	if r.Events[2].Clock != 2 {
+		t.Error("recorder did not keep the earliest events")
+	}
+}
+
+func TestRecorderOfKind(t *testing.T) {
+	r := &Recorder{}
+	r.Trace(Event{Kind: KindRqst})
+	r.Trace(Event{Kind: KindRsp})
+	r.Trace(Event{Kind: KindRqst})
+	if got := len(r.OfKind(KindRqst)); got != 2 {
+		t.Errorf("OfKind(RQST) = %d events, want 2", got)
+	}
+	if got := len(r.OfKind(KindError)); got != 0 {
+		t.Errorf("OfKind(ERROR) = %d events, want 0", got)
+	}
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	c := NewCounter()
+	l := NewLocked(c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Trace(Event{Kind: KindRqst})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count(KindRqst) != 8000 {
+		t.Errorf("Count = %d, want 8000", c.Count(KindRqst))
+	}
+}
+
+func TestMaskPerfCoversFigure5(t *testing.T) {
+	// Figure 5 plots bank conflicts, reads, writes, crossbar request
+	// stalls and latency penalty events.
+	for _, k := range []Kind{KindBankConflict, KindXbarRqstStall, KindLatency, KindRqst} {
+		if MaskPerf&k == 0 {
+			t.Errorf("MaskPerf missing %v", k)
+		}
+	}
+	if MaskPerf&KindRsp != 0 {
+		t.Error("MaskPerf should not include RSP")
+	}
+}

@@ -1,0 +1,163 @@
+package vm
+
+import (
+	"fmt"
+
+	"hmcsim/internal/workload"
+)
+
+// TLB is a set-associative translation lookaside buffer with LRU
+// replacement within each set.
+type TLB struct {
+	sets  int
+	assoc int
+	// entries[set][way]
+	entries [][]tlbEntry
+	// clock orders ways for LRU replacement.
+	clock uint64
+
+	stats TLBStats
+}
+
+type tlbEntry struct {
+	valid bool
+	vpage uint64
+	ppage uint64
+	// stamp orders ways for LRU replacement.
+	stamp uint64
+}
+
+// TLBStats counts lookups.
+type TLBStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits / lookups.
+func (s TLBStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewTLB builds a TLB with the given total entry count and associativity.
+// entries must be a multiple of assoc; entries/assoc (the set count) must
+// be a power of two.
+func NewTLB(entries, assoc int) (*TLB, error) {
+	if entries < 1 || assoc < 1 || entries%assoc != 0 {
+		return nil, fmt.Errorf("vm: TLB %d entries / %d ways invalid", entries, assoc)
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("vm: TLB set count %d not a power of two", sets)
+	}
+	t := &TLB{sets: sets, assoc: assoc}
+	t.entries = make([][]tlbEntry, sets)
+	for i := range t.entries {
+		t.entries[i] = make([]tlbEntry, assoc)
+	}
+	return t, nil
+}
+
+// Stats returns the lookup counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Lookup searches for vpage, updating recency on a hit.
+func (t *TLB) Lookup(vpage uint64) (uint64, bool) {
+	set := t.entries[vpage&uint64(t.sets-1)]
+	for i := range set {
+		if set[i].valid && set[i].vpage == vpage {
+			t.clock++
+			set[i].stamp = t.clock
+			t.stats.Hits++
+			return set[i].ppage, true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// Insert fills (or replaces the LRU way of) vpage's set.
+func (t *TLB) Insert(vpage, ppage uint64) {
+	set := t.entries[vpage&uint64(t.sets-1)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	t.clock++
+	set[victim] = tlbEntry{valid: true, vpage: vpage, ppage: ppage, stamp: t.clock}
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for s := range t.entries {
+		for w := range t.entries[s] {
+			t.entries[s][w] = tlbEntry{}
+		}
+	}
+}
+
+// MMU couples a TLB with an address space: the full translation path a
+// simulated core would exercise.
+type MMU struct {
+	AS  *AddressSpace
+	TLB *TLB
+}
+
+// NewMMU builds an MMU.
+func NewMMU(as *AddressSpace, tlb *TLB) (*MMU, error) {
+	if as == nil || tlb == nil {
+		return nil, fmt.Errorf("vm: nil address space or TLB")
+	}
+	return &MMU{AS: as, TLB: tlb}, nil
+}
+
+// Translate maps a virtual address, reporting whether the TLB hit.
+func (m *MMU) Translate(va uint64) (pa uint64, tlbHit bool, err error) {
+	vpage := va >> m.AS.pageBits
+	off := va & (m.AS.PageSize() - 1)
+	if ppage, ok := m.TLB.Lookup(vpage); ok {
+		return ppage<<m.AS.pageBits | off, true, nil
+	}
+	pa, err = m.AS.Translate(va)
+	if err != nil {
+		return 0, false, err
+	}
+	m.TLB.Insert(vpage, pa>>m.AS.pageBits)
+	return pa, false, nil
+}
+
+// Translating wraps a workload generator with virtual-to-physical
+// translation, so any existing workload can be replayed through an MMU
+// onto a simulated device.
+type Translating struct {
+	Gen workload.Generator
+	MMU *MMU
+	// OnError is called when translation fails (for example physical
+	// memory exhaustion); the access is then emitted untranslated. A nil
+	// OnError panics on failure, which is appropriate for tests.
+	OnError func(error)
+}
+
+// Next implements workload.Generator.
+func (g *Translating) Next() workload.Access {
+	a := g.Gen.Next()
+	pa, _, err := g.MMU.Translate(a.Addr)
+	if err != nil {
+		if g.OnError == nil {
+			panic(err)
+		}
+		g.OnError(err)
+		return a
+	}
+	a.Addr = pa
+	return a
+}

@@ -1,0 +1,196 @@
+// Package vm implements a virtual memory substrate — page tables, a TLB
+// model, and pluggable page-placement policies — for the systems-software
+// research HMC-Sim targets: "addressing models and virtual to physical
+// address translation techniques" against stacked memory devices.
+//
+// The interesting interaction with an HMC device is page placement
+// versus the device's address interleave. Under the default
+// low-interleave map every page stripes across all vaults and placement
+// is neutral; under a high-interleave map (vault bits in the high
+// positions) the physical frame chosen for a page decides which vault
+// services it, so the placement policy controls vault load balance.
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AddressSpace is one process's flat page table over a physical memory of
+// fixed capacity. Pages materialize on first touch (a minor fault) and
+// are placed by the configured policy.
+type AddressSpace struct {
+	pageBits  uint
+	physPages uint64
+	table     map[uint64]uint64 // vpage -> ppage
+	inverse   map[uint64]uint64 // ppage -> vpage (occupancy)
+	policy    Policy
+
+	stats ASStats
+}
+
+// ASStats counts address-space events.
+type ASStats struct {
+	// Faults is the number of minor page faults (first touches).
+	Faults uint64
+	// Translations is the total number of Translate calls.
+	Translations uint64
+}
+
+// Policy chooses the physical frame for a newly touched virtual page.
+// Implementations must return a frame below physPages that is not in
+// occupied; the address space verifies both.
+type Policy interface {
+	Place(vpage uint64, physPages uint64, occupied func(ppage uint64) bool) (uint64, error)
+}
+
+// New builds an address space over capacityBytes of physical memory with
+// the given page size (a power of two, at least 64 bytes).
+func New(capacityBytes uint64, pageSize int, policy Policy) (*AddressSpace, error) {
+	if pageSize < 64 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("vm: page size %d not a power of two >= 64", pageSize)
+	}
+	if capacityBytes == 0 || capacityBytes%uint64(pageSize) != 0 {
+		return nil, fmt.Errorf("vm: capacity %d not a multiple of the page size", capacityBytes)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("vm: nil placement policy")
+	}
+	return &AddressSpace{
+		pageBits:  uint(bits.TrailingZeros(uint(pageSize))),
+		physPages: capacityBytes / uint64(pageSize),
+		table:     make(map[uint64]uint64),
+		inverse:   make(map[uint64]uint64),
+		policy:    policy,
+	}, nil
+}
+
+// PageSize returns the configured page size in bytes.
+func (as *AddressSpace) PageSize() uint64 { return 1 << as.pageBits }
+
+// Allocated returns the number of materialized pages.
+func (as *AddressSpace) Allocated() uint64 { return uint64(len(as.table)) }
+
+// Stats returns the event counters.
+func (as *AddressSpace) Stats() ASStats { return as.stats }
+
+// Translate maps a virtual address to its physical address, materializing
+// the page on first touch. It fails when physical memory is exhausted or
+// the policy misbehaves.
+func (as *AddressSpace) Translate(va uint64) (uint64, error) {
+	as.stats.Translations++
+	vpage := va >> as.pageBits
+	off := va & (as.PageSize() - 1)
+	if ppage, ok := as.table[vpage]; ok {
+		return ppage<<as.pageBits | off, nil
+	}
+	if uint64(len(as.table)) >= as.physPages {
+		return 0, fmt.Errorf("vm: out of physical memory (%d pages)", as.physPages)
+	}
+	ppage, err := as.policy.Place(vpage, as.physPages, func(p uint64) bool {
+		_, used := as.inverse[p]
+		return used
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ppage >= as.physPages {
+		return 0, fmt.Errorf("vm: policy placed page beyond physical memory (%d >= %d)", ppage, as.physPages)
+	}
+	if _, used := as.inverse[ppage]; used {
+		return 0, fmt.Errorf("vm: policy double-allocated frame %d", ppage)
+	}
+	as.table[vpage] = ppage
+	as.inverse[ppage] = vpage
+	as.stats.Faults++
+	return ppage<<as.pageBits | off, nil
+}
+
+// Frame returns the physical frame backing vpage, if materialized.
+func (as *AddressSpace) Frame(vpage uint64) (uint64, bool) {
+	p, ok := as.table[vpage]
+	return p, ok
+}
+
+// Linear places pages at the lowest free frame: the classic first-touch
+// bump allocator.
+type Linear struct {
+	next uint64
+}
+
+// Place implements Policy.
+func (l *Linear) Place(_ uint64, physPages uint64, occupied func(uint64) bool) (uint64, error) {
+	for tries := uint64(0); tries < physPages; tries++ {
+		p := l.next % physPages
+		l.next++
+		if !occupied(p) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: no free frame")
+}
+
+// Random scatters pages across frames with a deterministic LCG, probing
+// linearly from the drawn frame on collision.
+type Random struct {
+	state uint64
+}
+
+// NewRandom seeds the policy.
+func NewRandom(seed uint64) *Random { return &Random{state: seed*2862933555777941757 + 1} }
+
+// Place implements Policy.
+func (r *Random) Place(_ uint64, physPages uint64, occupied func(uint64) bool) (uint64, error) {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	start := (r.state >> 16) % physPages
+	for i := uint64(0); i < physPages; i++ {
+		p := (start + i) % physPages
+		if !occupied(p) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: no free frame")
+}
+
+// Striped rotates placements across a fixed number of equal physical
+// regions (for a high-interleave device map, the regions correspond to
+// vaults, so striping balances vault load page by page).
+type Striped struct {
+	Regions uint64
+	cursor  []uint64 // per-region bump pointer, in region-local frames
+	next    uint64   // region round-robin
+}
+
+// NewStriped builds a policy striping across n regions.
+func NewStriped(n uint64) (*Striped, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("vm: zero regions")
+	}
+	return &Striped{Regions: n, cursor: make([]uint64, n)}, nil
+}
+
+// Place implements Policy.
+func (s *Striped) Place(_ uint64, physPages uint64, occupied func(uint64) bool) (uint64, error) {
+	perRegion := physPages / s.Regions
+	if perRegion == 0 {
+		return 0, fmt.Errorf("vm: fewer frames than regions")
+	}
+	for attempts := uint64(0); attempts < s.Regions; attempts++ {
+		region := s.next % s.Regions
+		s.next++
+		for s.cursor[region] < perRegion {
+			p := region*perRegion + s.cursor[region]
+			s.cursor[region]++
+			if !occupied(p) {
+				return p, nil
+			}
+		}
+	}
+	// All regional cursors exhausted; fall back to a scan.
+	for p := uint64(0); p < physPages; p++ {
+		if !occupied(p) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: no free frame")
+}

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"fmt"
+
+	"hmcsim/internal/cpu"
+	"hmcsim/internal/workload"
+)
+
+// WalkerMemory is a cpu.Memory middleware that charges address
+// translation to the memory system itself: every access is translated
+// through an MMU, and a TLB miss first issues a page-table-walk read to
+// the memory before the translated access may proceed. It turns the
+// functional MMU into a timing model, exposing how translation overhead
+// interacts with the memory device — the virtual-to-physical research
+// the paper calls out.
+type WalkerMemory struct {
+	mmu *MMU
+	mem cpu.Memory
+	// PageTableBase is the physical region holding page-table entries;
+	// walk reads target base + vpage*8, wrapped into the table size.
+	PageTableBase  uint64
+	PageTableBytes uint64
+
+	// walks holds, per outstanding walk-read backing ID, the translated
+	// access waiting on it.
+	walks map[uint64]pendingAccess
+	// held lists walk IDs whose translated access was refused by the
+	// backing and must be retried.
+	held []uint64
+	// remap routes a translated load's backing completion ID back to the
+	// walk ID the caller is tracking.
+	remap map[uint64]uint64
+
+	stats WalkerStats
+}
+
+type pendingAccess struct {
+	access workload.Access // already translated
+	isLoad bool
+}
+
+// WalkerStats counts translation-timing events.
+type WalkerStats struct {
+	// Walks is the number of page-table-walk reads issued.
+	Walks uint64
+	// WalkStalls counts issues refused because the walk read could not be
+	// accepted by the backing memory.
+	WalkStalls uint64
+}
+
+// NewWalkerMemory wraps mem with translation through mmu. Page-table
+// walk reads are directed at a table of tableBytes starting at base.
+func NewWalkerMemory(mmu *MMU, mem cpu.Memory, base, tableBytes uint64) (*WalkerMemory, error) {
+	if mmu == nil || mem == nil {
+		return nil, fmt.Errorf("vm: nil MMU or memory")
+	}
+	if tableBytes < 16 {
+		return nil, fmt.Errorf("vm: page table size %d too small", tableBytes)
+	}
+	return &WalkerMemory{
+		mmu: mmu, mem: mem,
+		PageTableBase: base, PageTableBytes: tableBytes,
+		walks: make(map[uint64]pendingAccess),
+		remap: make(map[uint64]uint64),
+	}, nil
+}
+
+// Stats returns the walk counters.
+func (w *WalkerMemory) Stats() WalkerStats { return w.stats }
+
+// Issue implements cpu.Memory. On a TLB hit the translated access goes
+// straight to the backing memory. On a miss, a page-table-walk read is
+// issued first and the translated access is held until the walk
+// completes; the returned ID tracks the original access through the walk.
+func (w *WalkerMemory) Issue(a workload.Access) (uint64, bool) {
+	vpage := a.Addr >> w.mmu.AS.pageBits
+	if ppage, hit := w.mmu.TLB.Lookup(vpage); hit {
+		t := a
+		t.Addr = ppage<<w.mmu.AS.pageBits | a.Addr&(w.mmu.AS.PageSize()-1)
+		return w.mem.Issue(t)
+	}
+	// Miss: resolve the mapping functionally, then model the walk as a
+	// real memory read of the page-table entry.
+	pa, err := w.mmu.AS.Translate(a.Addr)
+	if err != nil {
+		return 0, false
+	}
+	w.mmu.TLB.Insert(vpage, pa>>w.mmu.AS.pageBits)
+	pte := w.PageTableBase + (vpage*8)%w.PageTableBytes&^0xF
+	walkID, ok := w.mem.Issue(workload.Access{Addr: pte, Size: 16})
+	if !ok {
+		w.stats.WalkStalls++
+		return 0, false
+	}
+	w.stats.Walks++
+	t := a
+	t.Addr = pa
+	w.walks[walkID] = pendingAccess{access: t, isLoad: !a.Write}
+	return walkID, true
+}
+
+// release tries to push the translated access held under walk ID into the
+// backing memory. It reports whether the access was accepted.
+func (w *WalkerMemory) release(id uint64) bool {
+	p := w.walks[id]
+	bid, ok := w.mem.Issue(p.access)
+	if !ok {
+		return false
+	}
+	delete(w.walks, id)
+	if p.isLoad {
+		w.remap[bid] = id
+	}
+	return true
+}
+
+// Tick implements cpu.Memory. Completed walks release their held
+// accesses into the backing memory; a held load completes toward the
+// caller (under its walk ID) when its own memory operation does, and a
+// held store completes silently.
+func (w *WalkerMemory) Tick() ([]uint64, error) {
+	done, err := w.mem.Tick()
+	if err != nil {
+		return nil, err
+	}
+	// Retry accesses the backing refused on earlier ticks.
+	still := w.held[:0]
+	for _, id := range w.held {
+		if !w.release(id) {
+			still = append(still, id)
+		}
+	}
+	w.held = still
+
+	var out []uint64
+	for _, id := range done {
+		if _, isWalk := w.walks[id]; isWalk {
+			if !w.release(id) {
+				w.held = append(w.held, id)
+			}
+			continue
+		}
+		if orig, ok := w.remap[id]; ok {
+			delete(w.remap, id)
+			out = append(out, orig)
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// OutstandingLimit implements cpu.Memory.
+func (w *WalkerMemory) OutstandingLimit() int { return w.mem.OutstandingLimit() }

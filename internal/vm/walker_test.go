@@ -1,0 +1,227 @@
+package vm
+
+import (
+	"testing"
+
+	"hmcsim/internal/cpu"
+	"hmcsim/internal/workload"
+)
+
+// stubMemory completes loads after a fixed delay and records traffic.
+type stubMemory struct {
+	nextID  uint64
+	delay   int
+	pending []stubReq
+	issued  []workload.Access
+	refuse  int
+}
+
+type stubReq struct {
+	id   uint64
+	due  int
+	load bool
+}
+
+func (m *stubMemory) Issue(a workload.Access) (uint64, bool) {
+	if m.refuse > 0 {
+		m.refuse--
+		return 0, false
+	}
+	m.issued = append(m.issued, a)
+	m.nextID++
+	if !a.Write {
+		m.pending = append(m.pending, stubReq{id: m.nextID, due: m.delay, load: true})
+	}
+	return m.nextID, true
+}
+
+func (m *stubMemory) Tick() ([]uint64, error) {
+	var out []uint64
+	rest := m.pending[:0]
+	for _, r := range m.pending {
+		r.due--
+		if r.due <= 0 {
+			out = append(out, r.id)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	m.pending = rest
+	return out, nil
+}
+
+func (m *stubMemory) OutstandingLimit() int { return 1 << 20 }
+
+func newWalker(t *testing.T, mem cpu.Memory) (*WalkerMemory, *MMU) {
+	t.Helper()
+	as := newAS(t, 1<<24, 4096, &Linear{})
+	tlb, err := NewTLB(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmu, err := NewMMU(as, tlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalkerMemory(mmu, mem, 1<<23, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, mmu
+}
+
+func TestWalkerValidation(t *testing.T) {
+	mem := &stubMemory{delay: 1}
+	_, mmu := newWalker(t, mem)
+	if _, err := NewWalkerMemory(nil, mem, 0, 1<<12); err == nil {
+		t.Error("accepted nil MMU")
+	}
+	if _, err := NewWalkerMemory(mmu, nil, 0, 1<<12); err == nil {
+		t.Error("accepted nil memory")
+	}
+	if _, err := NewWalkerMemory(mmu, mem, 0, 8); err == nil {
+		t.Error("accepted tiny page table")
+	}
+}
+
+// driveLoad issues one load and ticks until the caller's ID completes.
+func driveLoad(t *testing.T, w *WalkerMemory, addr uint64) int {
+	t.Helper()
+	id, ok := w.Issue(workload.Access{Addr: addr, Size: 16})
+	if !ok {
+		t.Fatalf("issue refused for %#x", addr)
+	}
+	for ticks := 1; ticks <= 100; ticks++ {
+		done, err := w.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range done {
+			if d == id {
+				return ticks
+			}
+		}
+	}
+	t.Fatalf("load %#x never completed", addr)
+	return -1
+}
+
+func TestColdAccessPaysWalkLatency(t *testing.T) {
+	mem := &stubMemory{delay: 3}
+	w, _ := newWalker(t, mem)
+	cold := driveLoad(t, w, 0x5000)
+	warm := driveLoad(t, w, 0x5040) // same page: TLB hit
+	if w.Stats().Walks != 1 {
+		t.Fatalf("walks = %d, want 1", w.Stats().Walks)
+	}
+	// Cold: walk (3 ticks) + access (3 ticks); warm: access only.
+	if cold <= warm {
+		t.Errorf("cold access (%d ticks) not slower than warm (%d)", cold, warm)
+	}
+	if cold < 2*warm {
+		t.Errorf("cold %d should pay roughly double the warm %d latency", cold, warm)
+	}
+}
+
+func TestWalkReadsTargetPageTable(t *testing.T) {
+	mem := &stubMemory{delay: 1}
+	w, _ := newWalker(t, mem)
+	driveLoad(t, w, 0x9000)
+	// First issued access is the walk read inside the table region.
+	if len(mem.issued) < 2 {
+		t.Fatalf("backing saw %d accesses", len(mem.issued))
+	}
+	walk := mem.issued[0]
+	if walk.Addr < 1<<23 || walk.Addr >= 1<<23+1<<16 {
+		t.Errorf("walk read at %#x outside the page table", walk.Addr)
+	}
+	if walk.Write {
+		t.Error("walk issued as a write")
+	}
+	// Second access is the translated load, inside physical memory and
+	// not equal to the virtual address region by accident of mapping.
+	if got := mem.issued[1]; got.Write || got.Size != 16 {
+		t.Errorf("translated access = %+v", got)
+	}
+}
+
+func TestStoresBehindWalkCompleteSilently(t *testing.T) {
+	mem := &stubMemory{delay: 1}
+	w, _ := newWalker(t, mem)
+	if _, ok := w.Issue(workload.Access{Addr: 0x3000, Write: true, Size: 16}); !ok {
+		t.Fatal("store refused")
+	}
+	// Drain several ticks: the walk completes and releases the store; no
+	// caller-visible completion is emitted for the store itself.
+	for i := 0; i < 10; i++ {
+		done, err := w.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != 0 {
+			t.Fatalf("store surfaced a completion: %v", done)
+		}
+	}
+	// The store did reach the backing after the walk.
+	stores := 0
+	for _, a := range mem.issued {
+		if a.Write {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("backing saw %d stores, want 1", stores)
+	}
+}
+
+func TestWalkerWithRefusals(t *testing.T) {
+	mem := &stubMemory{delay: 1, refuse: 1}
+	w, _ := newWalker(t, mem)
+	// First issue refused at the walk read.
+	if _, ok := w.Issue(workload.Access{Addr: 0x7000, Size: 16}); ok {
+		t.Fatal("issue succeeded while backing refused")
+	}
+	if w.Stats().WalkStalls != 1 {
+		t.Errorf("walk stalls = %d", w.Stats().WalkStalls)
+	}
+	// Retry works; note the TLB was warmed by the failed attempt's
+	// functional translation, so this may proceed hit-path.
+	driveLoad(t, w, 0x7000)
+}
+
+func TestWalkerCPIIntegration(t *testing.T) {
+	// End to end with the in-order core: a TLB-thrashing random workload
+	// pays walk traffic, a page-local stream does not.
+	run := func(gen workload.Generator) (float64, uint64) {
+		mem := &stubMemory{delay: 5}
+		w, _ := newWalker(t, mem)
+		c, err := cpu.New(cpu.Config{MLP: 8, MemPercent: 50, LoadPercent: 100, BlockingPercent: 50}, w, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CPI(), w.Stats().Walks
+	}
+	stream, err := workload.NewStream(1, 1<<16, 16, 0) // 16 pages, fits the TLB
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := workload.NewRandomAccess(1, 1<<23, 16, 0) // 2048 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCPI, streamWalks := run(stream)
+	rndCPI, rndWalks := run(rnd)
+	if streamWalks > 20 {
+		t.Errorf("stream paid %d walks for a 16-page set", streamWalks)
+	}
+	if rndWalks < 100 {
+		t.Errorf("random workload paid only %d walks", rndWalks)
+	}
+	if rndCPI <= streamCPI {
+		t.Errorf("TLB thrash CPI %.2f not worse than page-local %.2f", rndCPI, streamCPI)
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Access is one generated memory access.
+type Access struct {
+	// Addr is the physical address, aligned to Size.
+	Addr uint64
+	// Write selects a write request; otherwise the access is a read.
+	Write bool
+	// Size is the block size in bytes (16-128 in multiples of 16).
+	Size int
+}
+
+// Generator produces a stream of memory accesses.
+type Generator interface {
+	Next() Access
+}
+
+// RandomAccess is the paper's random access test workload: a randomized
+// stream of mixed reads and writes of a fixed block size against a
+// specified address range, driven by the glibc linear congruential
+// generator. With WritePercent 50 the resulting memory pattern is similar
+// to a parallel random number sort of the covered data.
+type RandomAccess struct {
+	rng *GlibcRand
+	// Range is the number of addressable bytes; generated addresses are
+	// uniform over [0, Range), aligned to Size.
+	Range uint64
+	// Size is the request block size in bytes.
+	Size int
+	// WritePercent is the share of writes in percent (50 for the paper's
+	// 50/50 mixture).
+	WritePercent int
+}
+
+// NewRandomAccess builds the paper's workload: size-aligned uniform
+// addresses over rangeBytes with the given write percentage.
+func NewRandomAccess(seed uint32, rangeBytes uint64, size, writePercent int) (*RandomAccess, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d not a FLIT multiple in [16,128]", size)
+	}
+	if writePercent < 0 || writePercent > 100 {
+		return nil, fmt.Errorf("workload: write percent %d out of range", writePercent)
+	}
+	if rangeBytes < uint64(size) {
+		return nil, fmt.Errorf("workload: range %d smaller than one block", rangeBytes)
+	}
+	return &RandomAccess{
+		rng:   NewGlibcRand(seed),
+		Range: rangeBytes, Size: size, WritePercent: writePercent,
+	}, nil
+}
+
+// Next implements Generator.
+func (w *RandomAccess) Next() Access {
+	blocks := w.Range / uint64(w.Size)
+	blk := w.rng.Below(blocks)
+	wr := int(w.rng.Next()%100) < w.WritePercent
+	return Access{Addr: blk * uint64(w.Size), Write: wr, Size: w.Size}
+}
+
+// Stream generates sequential addresses, wrapping at the range boundary —
+// the best case for the low-interleave address map (it touches every
+// vault and bank in rotation with zero conflicts).
+type Stream struct {
+	Range        uint64
+	Size         int
+	WritePercent int
+
+	rng  *GlibcRand
+	next uint64
+}
+
+// NewStream builds a sequential workload starting at address zero.
+func NewStream(seed uint32, rangeBytes uint64, size, writePercent int) (*Stream, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d invalid", size)
+	}
+	if rangeBytes < uint64(size) {
+		return nil, fmt.Errorf("workload: range %d smaller than one block", rangeBytes)
+	}
+	return &Stream{Range: rangeBytes, Size: size, WritePercent: writePercent,
+		rng: NewGlibcRand(seed)}, nil
+}
+
+// Next implements Generator.
+func (w *Stream) Next() Access {
+	a := w.next
+	w.next += uint64(w.Size)
+	if w.next >= w.Range {
+		w.next = 0
+	}
+	return Access{Addr: a, Write: int(w.rng.Next()%100) < w.WritePercent, Size: w.Size}
+}
+
+// Stride generates a fixed-stride address pattern. A stride equal to the
+// vault rotation period of the address map concentrates all traffic on a
+// single vault — the worst case the interleave model exists to avoid.
+type Stride struct {
+	Start, StrideBytes, Range uint64
+	Size                      int
+	WritePercent              int
+
+	rng  *GlibcRand
+	next uint64
+}
+
+// NewStride builds a strided workload.
+func NewStride(seed uint32, start, strideBytes, rangeBytes uint64, size, writePercent int) (*Stride, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d invalid", size)
+	}
+	if strideBytes == 0 {
+		return nil, fmt.Errorf("workload: zero stride")
+	}
+	if rangeBytes == 0 {
+		return nil, fmt.Errorf("workload: zero range")
+	}
+	return &Stride{Start: start, StrideBytes: strideBytes, Range: rangeBytes,
+		Size: size, WritePercent: writePercent,
+		rng: NewGlibcRand(seed), next: start}, nil
+}
+
+// Next implements Generator.
+func (w *Stride) Next() Access {
+	a := w.next % w.Range
+	a &^= uint64(w.Size - 1)
+	w.next += w.StrideBytes
+	return Access{Addr: a, Write: int(w.rng.Next()%100) < w.WritePercent, Size: w.Size}
+}
+
+// Hotspot sends a configurable share of the traffic to a small hot region
+// and the remainder uniformly over the whole range, modelling contended
+// data structures.
+type Hotspot struct {
+	Range        uint64
+	HotBytes     uint64 // size of the hot region at the base of the range
+	HotPercent   int    // share of accesses landing in the hot region
+	Size         int
+	WritePercent int
+
+	rng *GlibcRand
+}
+
+// NewHotspot builds a hotspot workload.
+func NewHotspot(seed uint32, rangeBytes, hotBytes uint64, hotPercent, size, writePercent int) (*Hotspot, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d invalid", size)
+	}
+	if hotBytes == 0 || hotBytes > rangeBytes {
+		return nil, fmt.Errorf("workload: hot region %d out of range", hotBytes)
+	}
+	if hotPercent < 0 || hotPercent > 100 {
+		return nil, fmt.Errorf("workload: hot percent %d out of range", hotPercent)
+	}
+	return &Hotspot{Range: rangeBytes, HotBytes: hotBytes, HotPercent: hotPercent,
+		Size: size, WritePercent: writePercent, rng: NewGlibcRand(seed)}, nil
+}
+
+// Next implements Generator.
+func (w *Hotspot) Next() Access {
+	r := w.Range
+	if int(w.rng.Next()%100) < w.HotPercent {
+		r = w.HotBytes
+	}
+	blk := w.rng.Below(r / uint64(w.Size))
+	return Access{Addr: blk * uint64(w.Size),
+		Write: int(w.rng.Next()%100) < w.WritePercent, Size: w.Size}
+}
+
+// PointerChase emulates a dependent pointer chase: each address is a
+// full-period affine permutation of the previous one, so the stream has no
+// spatial locality and, unlike RandomAccess, a deterministic revisit-free
+// order. Reads only.
+type PointerChase struct {
+	Size int
+
+	mask uint64
+	cur  uint64
+}
+
+// NewPointerChase builds a chase over rangeBytes (rounded down to a power
+// of two).
+func NewPointerChase(seed uint32, rangeBytes uint64, size int) (*PointerChase, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d invalid", size)
+	}
+	blocks := rangeBytes / uint64(size)
+	if blocks < 2 {
+		return nil, fmt.Errorf("workload: range %d too small", rangeBytes)
+	}
+	// Round down to a power of two so the affine map is full-period.
+	p := uint64(1)
+	for p*2 <= blocks {
+		p *= 2
+	}
+	return &PointerChase{Size: size, mask: p - 1, cur: uint64(seed) & (p - 1)}, nil
+}
+
+// Next implements Generator.
+func (w *PointerChase) Next() Access {
+	// Affine permutation mod 2^k: multiplier ≡ 1 (mod 4), odd increment.
+	w.cur = (w.cur*2862933555777941757 + 3037000493) & w.mask
+	return Access{Addr: w.cur * uint64(w.Size), Size: w.Size}
+}
+
+// Zipf generates a skewed access distribution over the address range:
+// block popularity follows a Zipf law with parameter S (S > 1; larger is
+// more skewed). It models realistic hot/cold data far beyond the fixed
+// two-tier Hotspot split. Randomness comes from math/rand's bounded Zipf
+// sampler over a deterministic source (this generator is an extension, so
+// glibc fidelity is not required).
+type Zipf struct {
+	Range        uint64
+	Size         int
+	WritePercent int
+
+	z   *rand.Zipf
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf workload with skew s over rangeBytes.
+func NewZipf(seed int64, rangeBytes uint64, size, writePercent int, s float64) (*Zipf, error) {
+	if size < 16 || size > 128 || size%16 != 0 {
+		return nil, fmt.Errorf("workload: block size %d invalid", size)
+	}
+	if rangeBytes < uint64(size) {
+		return nil, fmt.Errorf("workload: range %d smaller than one block", rangeBytes)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf skew %v must exceed 1", s)
+	}
+	if writePercent < 0 || writePercent > 100 {
+		return nil, fmt.Errorf("workload: write percent %d out of range", writePercent)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, rangeBytes/uint64(size)-1)
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters")
+	}
+	return &Zipf{Range: rangeBytes, Size: size, WritePercent: writePercent, z: z, rng: rng}, nil
+}
+
+// Next implements Generator.
+func (w *Zipf) Next() Access {
+	blk := w.z.Uint64()
+	return Access{
+		Addr:  blk * uint64(w.Size),
+		Write: w.rng.Intn(100) < w.WritePercent,
+		Size:  w.Size,
+	}
+}

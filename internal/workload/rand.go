@@ -1,0 +1,53 @@
+// Package workload implements the memory workload generators used by the
+// paper's evaluation, most importantly the random access test harness: a
+// randomized stream of mixed reads and writes of varying block sizes whose
+// randomness is driven by the simple linear congruential method provided
+// by the GNU libc library.
+package workload
+
+// GlibcRand reproduces the GNU libc TYPE_0 linear congruential generator
+// (the "simple linear congruential method provided by the GNU libc
+// library" the paper's test application uses):
+//
+//	state = state*1103515245 + 12345
+//	value = state & 0x7fffffff
+//
+// Values are 31-bit non-negative integers, matching rand() with a TYPE_0
+// state array.
+type GlibcRand struct {
+	state uint32
+}
+
+// RandMax is the largest value returned by Next.
+const RandMax = 1<<31 - 1
+
+// NewGlibcRand returns a generator seeded like srand(seed).
+func NewGlibcRand(seed uint32) *GlibcRand {
+	return &GlibcRand{state: seed}
+}
+
+// Seed reinitializes the generator, like srand.
+func (g *GlibcRand) Seed(seed uint32) { g.state = seed }
+
+// Next returns the next value in [0, RandMax], like rand().
+func (g *GlibcRand) Next() int32 {
+	g.state = g.state*1103515245 + 12345
+	return int32(g.state & 0x7fffffff)
+}
+
+// Uint64 composes three 31-bit draws into a full 64-bit value.
+func (g *GlibcRand) Uint64() uint64 {
+	hi := uint64(g.Next())
+	mid := uint64(g.Next())
+	lo := uint64(g.Next())
+	return hi<<33 ^ mid<<11 ^ lo>>9 ^ lo<<55
+}
+
+// Below returns a value uniformly-ish distributed in [0, n), using the
+// classic rand()%n construction the original test harness would employ.
+func (g *GlibcRand) Below(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return g.Uint64() % n
+}

@@ -1,0 +1,49 @@
+package workload
+
+import "hmcsim/internal/addr"
+
+// LinkSelector chooses the injection link for an access. The paper's test
+// application selects links in a simple round-robin fashion to naively
+// balance traffic; its Section VI corollary observes that locality-aware
+// host devices can reduce latency and internal contention, which
+// LocalitySelector implements.
+type LinkSelector interface {
+	Select(a Access) int
+}
+
+// RoundRobin cycles through the links regardless of the access address.
+type RoundRobin struct {
+	NumLinks int
+	next     int
+}
+
+// Select implements LinkSelector.
+func (s *RoundRobin) Select(Access) int {
+	l := s.next
+	s.next = (s.next + 1) % s.NumLinks
+	return l
+}
+
+// Locality selects the link whose associated quad unit is physically
+// closest to the required vault, minimizing routed latency penalties.
+type Locality struct {
+	// Map decodes addresses into vault coordinates.
+	Map addr.Mapper
+	// NumLinks is the device link count; link i is closest to quad
+	// i%numQuads, and with four vaults per quad the quad of vault v is
+	// v/4.
+	NumLinks int
+}
+
+// Select implements LinkSelector.
+func (s *Locality) Select(a Access) int {
+	quad := s.Map.Decode(a.Addr).Vault / 4
+	return quad % s.NumLinks
+}
+
+// Fixed always selects the same link, concentrating all injection
+// bandwidth on one port.
+type Fixed struct{ Link int }
+
+// Select implements LinkSelector.
+func (s Fixed) Select(Access) int { return s.Link }

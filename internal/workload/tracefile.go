@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace-driven simulation is the classic memory-evaluation methodology
+// (the paper's related work, refs [14-15]); this file implements a plain
+// text address-trace format so recorded or synthesized traces drive the
+// simulator directly:
+//
+//	# comment
+//	R 0x1f400 64
+//	W 0x00840 32
+//
+// One access per line: operation (R/W), address (any Go integer literal
+// base), and block size in bytes.
+
+// ParseTrace reads an entire address trace.
+func ParseTrace(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := parseTraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseTraceLine(line string) (Access, error) {
+	f := strings.Fields(line)
+	if len(f) != 3 {
+		return Access{}, fmt.Errorf("want 'R|W addr size', got %q", line)
+	}
+	var wr bool
+	switch strings.ToUpper(f[0]) {
+	case "R":
+		wr = false
+	case "W":
+		wr = true
+	default:
+		return Access{}, fmt.Errorf("unknown operation %q", f[0])
+	}
+	addr, err := strconv.ParseUint(f[1], 0, 64)
+	if err != nil {
+		return Access{}, fmt.Errorf("bad address %q: %w", f[1], err)
+	}
+	size, err := strconv.Atoi(f[2])
+	if err != nil {
+		return Access{}, fmt.Errorf("bad size %q: %w", f[2], err)
+	}
+	if size < 16 || size > 128 || size%16 != 0 {
+		return Access{}, fmt.Errorf("size %d not a FLIT multiple in [16,128]", size)
+	}
+	return Access{Addr: addr, Write: wr, Size: size}, nil
+}
+
+// WriteTrace renders accesses in the trace format.
+func WriteTrace(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range accs {
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %#x %d\n", op, a.Addr, a.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Replay generates the accesses of a recorded trace in order. With Loop
+// set, the trace repeats forever; otherwise Next panics past the end (use
+// Len to bound the run).
+type Replay struct {
+	Accesses []Access
+	Loop     bool
+	pos      int
+}
+
+// NewReplay parses a trace and wraps it as a generator.
+func NewReplay(r io.Reader, loop bool) (*Replay, error) {
+	accs, err := ParseTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &Replay{Accesses: accs, Loop: loop}, nil
+}
+
+// Len returns the trace length.
+func (g *Replay) Len() int { return len(g.Accesses) }
+
+// Next implements Generator.
+func (g *Replay) Next() Access {
+	if g.pos >= len(g.Accesses) {
+		if !g.Loop {
+			panic("workload: replay past end of trace")
+		}
+		g.pos = 0
+	}
+	a := g.Accesses[g.pos]
+	g.pos++
+	return a
+}
+
+// Record wraps a generator and appends every produced access to a log,
+// so a synthetic workload can be captured to a trace file for later
+// replay.
+type Record struct {
+	Gen Generator
+	Log []Access
+}
+
+// Next implements Generator.
+func (g *Record) Next() Access {
+	a := g.Gen.Next()
+	g.Log = append(g.Log, a)
+	return a
+}

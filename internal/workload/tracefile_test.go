@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `# header comment
+R 0x1f400 64
+
+W 2048 32
+r 0x40 16
+w 0X80 128
+`
+	accs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Access{
+		{Addr: 0x1f400, Write: false, Size: 64},
+		{Addr: 2048, Write: true, Size: 32},
+		{Addr: 0x40, Write: false, Size: 16},
+		{Addr: 0x80, Write: true, Size: 128},
+	}
+	if len(accs) != len(want) {
+		t.Fatalf("%d accesses, want %d", len(accs), len(want))
+	}
+	for i := range want {
+		if accs[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, accs[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	bad := []string{
+		"X 0x40 64",
+		"R zz 64",
+		"R 0x40 65",
+		"R 0x40",
+		"R 0x40 64 extra",
+		"R 0x40 0",
+		"R 0x40 256",
+	}
+	for _, line := range bad {
+		if _, err := ParseTrace(strings.NewReader(line)); err == nil {
+			t.Errorf("ParseTrace(%q) succeeded", line)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	gen, err := NewRandomAccess(5, 1<<28, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig []Access
+	for i := 0; i < 200; i++ {
+		orig = append(orig, gen.Next())
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("%d accesses back, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestReplayGenerator(t *testing.T) {
+	in := "R 0x40 64\nW 0x80 64\n"
+	g, err := NewReplay(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	// Looping replay cycles the trace.
+	for i := 0; i < 6; i++ {
+		a := g.Next()
+		if i%2 == 0 && (a.Addr != 0x40 || a.Write) {
+			t.Fatalf("iteration %d: %+v", i, a)
+		}
+		if i%2 == 1 && (a.Addr != 0x80 || !a.Write) {
+			t.Fatalf("iteration %d: %+v", i, a)
+		}
+	}
+	// Non-looping replay panics past the end.
+	g2, err := NewReplay(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Next()
+	g2.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past end of non-looping trace")
+		}
+	}()
+	g2.Next()
+}
+
+func TestNewReplayEmpty(t *testing.T) {
+	if _, err := NewReplay(strings.NewReader("# nothing\n"), false); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+func TestRecordCapturesStream(t *testing.T) {
+	base, err := NewStream(1, 1<<12, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Gen: base}
+	for i := 0; i < 10; i++ {
+		rec.Next()
+	}
+	if len(rec.Log) != 10 {
+		t.Fatalf("logged %d accesses", len(rec.Log))
+	}
+	// The log replays identically.
+	var sb strings.Builder
+	if err := WriteTrace(&sb, rec.Log); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(strings.NewReader(sb.String()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := rep.Next(); got != rec.Log[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
