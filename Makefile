@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench table1 fig5 examples vet clean
+.PHONY: all build test test-race race bench table1 fig5 faults examples vet clean
 
 all: vet test build
 
@@ -15,7 +15,9 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+race: test-race
+
+test-race:
 	$(GO) test -race ./...
 
 bench:
@@ -26,6 +28,9 @@ table1:
 
 fig5:
 	$(GO) run ./cmd/hmcsim-fig5 -heatmap
+
+faults:
+	$(GO) run ./cmd/hmcsim-faults
 
 examples:
 	for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done

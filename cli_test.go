@@ -171,3 +171,47 @@ func TestCLIRepro(t *testing.T) {
 		}
 	}
 }
+
+func TestCLIFaultsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-faults")
+	args := []string{"-requests", "1024", "-seed", "9"}
+	out1 := runTool(t, bin, args...)
+	out2 := runTool(t, bin, args...)
+	// The acceptance criterion: a fixed-seed campaign is byte-identical
+	// across runs.
+	if out1 != out2 {
+		t.Errorf("fault campaign not byte-identical for a fixed seed:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+	for _, frag := range []string{"clean", "transient-1e3", "linkfail-500", "vault-1e4", "mixed", "Retrans", "Reroutes"} {
+		if !strings.Contains(out1, frag) {
+			t.Errorf("faults output missing %q:\n%s", frag, out1)
+		}
+	}
+}
+
+func TestCLIFaultsRingDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-faults")
+	out := runTool(t, bin,
+		"-requests", "512", "-topo", "ring", "-devs", "4",
+		"-fail-link", "0:1",
+		"-transient-ppm", "0", "-linkfail-ppm", "0", "-vault-ppm", "0")
+	if !strings.Contains(out, "custom") {
+		t.Errorf("ring campaign missing custom point:\n%s", out)
+	}
+	// Every row of a statically degraded ring must show reroutes; none may
+	// report a disconnected host.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "custom") {
+			continue
+		}
+		if strings.Contains(line, "host disconnected") {
+			t.Errorf("degraded ring disconnected the host: %s", line)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command hmcsim-faults is the fault-model campaign driver: it sweeps the
+// fault-rate operating points (transient link faults, permanent link
+// failures, vault faults) across the paper's four Table I device
+// configurations and prints one summary row per cell. All randomness —
+// the workload and the fault schedule — flows from the -seed flag, so a
+// fixed seed produces bit-identical output across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hmcsim/internal/eval"
+	"hmcsim/internal/fault"
+)
+
+func main() {
+	requests := flag.Uint64("requests", 1<<12, "memory requests per campaign cell")
+	seed := flag.Uint("seed", 1, "workload and fault-schedule seed")
+	topoName := flag.String("topo", "simple", "topology per cell: simple or ring")
+	devs := flag.Int("devs", 4, "ring size (with -topo ring)")
+	maxRetries := flag.Int("max-retries", 0, "link retry budget (0: protocol default)")
+	failLinks := flag.String("fail-link", "", "comma-separated dev:link endpoints failed from reset")
+	failVaults := flag.String("fail-vault", "", "comma-separated dev:vault pairs failed from reset")
+	transient := flag.Int("transient-ppm", -1, "run a single custom point with this transient fault rate")
+	linkFail := flag.Int("linkfail-ppm", -1, "permanent link-failure rate of the custom point")
+	vault := flag.Int("vault-ppm", -1, "vault fault rate of the custom point")
+	flag.Parse()
+
+	opts := eval.CampaignOpts{
+		Requests:   *requests,
+		Seed:       uint32(*seed),
+		MaxRetries: *maxRetries,
+		Topology:   *topoName,
+		RingDevs:   *devs,
+	}
+	var err error
+	if opts.FailedLinks, err = parsePairs(*failLinks, func(a, b int) fault.LinkID {
+		return fault.LinkID{Dev: a, Link: b}
+	}); err != nil {
+		fatal(fmt.Errorf("-fail-link: %w", err))
+	}
+	if opts.FailedVaults, err = parsePairs(*failVaults, func(a, b int) fault.VaultID {
+		return fault.VaultID{Dev: a, Vault: b}
+	}); err != nil {
+		fatal(fmt.Errorf("-fail-vault: %w", err))
+	}
+	if *transient >= 0 || *linkFail >= 0 || *vault >= 0 {
+		pt := eval.CampaignPoint{Label: "custom"}
+		if *transient >= 0 {
+			pt.TransientPPM = *transient
+		}
+		if *linkFail >= 0 {
+			pt.LinkFailPPM = *linkFail
+		}
+		if *vault >= 0 {
+			pt.VaultPPM = *vault
+		}
+		opts.Points = []eval.CampaignPoint{pt}
+	}
+
+	rows, err := eval.FaultCampaign(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fault campaign: %d requests/cell, seed %d, topology %s\n",
+		*requests, *seed, *topoName)
+	fmt.Print(eval.FormatCampaign(rows))
+}
+
+// parsePairs parses a comma-separated list of a:b integer pairs.
+func parsePairs[T any](s string, mk func(a, b int) T) ([]T, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []T
+	for _, part := range strings.Split(s, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("%q is not of the form dev:index", part)
+		}
+		av, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := strconv.Atoi(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mk(av, bv))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmcsim-faults:", err)
+	os.Exit(1)
+}

@@ -11,9 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
+	"hmcsim/internal/fault"
 	"hmcsim/internal/host"
 	"hmcsim/internal/power"
 	"hmcsim/internal/trace"
@@ -41,12 +44,42 @@ func main() {
 	record := flag.String("record", "", "record the generated workload to this address-trace file")
 	bw := flag.Bool("bw", false, "print the per-link bandwidth utilization report (10 Gbps lanes, 1.25 GHz clock)")
 	energy := flag.Bool("energy", false, "print the activity-based energy estimate (HMC default parameters)")
+	faultTransient := flag.Int("fault-transient", 0, "transient link-fault rate in PPM (CRC-corrupt FLITs, retried transparently)")
+	faultLinkFail := flag.Int("fault-linkfail", 0, "permanent link-failure rate in PPM")
+	faultVault := flag.Int("fault-vault", 0, "vault fault rate in PPM (poisoned reads)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-schedule seed (0: derived from -seed)")
+	faultRetries := flag.Int("fault-retries", 0, "link retry budget before an ERROR response (0: protocol default)")
+	failLinks := flag.String("fail-link", "", "comma-separated dev:link endpoints failed from reset")
 	flag.Parse()
 
 	cfg := core.Config{
 		NumDevs: 1, NumLinks: *links, NumVaults: 4 * *links,
 		QueueDepth: *queueDepth, NumBanks: *banks, NumDRAMs: 20,
 		CapacityGB: *capacity, XbarDepth: *xbarDepth, BlockSize: 64,
+	}
+	cfg.Fault = fault.Config{
+		TransientPPM: *faultTransient,
+		LinkFailPPM:  *faultLinkFail,
+		VaultPPM:     *faultVault,
+		Seed:         *faultSeed,
+		MaxRetries:   *faultRetries,
+	}
+	if cfg.Fault.Seed == 0 {
+		cfg.Fault.Seed = uint64(*seed)
+	}
+	if *failLinks != "" {
+		for _, part := range strings.Split(*failLinks, ",") {
+			a, b, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				fatal(fmt.Errorf("-fail-link: %q is not of the form dev:link", part))
+			}
+			dv, err1 := strconv.Atoi(a)
+			lv, err2 := strconv.Atoi(b)
+			if err1 != nil || err2 != nil {
+				fatal(fmt.Errorf("-fail-link: bad pair %q", part))
+			}
+			cfg.Fault.FailedLinks = append(cfg.Fault.FailedLinks, fault.LinkID{Dev: dv, Link: lv})
+		}
 	}
 	h, err := eval.BuildSimple(cfg)
 	if err != nil {
@@ -147,8 +180,12 @@ func main() {
 	fmt.Printf("latency (cycles): %s\n", res.Latency.String())
 	e := res.Engine
 	fmt.Printf("engine: reads=%d writes=%d atomics=%d posted=%d\n", e.Reads, e.Writes, e.Atomics, e.Posted)
-	fmt.Printf("events: bank conflicts=%d xbar rqst stalls=%d latency penalties=%d send stalls=%d retries=%d\n",
-		e.BankConflicts, e.XbarRqstStalls, e.LatencyEvents, e.SendStalls, e.LinkRetries)
+	fmt.Printf("events: bank conflicts=%d xbar rqst stalls=%d latency penalties=%d send stalls=%d retransmits=%d\n",
+		e.BankConflicts, e.XbarRqstStalls, e.LatencyEvents, e.SendStalls, e.LinkRetransmits)
+	if e.LinkRetransmits+e.ErrorResponses+e.LinkFailures+e.Reroutes+e.PoisonedReads > 0 {
+		fmt.Printf("faults: retransmits=%d error responses=%d link failures=%d reroutes=%d poisoned reads=%d\n",
+			e.LinkRetransmits, e.ErrorResponses, e.LinkFailures, e.Reroutes, e.PoisonedReads)
+	}
 
 	if rec != nil {
 		f, err := os.Create(*record)

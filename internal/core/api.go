@@ -78,6 +78,9 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 	if linkDown(d, link) {
 		return ErrLinkDown
 	}
+	if h.linkFailed(dev, link) {
+		return ErrLinkFailed
+	}
 	p, err := packet.FromWords(words)
 	if err != nil {
 		return err
@@ -90,7 +93,10 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 	if !cmd.IsRequest() {
 		return fmt.Errorf("hmcsim: cannot send %v packets", cmd)
 	}
-	if l.RqstQ.Full() {
+	rs := &h.retry[dev][link]
+	if l.RqstQ.Full() || rs.pending {
+		// Genuine back-pressure: no free crossbar slot, or the link
+		// controller is mid-retry and its buffer is occupied.
 		h.stats.SendStalls++
 		h.emit(trace.Event{
 			Kind: trace.KindXbarRqstStall, Dev: dev, Link: link,
@@ -100,22 +106,32 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 		})
 		return ErrStall
 	}
-	if h.faultRoll() {
-		// Injected transmission fault: the link retries transparently;
-		// the host observes one cycle of back-pressure.
-		h.stats.LinkRetries++
-		h.emit(trace.Event{
-			Kind: trace.KindRetry, Dev: dev, Link: link, Quad: l.Quad,
-			Vault: trace.None, Bank: trace.None,
-			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
-		})
-		return ErrStall
-	}
 	// The link logic stamps the ingress source link ID so the response can
 	// be returned on the same link.
 	p.SetSLID(uint8(link))
 	p.Finalize()
+	if h.fault.LinkFailure() {
+		// The transfer trips a hard SERDES failure: the packet is lost
+		// on the wire and the link carries no further traffic. The host
+		// re-issues on a surviving link.
+		h.failLink(dev, link)
+		return ErrLinkFailed
+	}
 	l.ReqFlits += uint64(p.Flits())
+	if h.faultTransient(&p) {
+		// The transfer arrived CRC-corrupt. The transmitting link
+		// controller keeps the packet in its retry buffer and replays
+		// it on subsequent cycles — transparently to the host, which
+		// sees the packet as accepted.
+		*rs = retryState{pending: true, attempts: 1, packet: p}
+		h.stats.LinkRetransmits++
+		h.emit(trace.Event{
+			Kind: trace.KindRetry, Dev: dev, Link: link, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None,
+			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(), Aux: 1,
+		})
+		return nil
+	}
 	if h.mask&trace.KindSend != 0 {
 		h.emit(trace.Event{
 			Kind: trace.KindSend, Dev: dev, Link: link, Quad: l.Quad,
@@ -162,6 +178,9 @@ func (h *HMC) Recv(dev, link int) ([]uint64, error) {
 	if linkDown(d, link) {
 		return nil, ErrLinkDown
 	}
+	if h.linkFailed(dev, link) {
+		return nil, ErrLinkFailed
+	}
 	p, ok := l.RspQ.Pop()
 	if !ok {
 		return nil, ErrStall
@@ -193,6 +212,9 @@ func (h *HMC) RecvPacket(dev, link int) (packet.Response, error) {
 	}
 	if linkDown(d, link) {
 		return packet.Response{}, ErrLinkDown
+	}
+	if h.linkFailed(dev, link) {
+		return packet.Response{}, ErrLinkFailed
 	}
 	p, ok := l.RspQ.Pop()
 	if !ok {

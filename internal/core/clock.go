@@ -34,6 +34,11 @@ func (h *HMC) Clock() error {
 	}
 	h.clearCycleFlags()
 
+	// Stage 0: link-controller retry buffers replay transfers corrupted
+	// by transient faults (the HMC 1.0 retry-pointer protocol), one
+	// retransmission attempt per cycle.
+	h.linkRetryStage()
+
 	// Stage 1: child device crossbar transactions. These are devices not
 	// connected directly to a host.
 	for _, cube := range h.childOrder {
@@ -106,6 +111,103 @@ func pushMoved(q *queue.Queue, p packet.Packet, clk uint64) error {
 	}
 	q.At(q.Len() - 1).Moved = true
 	return nil
+}
+
+// linkRetryStage replays the transfers held in the link-controller
+// retry buffers. A clean replay delivers the packet into the link's
+// crossbar request queue; a replay corrupted by another transient fault
+// consumes one attempt of the bounded budget; an exhausted budget (or a
+// permanent failure of the link mid-retry) abandons the transfer and
+// surfaces an ERROR response to the host.
+func (h *HMC) linkRetryStage() {
+	for dev := range h.retry {
+		d := h.devs[dev]
+		for li := range h.retry[dev] {
+			rs := &h.retry[dev][li]
+			if !rs.pending {
+				continue
+			}
+			p := &rs.packet
+			if rs.attempts > h.fault.MaxRetries() || h.linkFailed(dev, li) {
+				h.retryGiveUp(d, li, rs)
+				continue
+			}
+			if h.faultTransient(p) {
+				rs.attempts++
+				h.stats.LinkRetransmits++
+				h.emit(trace.Event{
+					Kind: trace.KindRetry, Dev: dev, Link: li,
+					Quad: d.Links[li].Quad, Vault: trace.None, Bank: trace.None,
+					Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(),
+					Aux: uint64(rs.attempts),
+				})
+				if rs.attempts > h.fault.MaxRetries() {
+					h.retryGiveUp(d, li, rs)
+				}
+				continue
+			}
+			l := &d.Links[li]
+			if l.RqstQ.Full() {
+				h.stats.XbarRqstStalls++
+				continue
+			}
+			if err := pushMoved(l.RqstQ, *p, h.clk); err == nil {
+				*rs = retryState{}
+			}
+		}
+	}
+}
+
+// retryGiveUp abandons a transfer whose retry budget is exhausted or
+// whose link died mid-retry. Posted requests vanish silently, per the
+// specification; all other requests surface an ERROR response so the
+// host can correlate the failure by tag. The buffer stays occupied
+// until the response is handed off.
+func (h *HMC) retryGiveUp(d *device.Device, li int, rs *retryState) {
+	p := &rs.packet
+	if p.Cmd().IsPosted() {
+		h.stats.Errors++
+		h.emit(trace.Event{
+			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(packet.ErrStatLinkCRC),
+		})
+		*rs = retryState{}
+		return
+	}
+	rsp := packet.ErrorResponse(p, uint8(d.ID), packet.ErrStatLinkCRC)
+	out, rerouted := li, false
+	if h.linkFailed(d.ID, li) {
+		out, rerouted = h.responseEgress(d.ID, &rsp)
+		if out < 0 {
+			// No surviving path back to any host: the response is lost.
+			h.stats.Errors++
+			*rs = retryState{}
+			return
+		}
+	}
+	q := d.Links[out].RspQ
+	if q.Full() {
+		h.stats.XbarRspStalls++
+		return // hold the buffer; retried next cycle
+	}
+	_ = pushMoved(q, rsp, h.clk)
+	h.stats.Errors++
+	h.stats.ErrorResponses++
+	h.emit(trace.Event{
+		Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
+		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+		Cmd: p.Cmd().String(), Aux: uint64(packet.ErrStatLinkCRC),
+	})
+	if rerouted {
+		h.stats.Reroutes++
+		h.emit(trace.Event{
+			Kind: trace.KindReroute, Dev: d.ID, Link: out,
+			Quad: trace.None, Vault: trace.None, Bank: trace.None,
+			Tag: p.Tag(), Cmd: rsp.Cmd().String(), Aux: uint64(li),
+		})
+	}
+	*rs = retryState{}
 }
 
 // xbarRequestStage walks each link's crossbar request queue in FIFO order
@@ -218,6 +320,11 @@ func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
 	}
 
 	dec := d.Map.Decode(p.Addr())
+	if h.fault.VaultFailed(d.ID, dec.Vault) {
+		// The target vault is permanently failed: reject with an ERROR
+		// response rather than servicing against dead storage.
+		return h.errorAt(d, li, slot, packet.ErrStatVaultFail)
+	}
 	v := &d.Vaults[dec.Vault]
 	if v.RqstQ.Full() {
 		h.stats.XbarRqstStalls++
@@ -278,13 +385,27 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 		})
 		return outcomeStall
 	}
-	if h.faultRoll() {
-		h.stats.LinkRetries++
+	if h.fault.LinkFailure() {
+		// The transfer trips a hard failure of the egress link. The
+		// packet survives in its queue and is re-routed on a later
+		// cycle through the recomputed degraded tables.
+		h.failLink(d.ID, el)
+		return outcomeStall
+	}
+	if h.faultTransient(p) {
+		// CRC-corrupt transfer: the link controller replays it from its
+		// retry buffer — one cycle of delay per attempt, bounded.
+		s := q.At(slot)
+		s.Retries++
+		h.stats.LinkRetransmits++
 		h.emit(trace.Event{
 			Kind: trace.KindRetry, Dev: d.ID, Link: el, Quad: trace.None,
 			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(),
+			Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
 		})
+		if int(s.Retries) > h.fault.MaxRetries() {
+			return h.errorAt(d, li, slot, packet.ErrStatLinkCRC)
+		}
 		return outcomeStall
 	}
 	if err := pushMoved(pq, *p, h.clk); err != nil {
@@ -297,6 +418,16 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
 		Cmd: p.Cmd().String(), Aux: uint64(dest),
 	})
+	if pl, ok := h.routesPristine.NextHop(d.ID, dest); ok && pl != el {
+		// Degraded-mode routing chose a different hop than the pristine
+		// fabric would: record the latency-penalty event.
+		h.stats.Reroutes++
+		h.emit(trace.Event{
+			Kind: trace.KindReroute, Dev: d.ID, Link: el, Quad: trace.None,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(pl),
+		})
+	}
 	q.Remove(slot)
 	return outcomeRemoved
 }
@@ -354,12 +485,27 @@ func (h *HMC) errorAt(d *device.Device, li, slot int, errStat uint8) stageOutcom
 	l := &d.Links[li]
 	q := l.RqstQ
 	p := &q.At(slot).Packet
+	if p.Cmd().IsPosted() {
+		// Posted requests receive no responses, even on error — their tags
+		// are recycled by the host the moment Send accepts them, so an
+		// ERROR response would collide with a reused tag. The request is
+		// dropped and the error recorded.
+		h.stats.Errors++
+		h.emit(trace.Event{
+			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(errStat),
+		})
+		q.Remove(slot)
+		return outcomeRemoved
+	}
 	if l.RspQ.Full() {
 		h.stats.XbarRspStalls++
 		return outcomeStall
 	}
 	rsp := packet.ErrorResponse(p, uint8(d.ID), errStat)
 	h.stats.Errors++
+	h.stats.ErrorResponses++
 	h.emit(trace.Event{
 		Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
 		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
@@ -512,6 +658,20 @@ func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *
 		rspCmd, rspData = packet.CmdRDRS, buf
 		h.stats.Reads++
 		h.stats.BytesRead += uint64(cmd.ResponseDataBytes())
+		if h.fault.VaultFault() {
+			// Poisoned read: the vault detected uncorrectable data. The
+			// read response still carries the payload but flags it invalid
+			// (DINV) with a poison error status.
+			errStat = packet.ErrStatPoison
+			h.stats.PoisonedReads++
+			h.stats.Errors++
+			h.emit(trace.Event{
+				Kind: trace.KindError, Dev: d.ID, Link: trace.None,
+				Quad: v.Quad, Vault: vi, Bank: dec.Bank,
+				Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+				Aux: uint64(packet.ErrStatPoison),
+			})
+		}
 	case cmd.IsWrite():
 		bank.Write(dec.DRAM, p.Data())
 		rspCmd = packet.CmdWRRS
@@ -536,6 +696,7 @@ func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *
 		// mode request): generate an error response.
 		rspCmd, errStat = packet.CmdError, packet.ErrStatCmd
 		h.stats.Errors++
+		h.stats.ErrorResponses++
 	}
 
 	if h.mask&trace.KindRqst != 0 {
@@ -580,12 +741,47 @@ func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *
 func (h *HMC) responseStage(cube int) {
 	d := h.devs[cube]
 
+	// Rescue pass: responses stranded on a permanently failed link migrate
+	// to a surviving egress queue so no outstanding tag is ever lost.
+	for li := range d.Links {
+		if !d.Links[li].Active || !h.linkFailed(cube, li) {
+			continue
+		}
+		q := d.Links[li].RspQ
+		i := 0
+		for i < q.Len() {
+			s := q.At(i)
+			if s.Moved {
+				i++
+				continue
+			}
+			p := &s.Packet
+			out, _ := h.responseEgress(cube, p)
+			if out < 0 || out == li {
+				// No surviving path back to any host.
+				h.stats.Errors++
+				q.Remove(i)
+				continue
+			}
+			oq := d.Links[out].RspQ
+			if oq.Full() {
+				h.stats.XbarRspStalls++
+				break
+			}
+			if err := pushMoved(oq, *p, h.clk); err != nil {
+				break
+			}
+			h.noteReroute(cube, out, p, uint64(li))
+			q.Remove(i)
+		}
+	}
+
 	// Vault response queues drain into crossbar response queues.
 	for vi := range d.Vaults {
 		v := &d.Vaults[vi]
 		for v.RspQ.Len() > 0 {
 			p := &v.RspQ.Head().Packet
-			out := h.responseEgressLink(cube, p)
+			out, rerouted := h.responseEgress(cube, p)
 			if out < 0 {
 				// Zombie response: no path back to any host. Drop it and
 				// record the error.
@@ -612,6 +808,9 @@ func (h *HMC) responseStage(cube int) {
 			if err := pushMoved(lq, *p, h.clk); err != nil {
 				break
 			}
+			if rerouted {
+				h.noteReroute(cube, out, p, uint64(p.SLID()))
+			}
 			v.RspQ.Pop()
 		}
 	}
@@ -622,6 +821,10 @@ func (h *HMC) responseStage(cube int) {
 	for li := range d.Links {
 		l := &d.Links[li]
 		if !l.Active || l.DstCube < 0 || l.DstCube >= h.cfg.NumDevs {
+			continue
+		}
+		if h.linkFailed(cube, li) || h.linkFailed(l.DstCube, l.DstLink) {
+			// Stranded traffic is migrated by the rescue pass above.
 			continue
 		}
 		if linkDown(d, li) || linkDown(h.devs[l.DstCube], l.DstLink) {
@@ -637,7 +840,7 @@ func (h *HMC) responseStage(cube int) {
 			}
 			p := &s.Packet
 			peer := l.DstCube
-			out := h.responseEgressLink(peer, p)
+			out, rerouted := h.responseEgress(peer, p)
 			if out < 0 {
 				h.stats.Errors++
 				q.Remove(i)
@@ -654,13 +857,37 @@ func (h *HMC) responseStage(cube int) {
 				i = q.Len()
 				continue
 			}
-			if h.faultRoll() {
-				h.stats.LinkRetries++
+			if h.fault.LinkFailure() {
+				// The transfer trips a hard failure of the pass-through
+				// link; the rescue pass re-routes the queue next cycle.
+				h.failLink(cube, li)
+				i = q.Len()
+				continue
+			}
+			if h.faultTransient(p) {
+				// CRC-corrupt response transfer: replay from the retry
+				// buffer, bounded. An exhausted budget converts the
+				// response in place to an ERROR response (the payload is
+				// unrecoverable, but the tag still reaches the host).
+				s.Retries++
+				h.stats.LinkRetransmits++
 				h.emit(trace.Event{
 					Kind: trace.KindRetry, Dev: cube, Link: li, Quad: trace.None,
 					Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
-					Cmd: p.Cmd().String(),
+					Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
 				})
+				if int(s.Retries) > h.fault.MaxRetries() {
+					h.stats.Errors++
+					h.stats.ErrorResponses++
+					h.emit(trace.Event{
+						Kind: trace.KindError, Dev: cube, Link: li,
+						Quad: trace.None, Vault: trace.None, Bank: trace.None,
+						Tag: p.Tag(), Cmd: p.Cmd().String(),
+						Aux: uint64(packet.ErrStatLinkCRC),
+					})
+					s.Packet = packet.ErrorResponse(p, uint8(cube), packet.ErrStatLinkCRC)
+					s.Retries = 0
+				}
 				i = q.Len()
 				continue
 			}
@@ -674,28 +901,55 @@ func (h *HMC) responseStage(cube int) {
 				Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
 				Cmd: p.Cmd().String(), Aux: uint64(peer),
 			})
+			if rerouted {
+				h.noteReroute(peer, out, p, uint64(p.SLID()))
+			}
 			q.Remove(i)
 		}
 	}
 }
 
-// responseEgressLink selects the crossbar response queue a response should
+// noteReroute records one degraded-mode routing decision: a packet that a
+// healthy fabric would have carried on link aux was forwarded on link out
+// instead.
+func (h *HMC) noteReroute(dev, out int, p *packet.Packet, aux uint64) {
+	h.stats.Reroutes++
+	h.emit(trace.Event{
+		Kind: trace.KindReroute, Dev: dev, Link: out, Quad: trace.None,
+		Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+		Cmd: p.Cmd().String(), Aux: aux,
+	})
+}
+
+// responseEgress selects the crossbar response queue a response should
 // occupy at device cube: the stored source link for root devices, or the
-// next hop toward the nearest host-connected device for children.
-func (h *HMC) responseEgressLink(cube int, p *packet.Packet) int {
+// next hop toward the nearest host-connected device for children. When the
+// preferred link is permanently failed, the response is re-routed to a
+// surviving host link (the host correlates responses by tag and SLID, not
+// by arrival port) or across the degraded fabric; rerouted reports such a
+// deviation from the pristine route. out is negative when no surviving
+// path to any host exists.
+func (h *HMC) responseEgress(cube int, p *packet.Packet) (out int, rerouted bool) {
 	d := h.devs[cube]
 	if h.topo.IsRoot(cube) {
 		slid := int(p.SLID())
-		if slid >= 0 && slid < len(d.Links) &&
-			d.Links[slid].Active && d.Links[slid].DstCube == h.HostID() {
-			return slid
+		validSlid := slid >= 0 && slid < len(d.Links) &&
+			d.Links[slid].Active && d.Links[slid].DstCube == h.HostID()
+		if validSlid && !h.linkFailed(cube, slid) {
+			return slid, false
 		}
-		if hl := h.topo.HostLinks(cube); len(hl) > 0 {
-			return hl[0]
+		for _, hl := range h.topo.HostLinks(cube) {
+			if !h.linkFailed(cube, hl) {
+				// rerouted only when the preferred return link failed; a
+				// stale SLID falling back to the first host link is the
+				// pristine behaviour.
+				return hl, validSlid
+			}
 		}
 	}
 	if l, ok := h.routes.ToHost(cube); ok {
-		return l
+		pl, pok := h.routesPristine.ToHost(cube)
+		return l, !pok || pl != l
 	}
-	return -1
+	return -1, false
 }

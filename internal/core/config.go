@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/device"
+	"hmcsim/internal/fault"
 	"hmcsim/internal/packet"
 )
 
@@ -64,15 +65,23 @@ type Config struct {
 	RefreshInterval int
 	// RefreshDuration is the per-refresh bank blackout in cycles.
 	RefreshDuration int
-	// FaultPPM injects link transmission faults for error simulation:
-	// each packet transfer across a SERDES link (host send, request
-	// forward, response forward) fails with this probability in parts
-	// per million. A failed transfer behaves as a transparent link-level
-	// retry — the packet stays put for one cycle and a RETRY trace event
-	// is raised — modeling the specification's retry-pointer machinery
-	// at the rudimentary level HMC-Sim targets.
+	// Fault configures the fault-model subsystem: per-component rates
+	// for transient link faults (CRC-corrupted FLITs, transparently
+	// retransmitted by the link controllers), permanent link failures
+	// (routed around in degraded mode) and vault faults (poisoned
+	// reads), plus statically failed links and vaults. See package
+	// fault.
+	Fault fault.Config
+	// FaultPPM is the deprecated flat link-fault knob of earlier
+	// revisions. It remains functional: a non-zero value maps onto
+	// Fault.TransientPPM when Fault.TransientPPM is unset.
+	//
+	// Deprecated: set Fault.TransientPPM instead.
 	FaultPPM int
-	// FaultSeed seeds the deterministic fault generator.
+	// FaultSeed seeds the deterministic fault generator when Fault.Seed
+	// is unset.
+	//
+	// Deprecated: set Fault.Seed instead.
 	FaultSeed uint64
 	// XbarPassing enables the specification's crossbar reordering point:
 	// arriving packets destined for ancillary devices (or for other
@@ -104,10 +113,39 @@ func Table1Configs() []Config {
 	}
 }
 
+// effectiveFault resolves the fault configuration, folding the
+// deprecated flat FaultPPM/FaultSeed knobs onto the transient link rate
+// when the new fields are unset.
+func (c Config) effectiveFault() fault.Config {
+	fc := c.Fault
+	if fc.TransientPPM == 0 {
+		fc.TransientPPM = c.FaultPPM
+	}
+	if fc.Seed == 0 {
+		fc.Seed = c.FaultSeed
+	}
+	return fc
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.FaultPPM < 0 || c.FaultPPM >= 1000000 {
 		return fmt.Errorf("hmcsim: fault rate %d PPM out of [0, 1000000)", c.FaultPPM)
+	}
+	if err := c.effectiveFault().Validate(); err != nil {
+		return fmt.Errorf("hmcsim: %w", err)
+	}
+	for _, l := range c.Fault.FailedLinks {
+		if l.Dev < 0 || l.Dev >= c.NumDevs || l.Link < 0 || l.Link >= c.NumLinks {
+			return fmt.Errorf("hmcsim: failed link %v outside %d devices x %d links",
+				l, c.NumDevs, c.NumLinks)
+		}
+	}
+	for _, v := range c.Fault.FailedVaults {
+		if v.Dev < 0 || v.Dev >= c.NumDevs || v.Vault < 0 || v.Vault >= c.NumVaults {
+			return fmt.Errorf("hmcsim: failed vault %v outside %d devices x %d vaults",
+				v, c.NumDevs, c.NumVaults)
+		}
 	}
 	if c.RefreshInterval < 0 || c.RefreshDuration < 0 {
 		return fmt.Errorf("hmcsim: negative refresh parameters")

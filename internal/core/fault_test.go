@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
+	"hmcsim/internal/fault"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/trace"
@@ -22,6 +24,39 @@ func TestFaultConfigValidation(t *testing.T) {
 	if _, err := New(c); err != nil {
 		t.Errorf("rejected valid rate: %v", err)
 	}
+
+	// Per-component rates are bounded independently.
+	bad := []func(*Config){
+		func(c *Config) { c.Fault.TransientPPM = -1 },
+		func(c *Config) { c.Fault.TransientPPM = 1000000 },
+		func(c *Config) { c.Fault.LinkFailPPM = -1 },
+		func(c *Config) { c.Fault.LinkFailPPM = 1000000 },
+		func(c *Config) { c.Fault.VaultPPM = -1 },
+		func(c *Config) { c.Fault.VaultPPM = 1000000 },
+		func(c *Config) { c.Fault.MaxRetries = -1 },
+		func(c *Config) { c.Fault.MaxRetries = 201 },
+		func(c *Config) { c.Fault.FailedLinks = []fault.LinkID{{Dev: 1, Link: 0}} },
+		func(c *Config) { c.Fault.FailedLinks = []fault.LinkID{{Dev: 0, Link: 4}} },
+		func(c *Config) { c.Fault.FailedLinks = []fault.LinkID{{Dev: 0, Link: -1}} },
+		func(c *Config) { c.Fault.FailedVaults = []fault.VaultID{{Dev: 1, Vault: 0}} },
+		func(c *Config) { c.Fault.FailedVaults = []fault.VaultID{{Dev: 0, Vault: 16}} },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: accepted invalid fault config %+v", i, c.Fault)
+		}
+	}
+	good := testConfig()
+	good.Fault = fault.Config{
+		TransientPPM: 999999, LinkFailPPM: 1, VaultPPM: 500, MaxRetries: 200,
+		FailedLinks:  []fault.LinkID{{Dev: 0, Link: 3}},
+		FailedVaults: []fault.VaultID{{Dev: 0, Vault: 15}},
+	}
+	if _, err := New(good); err != nil {
+		t.Errorf("rejected valid fault config: %v", err)
+	}
 }
 
 func TestNoFaultsByDefault(t *testing.T) {
@@ -38,36 +73,43 @@ func TestNoFaultsByDefault(t *testing.T) {
 		_ = h.Clock()
 	}
 	drain(t, h, 0)
-	if h.Stats().LinkRetries != 0 {
-		t.Errorf("retries with FaultPPM=0: %d", h.Stats().LinkRetries)
+	st := h.Stats()
+	if st.LinkRetransmits != 0 || st.ErrorResponses != 0 || st.LinkFailures != 0 ||
+		st.Reroutes != 0 || st.PoisonedReads != 0 {
+		t.Errorf("fault counters non-zero in a clean run: %+v", st)
 	}
 }
 
-// sendWithRetry retries a Send through injected-fault back-pressure.
-func sendWithRetry(t *testing.T, h *HMC, link int, req packet.Request) {
+// sendPump submits one request, clocking the simulation through genuine
+// back-pressure (ErrStall). Faults are transparent to the caller: Send
+// never refuses a packet because of a transient fault.
+func sendPump(t *testing.T, h *HMC, link int, req packet.Request) {
 	t.Helper()
 	words, err := h.BuildRequestPacket(req, link)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for attempt := 0; attempt < 100; attempt++ {
+	for attempt := 0; attempt < 1000; attempt++ {
 		err := h.Send(0, link, words)
 		if err == nil {
 			return
 		}
-		if err == ErrStall {
+		if errors.Is(err, ErrStall) {
 			_ = h.Clock()
 			continue
 		}
 		t.Fatal(err)
 	}
-	t.Fatal("send never succeeded through faults")
+	t.Fatal("send never accepted through back-pressure")
 }
 
-func TestFaultInjectionRetriesAndCompletes(t *testing.T) {
+// TestTransparentRetry verifies the tentpole contract of the link retry
+// protocol: transient faults are retransmitted by the device-side retry
+// buffers, invisibly to the host, and every request still completes.
+func TestTransparentRetry(t *testing.T) {
 	cfg := testConfig()
-	cfg.FaultPPM = 200000 // 20% of transfers fault
-	cfg.FaultSeed = 7
+	cfg.Fault.TransientPPM = 200000 // 20% of transfers are CRC-corrupt
+	cfg.Fault.Seed = 7
 	h := newSimple(t, cfg)
 	rec := &trace.Recorder{}
 	h.SetTracer(rec)
@@ -75,12 +117,12 @@ func TestFaultInjectionRetriesAndCompletes(t *testing.T) {
 
 	const n = 200
 	for i := 0; i < n; i++ {
-		sendWithRetry(t, h, i%4, packet.Request{
+		sendPump(t, h, i%4, packet.Request{
 			CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i % 512), Cmd: packet.CmdRD16,
 		})
 	}
 	completed := 0
-	for i := 0; i < 50 && completed < n; i++ {
+	for i := 0; i < 200 && completed < n; i++ {
 		_ = h.Clock()
 		completed += len(drain(t, h, 0))
 	}
@@ -88,84 +130,405 @@ func TestFaultInjectionRetriesAndCompletes(t *testing.T) {
 		t.Fatalf("completed %d/%d under fault injection", completed, n)
 	}
 	st := h.Stats()
-	if st.LinkRetries == 0 {
-		t.Fatal("no retries at a 20% fault rate")
+	if st.LinkRetransmits == 0 {
+		t.Fatal("no retransmissions at a 20% fault rate")
 	}
-	// Roughly 20% of ~200 successful sends should have faulted at least
-	// once; allow a wide band.
-	if st.LinkRetries < n/10 {
-		t.Errorf("retries = %d, implausibly few", st.LinkRetries)
+	if st.LinkRetransmits < n/10 {
+		t.Errorf("retransmits = %d, implausibly few", st.LinkRetransmits)
 	}
-	if got := len(rec.OfKind(trace.KindRetry)); uint64(got) != st.LinkRetries {
-		t.Errorf("retry trace events %d != stat %d", got, st.LinkRetries)
+	if got := len(rec.OfKind(trace.KindRetry)); uint64(got) != st.LinkRetransmits {
+		t.Errorf("retry trace events %d != stat %d", got, st.LinkRetransmits)
 	}
 }
 
-func TestFaultInjectionOnChainedPath(t *testing.T) {
-	// Faults on pass-through links delay but never lose packets.
-	run := func(ppm int) (uint64, uint64) {
-		cfg := testConfig()
-		cfg.NumDevs = 3
-		cfg.FaultPPM = ppm
-		cfg.FaultSeed = 3
-		h, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
+// TestErrStallIsBackpressure pins the ErrStall contract after the move to
+// transparent retries: Send returns ErrStall only for genuine queue
+// back-pressure (a full crossbar queue or an occupied retry buffer),
+// never as a fault signal.
+func TestErrStallIsBackpressure(t *testing.T) {
+	// A full crossbar request queue stalls the sender.
+	h := newSimple(t, testConfig())
+	for i := 0; i < 16; i++ { // XbarDepth slots
+		sendReq(t, h, 0, 0, packet.Request{
+			CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+		})
+	}
+	words, err := h.BuildRequestPacket(packet.Request{
+		CUB: 0, Addr: 0x4000, Tag: 100, Cmd: packet.CmdRD16,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(0, 0, words); !errors.Is(err, ErrStall) {
+		t.Errorf("full queue: Send = %v, want ErrStall", err)
+	}
+	if h.Stats().SendStalls == 0 {
+		t.Error("SendStalls not counted")
+	}
+
+	// An occupied retry buffer also stalls the sender: the link controller
+	// holds one transfer at a time.
+	cfg := testConfig()
+	cfg.Fault.TransientPPM = 999999 // virtually every transfer faults
+	cfg.Fault.Seed = 11
+	h = newSimple(t, cfg)
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: 0, Tag: 1, Cmd: packet.CmdRD16,
+	}) // accepted into the retry buffer
+	words, err = h.BuildRequestPacket(packet.Request{
+		CUB: 0, Addr: 64, Tag: 2, Cmd: packet.CmdRD16,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(0, 0, words); !errors.Is(err, ErrStall) {
+		t.Errorf("occupied retry buffer: Send = %v, want ErrStall", err)
+	}
+}
+
+// TestRetryExhaustionErrorResponse verifies pillar three: a transfer whose
+// bounded retry budget is exhausted surfaces as a CmdError response with a
+// link CRC error status, preserving the request tag.
+func TestRetryExhaustionErrorResponse(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.TransientPPM = 999999 // every replay faults again
+	cfg.Fault.Seed = 5
+	cfg.Fault.MaxRetries = 3
+	h := newSimple(t, cfg)
+	sendReq(t, h, 0, 2, packet.Request{
+		CUB: 0, Addr: 0x100, Tag: 42, Cmd: packet.CmdRD16,
+	})
+	var rsps []packet.Response
+	for i := 0; i < 50 && len(rsps) == 0; i++ {
+		_ = h.Clock()
+		rsps = drain(t, h, 0)
+	}
+	if len(rsps) != 1 {
+		t.Fatalf("got %d responses, want 1", len(rsps))
+	}
+	r := rsps[0]
+	if r.Cmd != packet.CmdError {
+		t.Errorf("response command = %v, want CmdError", r.Cmd)
+	}
+	if r.ErrStat != packet.ErrStatLinkCRC {
+		t.Errorf("ERRSTAT = %#x, want %#x", r.ErrStat, packet.ErrStatLinkCRC)
+	}
+	if r.Tag != 42 {
+		t.Errorf("tag = %d, want 42", r.Tag)
+	}
+	st := h.Stats()
+	if st.ErrorResponses != 1 {
+		t.Errorf("ErrorResponses = %d, want 1", st.ErrorResponses)
+	}
+	if st.LinkRetransmits != 4 { // initial corrupt transfer + 3 replays
+		t.Errorf("LinkRetransmits = %d, want 4", st.LinkRetransmits)
+	}
+	if !h.Quiescent() {
+		t.Error("retry buffer still pending after give-up")
+	}
+}
+
+// TestPostedRetryExhaustionDrops verifies that posted requests abandoned
+// by the retry protocol vanish without a response: their tags recycle at
+// Send time, so an ERROR response would collide with a reused tag.
+func TestPostedRetryExhaustionDrops(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.TransientPPM = 999999
+	cfg.Fault.Seed = 5
+	cfg.Fault.MaxRetries = 2
+	h := newSimple(t, cfg)
+	cmd, err := packet.WriteForSize(16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: 0x200, Tag: 7, Cmd: cmd, Data: []uint64{1, 2},
+	})
+	for i := 0; i < 50; i++ {
+		_ = h.Clock()
+		if rsps := drain(t, h, 0); len(rsps) != 0 {
+			t.Fatalf("posted request produced a response: %+v", rsps[0])
 		}
-		ch, err := topo.Chain(3, 4)
-		if err != nil {
-			t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.ErrorResponses != 0 {
+		t.Errorf("ErrorResponses = %d for a posted drop, want 0", st.ErrorResponses)
+	}
+	if st.Errors == 0 {
+		t.Error("posted drop not recorded in Errors")
+	}
+	if !h.Quiescent() {
+		t.Error("simulation not quiescent after posted drop")
+	}
+}
+
+// TestPermanentLinkFailure verifies pillar one's permanent class: a link
+// failed from reset rejects host traffic with ErrLinkFailed on both Send
+// and Recv, and the failure is visible through LinkFailed.
+func TestPermanentLinkFailure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.FailedLinks = []fault.LinkID{{Dev: 0, Link: 1}}
+	h := newSimple(t, cfg)
+	_ = h.Clock() // seal
+	if !h.LinkFailed(0, 1) {
+		t.Fatal("statically failed link not marked")
+	}
+	if h.LinkFailed(0, 0) {
+		t.Fatal("healthy link marked failed")
+	}
+	words, err := h.BuildRequestPacket(packet.Request{
+		CUB: 0, Addr: 0, Tag: 1, Cmd: packet.CmdRD16,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(0, 1, words); !errors.Is(err, ErrLinkFailed) {
+		t.Errorf("Send on failed link = %v, want ErrLinkFailed", err)
+	}
+	if _, err := h.Recv(0, 1); !errors.Is(err, ErrLinkFailed) {
+		t.Errorf("Recv on failed link = %v, want ErrLinkFailed", err)
+	}
+	if h.Stats().LinkFailures != 1 {
+		t.Errorf("LinkFailures = %d, want 1", h.Stats().LinkFailures)
+	}
+	// Healthy links still carry traffic.
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: 0, Tag: 1, Cmd: packet.CmdRD16})
+	done := 0
+	for i := 0; i < 20 && done == 0; i++ {
+		_ = h.Clock()
+		done = len(drain(t, h, 0))
+	}
+	if done != 1 {
+		t.Error("request on a surviving link did not complete")
+	}
+}
+
+// TestLinkFailureRoll verifies the probabilistic permanent-failure class:
+// a LinkFailPPM of ~1 makes the very first transfer trip a hard failure,
+// surfacing ErrLinkFailed at Send so the host re-issues elsewhere.
+func TestLinkFailureRoll(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.LinkFailPPM = 999999
+	cfg.Fault.Seed = 3
+	h := newSimple(t, cfg)
+	words, err := h.BuildRequestPacket(packet.Request{
+		CUB: 0, Addr: 0, Tag: 1, Cmd: packet.CmdRD16,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(0, 0, words); !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("Send = %v, want ErrLinkFailed at a ~100%% failure rate", err)
+	}
+	if !h.LinkFailed(0, 0) {
+		t.Error("link not marked failed after the roll")
+	}
+	if h.Stats().LinkFailures != 1 {
+		t.Errorf("LinkFailures = %d, want 1", h.Stats().LinkFailures)
+	}
+}
+
+// TestFailedVaultErrorResponse verifies that requests decoding to a
+// statically failed vault elicit an ERROR response with the vault-failed
+// status instead of being serviced.
+func TestFailedVaultErrorResponse(t *testing.T) {
+	// Find the vault that address 0 decodes to, then fail it.
+	probe := newSimple(t, testConfig())
+	vault := probe.Device(0).Map.Decode(0).Vault
+
+	cfg := testConfig()
+	cfg.Fault.FailedVaults = []fault.VaultID{{Dev: 0, Vault: vault}}
+	h := newSimple(t, cfg)
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: 0, Tag: 9, Cmd: packet.CmdRD16,
+	})
+	var rsps []packet.Response
+	for i := 0; i < 20 && len(rsps) == 0; i++ {
+		_ = h.Clock()
+		rsps = drain(t, h, 0)
+	}
+	if len(rsps) != 1 {
+		t.Fatalf("got %d responses, want 1", len(rsps))
+	}
+	if rsps[0].Cmd != packet.CmdError {
+		t.Errorf("response command = %v, want CmdError", rsps[0].Cmd)
+	}
+	if rsps[0].ErrStat != packet.ErrStatVaultFail {
+		t.Errorf("ERRSTAT = %#x, want %#x", rsps[0].ErrStat, packet.ErrStatVaultFail)
+	}
+	if rsps[0].Tag != 9 {
+		t.Errorf("tag = %d, want 9", rsps[0].Tag)
+	}
+	if h.Stats().Reads != 0 {
+		t.Error("failed vault serviced a read")
+	}
+}
+
+// TestPoisonedRead verifies the vault-fault class: a read serviced by a
+// faulty vault returns its payload flagged invalid (DINV) with the poison
+// error status, still on the normal read-response command.
+func TestPoisonedRead(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.VaultPPM = 999999
+	cfg.Fault.Seed = 13
+	h := newSimple(t, cfg)
+	sendReq(t, h, 0, 0, packet.Request{
+		CUB: 0, Addr: 0x40, Tag: 3, Cmd: packet.CmdRD16,
+	})
+	var rsps []packet.Response
+	for i := 0; i < 20 && len(rsps) == 0; i++ {
+		_ = h.Clock()
+		rsps = drain(t, h, 0)
+	}
+	if len(rsps) != 1 {
+		t.Fatalf("got %d responses, want 1", len(rsps))
+	}
+	r := rsps[0]
+	if r.Cmd != packet.CmdRDRS {
+		t.Errorf("response command = %v, want CmdRDRS", r.Cmd)
+	}
+	if !r.DInv {
+		t.Error("poisoned read response not flagged DINV")
+	}
+	if r.ErrStat != packet.ErrStatPoison {
+		t.Errorf("ERRSTAT = %#x, want %#x", r.ErrStat, packet.ErrStatPoison)
+	}
+	if h.Stats().PoisonedReads != 1 {
+		t.Errorf("PoisonedReads = %d, want 1", h.Stats().PoisonedReads)
+	}
+}
+
+// TestRingReroutesAroundFailedLink is the degraded-mode acceptance test:
+// a ring with a permanently failed inter-device link completes every
+// request by routing the long way around, with Reroutes counted and zero
+// lost tags.
+func TestRingReroutesAroundFailedLink(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumDevs = 4
+	// Fail the counter-clockwise ring link of device 0 (0:1 <-> 3:0); the
+	// pristine minimal-hop route from device 0 to device 2 uses it.
+	cfg.Fault.FailedLinks = []fault.LinkID{{Dev: 0, Link: 1}}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := topo.Ring(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UseTopology(ring); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40
+	type key struct {
+		slid uint8
+		tag  uint16
+	}
+	sent := make(map[key]bool, n)
+	for i := 0; i < n; i++ {
+		link := 2 + i%2 // device 0's host links in the ring builder
+		tag := uint16(i)
+		sendPump(t, h, link, packet.Request{
+			CUB: 2, Addr: uint64(i) * 64, Tag: tag, Cmd: packet.CmdRD16,
+		})
+		sent[key{uint8(link), tag}] = true
+	}
+	completed := 0
+	for i := 0; i < 500 && completed < n; i++ {
+		_ = h.Clock()
+		for dev := 0; dev < cfg.NumDevs; dev++ {
+			for _, r := range drain(t, h, dev) {
+				k := key{r.SLID, r.Tag}
+				if !sent[k] {
+					t.Fatalf("unexpected or duplicate response slid=%d tag=%d", r.SLID, r.Tag)
+				}
+				delete(sent, k)
+				if r.Cmd == packet.CmdError {
+					t.Errorf("request slid=%d tag=%d failed with ERRSTAT %#x", r.SLID, r.Tag, r.ErrStat)
+				}
+				completed++
+			}
 		}
-		if err := h.UseTopology(ch); err != nil {
-			t.Fatal(err)
-		}
-		const n = 50
-		for i := 0; i < n; i++ {
-			sendWithRetry(t, h, 1, packet.Request{
-				CUB: 2, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
+	}
+	if completed != n {
+		t.Fatalf("completed %d/%d with a failed ring link (%d tags lost)", completed, n, len(sent))
+	}
+	st := h.Stats()
+	if st.Reroutes == 0 {
+		t.Error("no reroutes recorded around the failed ring link")
+	}
+	if st.LinkFailures != 2 { // both endpoints of the chained link
+		t.Errorf("LinkFailures = %d, want 2", st.LinkFailures)
+	}
+}
+
+// TestLegacyFaultPPMMapping verifies the deprecation contract: the flat
+// FaultPPM/FaultSeed knobs behave identically to the equivalent
+// Fault.TransientPPM/Fault.Seed configuration.
+func TestLegacyFaultPPMMapping(t *testing.T) {
+	run := func(cfg Config) Stats {
+		h := newSimple(t, cfg)
+		for i := 0; i < 100; i++ {
+			sendPump(t, h, i%4, packet.Request{
+				CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
 			})
 		}
-		completed := 0
-		for i := 0; i < 400 && completed < n; i++ {
+		for i := 0; i < 60; i++ {
 			_ = h.Clock()
-			completed += len(drain(t, h, 0))
 		}
-		if completed != n {
-			t.Fatalf("ppm=%d: completed %d/%d", ppm, completed, n)
-		}
-		return h.Clk(), h.Stats().LinkRetries
+		drain(t, h, 0)
+		return h.Stats()
 	}
-	cleanCycles, cleanRetries := run(0)
-	faultCycles, faultRetries := run(300000)
-	if cleanRetries != 0 {
-		t.Errorf("clean run retried %d times", cleanRetries)
+	legacy := testConfig()
+	legacy.FaultPPM = 150000
+	legacy.FaultSeed = 21
+	modern := testConfig()
+	modern.Fault.TransientPPM = 150000
+	modern.Fault.Seed = 21
+	a, b := run(legacy), run(modern)
+	if a != b {
+		t.Errorf("legacy FaultPPM mapping diverges:\nlegacy %+v\nmodern %+v", a, b)
 	}
-	if faultRetries == 0 {
-		t.Error("faulty run never retried")
-	}
-	if faultCycles <= cleanCycles {
-		t.Errorf("faults did not add latency: %d vs %d cycles", faultCycles, cleanCycles)
+	if a.LinkRetransmits == 0 {
+		t.Error("legacy FaultPPM no longer injects transient faults")
 	}
 }
 
 func TestFaultDeterminism(t *testing.T) {
 	run := func() Stats {
 		cfg := testConfig()
-		cfg.FaultPPM = 100000
-		cfg.FaultSeed = 99
+		cfg.Fault.TransientPPM = 100000
+		cfg.Fault.LinkFailPPM = 50
+		cfg.Fault.VaultPPM = 20000
+		cfg.Fault.Seed = 99
 		h := newSimple(t, cfg)
 		for i := 0; i < 100; i++ {
-			sendWithRetry(t, h, i%4, packet.Request{
+			words, err := h.BuildRequestPacket(packet.Request{
 				CUB: 0, Addr: uint64(i) * 64, Tag: uint16(i), Cmd: packet.CmdRD16,
-			})
+			}, i%4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				err := h.Send(0, i%4, words)
+				if err == nil || errors.Is(err, ErrLinkFailed) {
+					break
+				}
+				if errors.Is(err, ErrStall) {
+					_ = h.Clock()
+					continue
+				}
+				t.Fatal(err)
+			}
 		}
-		for i := 0; i < 20; i++ {
+		for i := 0; i < 50; i++ {
 			_ = h.Clock()
 		}
 		drain(t, h, 0)
 		return h.Stats()
 	}
 	if a, b := run(), run(); a != b {
-		t.Errorf("fault injection not deterministic: %+v vs %+v", a, b)
+		t.Errorf("fault injection not deterministic:\n%+v\n%+v", a, b)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"hmcsim/internal/device"
+	"hmcsim/internal/fault"
+	"hmcsim/internal/packet"
 	"hmcsim/internal/reg"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/trace"
@@ -24,6 +26,11 @@ var (
 	// ErrLinkDown indicates a send or receive on a link whose link
 	// configuration register has the link-down bit set.
 	ErrLinkDown = errors.New("hmcsim: link is down (LC register)")
+	// ErrLinkFailed indicates a send or receive on a link the fault
+	// model has permanently failed. Unlike the administrative LC bit the
+	// condition never clears; hosts should move traffic to a surviving
+	// link.
+	ErrLinkFailed = errors.New("hmcsim: link permanently failed (fault model)")
 )
 
 // LCLinkDown is the link-down control bit of the per-link LC registers.
@@ -44,10 +51,14 @@ func linkDown(d *device.Device, link int) bool {
 // architectural characteristics such as non-uniform memory access; objects
 // are fully independent (devices cannot be linked across objects).
 type HMC struct {
-	cfg    Config
-	devs   []*device.Device
-	topo   *topo.Topology
-	routes *topo.Routes
+	cfg  Config
+	devs []*device.Device
+	topo *topo.Topology
+	// routes is the live next-hop table, recomputed around permanently
+	// failed links; routesPristine is the table of the undegraded fabric,
+	// kept so degraded forwards can be recognized and counted.
+	routes         *topo.Routes
+	routesPristine *topo.Routes
 
 	clk    uint64
 	sealed bool
@@ -67,10 +78,23 @@ type HMC struct {
 	// response packet.
 	rdbuf [16]uint64
 
-	// faultState drives the deterministic link-fault generator.
-	faultState uint64
+	// fault is the deterministic fault engine (see package fault).
+	fault *fault.Engine
+	// retry holds the per-host-link retry buffers of the link
+	// controllers, indexed [dev][link]: a transfer corrupted by a
+	// transient fault waits here and is retransmitted transparently on
+	// subsequent cycles.
+	retry [][]retryState
 
 	stats Stats
+}
+
+// retryState is one link controller's retry buffer: a single in-flight
+// transfer being replayed after transient faults.
+type retryState struct {
+	pending  bool
+	attempts int
+	packet   packet.Packet
 }
 
 // New initializes one or more simulated HMC devices into a reset state.
@@ -86,20 +110,22 @@ func New(cfg Config) (*HMC, error) {
 		return nil, err
 	}
 	h := &HMC{
-		cfg:        cfg,
-		topo:       t,
-		tracer:     trace.Nop{},
-		mask:       trace.MaskNone,
-		seq:        make(map[int]uint8),
-		faultState: cfg.FaultSeed,
+		cfg:    cfg,
+		topo:   t,
+		tracer: trace.Nop{},
+		mask:   trace.MaskNone,
+		seq:    make(map[int]uint8),
+		fault:  fault.NewEngine(cfg.effectiveFault()),
 	}
 	h.devs = make([]*device.Device, cfg.NumDevs)
+	h.retry = make([][]retryState, cfg.NumDevs)
 	for i := range h.devs {
 		d, err := device.New(i, cfg.deviceConfig())
 		if err != nil {
 			return nil, err
 		}
 		h.devs[i] = d
+		h.retry[i] = make([]retryState, cfg.NumLinks)
 	}
 	return h, nil
 }
@@ -145,18 +171,67 @@ func (h *HMC) SetTraceMask(mask trace.Kind) { h.mask = mask }
 // TraceMask returns the current verbosity mask.
 func (h *HMC) TraceMask() trace.Kind { return h.mask }
 
-// faultRoll reports whether the next link transfer suffers an injected
-// transmission fault (splitmix64 over the configured seed).
-func (h *HMC) faultRoll() bool {
-	if h.cfg.FaultPPM == 0 {
+// linkFailed reports whether the fault model has permanently failed the
+// link endpoint.
+func (h *HMC) linkFailed(dev, link int) bool { return h.fault.LinkFailed(dev, link) }
+
+// faultTransient rolls a transient link fault for one transfer of p.
+// ERROR response packets are exempt: a packet already poisoned by retry
+// exhaustion is delivered best-effort so its tag is never lost, and the
+// retry machinery cannot recurse on its own failure notifications.
+func (h *HMC) faultTransient(p *packet.Packet) bool {
+	if p.Cmd() == packet.CmdError {
 		return false
 	}
-	h.faultState += 0x9E3779B97F4A7C15
-	x := h.faultState
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	x ^= x >> 31
-	return x%1000000 < uint64(h.cfg.FaultPPM)
+	return h.fault.Transient()
+}
+
+// LinkFailed reports whether a link endpoint has been permanently
+// failed by the fault model. Hosts and injectors use it to steer
+// traffic onto surviving links in degraded mode.
+func (h *HMC) LinkFailed(dev, link int) bool {
+	d := h.Device(dev)
+	return d != nil && link >= 0 && link < len(d.Links) && h.linkFailed(dev, link)
+}
+
+// FailLink permanently fails a link through the fault model's
+// administrative interface (the campaign driver's static failure
+// injection). Both endpoints of a chained link fail together; routing
+// recomputes around the dead link immediately.
+func (h *HMC) FailLink(dev, link int) error {
+	d := h.Device(dev)
+	if d == nil {
+		return fmt.Errorf("hmcsim: device %d out of range", dev)
+	}
+	if link < 0 || link >= len(d.Links) {
+		return fmt.Errorf("hmcsim: link %d out of range", link)
+	}
+	h.failLink(dev, link)
+	return nil
+}
+
+// failLink marks a link endpoint (and the device endpoint across it, if
+// chained) permanently failed, records the event and recomputes the
+// degraded routing tables.
+func (h *HMC) failLink(dev, link int) {
+	if !h.fault.FailLink(fault.LinkID{Dev: dev, Link: link}) {
+		return
+	}
+	h.stats.LinkFailures++
+	h.emit(trace.Event{
+		Kind: trace.KindLinkFail, Dev: dev, Link: link,
+		Quad: trace.None, Vault: trace.None, Bank: trace.None,
+	})
+	// A chained link is one physical cable: the peer endpoint dies with
+	// it (counted once per endpoint for symmetry with LinkFailures).
+	if p := h.topo.Peer(dev, link); p.Cube >= 0 && p.Cube < h.cfg.NumDevs {
+		if h.fault.FailLink(fault.LinkID{Dev: p.Cube, Link: p.Link}) {
+			h.stats.LinkFailures++
+		}
+	}
+	if h.sealed {
+		h.routes = h.topo.RoutesAvoiding(h.linkFailed)
+	}
 }
 
 func (h *HMC) emit(e trace.Event) {
@@ -209,7 +284,15 @@ func (h *HMC) seal() error {
 	if err := h.topo.Validate(); err != nil {
 		return err
 	}
-	h.routes = h.topo.Routes()
+	h.routesPristine = h.topo.Routes()
+	// Apply the statically failed links of the fault configuration, now
+	// that the wiring is known, then compute the (possibly degraded)
+	// live routing tables.
+	h.sealed = true // failLink recomputes routes only once sealed
+	for _, l := range h.fault.StaticFailedLinks() {
+		h.failLink(l.Dev, l.Link)
+	}
+	h.routes = h.topo.RoutesAvoiding(h.linkFailed)
 	h.rootOrder = h.rootOrder[:0]
 	h.childOrder = h.childOrder[:0]
 	for cube := 0; cube < h.cfg.NumDevs; cube++ {
@@ -226,7 +309,6 @@ func (h *HMC) seal() error {
 			d.Links[l].Active = p.Cube != topo.Unconnected
 		}
 	}
-	h.sealed = true
 	return nil
 }
 
@@ -239,10 +321,14 @@ func (h *HMC) Free() {
 	t, _ := topo.New(h.cfg.NumDevs, h.cfg.NumLinks, h.HostID())
 	h.topo = t
 	h.routes = nil
+	h.routesPristine = nil
 	h.sealed = false
 	h.clk = 0
 	h.stats = Stats{}
-	h.faultState = h.cfg.FaultSeed
+	h.fault.Reset()
+	for i := range h.retry {
+		clear(h.retry[i])
+	}
 	clear(h.seq)
 }
 
@@ -274,8 +360,16 @@ func (h *HMC) Occupancy() Occupancy {
 }
 
 // Quiescent reports whether every queue in every device is empty: no
-// request or response is in flight anywhere in the simulated network.
+// request or response is in flight anywhere in the simulated network,
+// and no link controller holds a transfer awaiting retransmission.
 func (h *HMC) Quiescent() bool {
+	for _, rl := range h.retry {
+		for i := range rl {
+			if rl[i].pending {
+				return false
+			}
+		}
+	}
 	for _, d := range h.devs {
 		for i := range d.Links {
 			if d.Links[i].RqstQ.Len() > 0 || d.Links[i].RspQ.Len() > 0 {

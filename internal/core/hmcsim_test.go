@@ -57,7 +57,8 @@ func drain(t *testing.T, h *HMC, dev int) []packet.Response {
 			if errors.Is(err, ErrStall) {
 				break
 			}
-			if errors.Is(err, ErrNotHostLink) || errors.Is(err, ErrLinkDown) {
+			if errors.Is(err, ErrNotHostLink) || errors.Is(err, ErrLinkDown) ||
+				errors.Is(err, ErrLinkFailed) {
 				break
 			}
 			if err != nil {

@@ -36,9 +36,15 @@ type Stats struct {
 	LatencyEvents  uint64 // quad-locality latency penalties
 	RouteHops      uint64 // inter-device pass-through forwards
 	SendStalls     uint64 // Send rejected by a full crossbar queue
-	Errors         uint64 // error response packets generated
-	LinkRetries    uint64 // injected transmission faults retried
+	Errors         uint64 // error conditions recognized (responses, drops)
 	RefreshStalls  uint64 // requests deferred by a bank under refresh
+
+	// Fault-model counters.
+	LinkRetransmits uint64 // transparent link-level retransmissions
+	ErrorResponses  uint64 // ERROR response packets generated
+	LinkFailures    uint64 // links permanently failed (endpoints, once each)
+	Reroutes        uint64 // packets forwarded around a failed link
+	PoisonedReads   uint64 // reads returning poisoned data (vault faults)
 
 	// Flow control.
 	FlowPackets uint64
@@ -64,8 +70,12 @@ func (s *Stats) Add(o Stats) {
 	s.RouteHops += o.RouteHops
 	s.SendStalls += o.SendStalls
 	s.Errors += o.Errors
-	s.LinkRetries += o.LinkRetries
 	s.RefreshStalls += o.RefreshStalls
+	s.LinkRetransmits += o.LinkRetransmits
+	s.ErrorResponses += o.ErrorResponses
+	s.LinkFailures += o.LinkFailures
+	s.Reroutes += o.Reroutes
+	s.PoisonedReads += o.PoisonedReads
 	s.FlowPackets += o.FlowPackets
 }
 
@@ -79,19 +89,26 @@ func (s Stats) Sub(o Stats) Stats {
 		BytesRead: s.BytesRead - o.BytesRead, BytesWritten: s.BytesWritten - o.BytesWritten,
 		ColumnFetches: s.ColumnFetches - o.ColumnFetches,
 		Responses:     s.Responses - o.Responses, Recvs: s.Recvs - o.Recvs,
-		XbarRqstStalls: s.XbarRqstStalls - o.XbarRqstStalls,
-		XbarRspStalls:  s.XbarRspStalls - o.XbarRspStalls,
-		VaultRspStalls: s.VaultRspStalls - o.VaultRspStalls,
-		BankConflicts:  s.BankConflicts - o.BankConflicts,
-		LatencyEvents:  s.LatencyEvents - o.LatencyEvents,
-		RouteHops:      s.RouteHops - o.RouteHops,
-		SendStalls:     s.SendStalls - o.SendStalls,
-		Errors:         s.Errors - o.Errors,
-		LinkRetries:    s.LinkRetries - o.LinkRetries,
-		RefreshStalls:  s.RefreshStalls - o.RefreshStalls,
-		FlowPackets:    s.FlowPackets - o.FlowPackets,
+		XbarRqstStalls:  s.XbarRqstStalls - o.XbarRqstStalls,
+		XbarRspStalls:   s.XbarRspStalls - o.XbarRspStalls,
+		VaultRspStalls:  s.VaultRspStalls - o.VaultRspStalls,
+		BankConflicts:   s.BankConflicts - o.BankConflicts,
+		LatencyEvents:   s.LatencyEvents - o.LatencyEvents,
+		RouteHops:       s.RouteHops - o.RouteHops,
+		SendStalls:      s.SendStalls - o.SendStalls,
+		Errors:          s.Errors - o.Errors,
+		RefreshStalls:   s.RefreshStalls - o.RefreshStalls,
+		LinkRetransmits: s.LinkRetransmits - o.LinkRetransmits,
+		ErrorResponses:  s.ErrorResponses - o.ErrorResponses,
+		LinkFailures:    s.LinkFailures - o.LinkFailures,
+		Reroutes:        s.Reroutes - o.Reroutes,
+		PoisonedReads:   s.PoisonedReads - o.PoisonedReads,
+		FlowPackets:     s.FlowPackets - o.FlowPackets,
 	}
 }
+
+// Delta is an alias for Sub: the per-window difference of two snapshots.
+func (s Stats) Delta(o Stats) Stats { return s.Sub(o) }
 
 // Serviced returns the total number of requests serviced by vaults and the
 // register interface.

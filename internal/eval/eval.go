@@ -253,15 +253,15 @@ func BlockSizeSweep(base core.Config, sizes []int, numRequests uint64, seed uint
 	return out, nil
 }
 
-// FaultSweep measures the random access harness across injected link
-// fault rates (error simulation): retries rise and effective throughput
-// falls as the fault rate grows.
+// FaultSweep measures the random access harness across injected transient
+// link fault rates (error simulation): retransmissions rise and effective
+// throughput falls as the fault rate grows.
 func FaultSweep(base core.Config, ppms []int, numRequests uint64, seed uint32) ([]SweepRow, error) {
 	var out []SweepRow
 	for _, ppm := range ppms {
 		cfg := base
-		cfg.FaultPPM = ppm
-		cfg.FaultSeed = uint64(seed)
+		cfg.Fault.TransientPPM = ppm
+		cfg.Fault.Seed = uint64(seed)
 		res, err := RunRandom(cfg, numRequests, seed, nil)
 		if err != nil {
 			return nil, err

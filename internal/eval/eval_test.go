@@ -147,11 +147,11 @@ func TestFaultSweepMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	clean, faulty := rows[0].Result, rows[1].Result
-	if clean.Engine.LinkRetries != 0 {
-		t.Errorf("clean run retried %d times", clean.Engine.LinkRetries)
+	if clean.Engine.LinkRetransmits != 0 {
+		t.Errorf("clean run retransmitted %d times", clean.Engine.LinkRetransmits)
 	}
-	if faulty.Engine.LinkRetries == 0 {
-		t.Error("10% fault rate produced no retries")
+	if faulty.Engine.LinkRetransmits == 0 {
+		t.Error("10% fault rate produced no retransmissions")
 	}
 	if faulty.Cycles <= clean.Cycles {
 		t.Errorf("faults did not slow the run: %d vs %d cycles", faulty.Cycles, clean.Cycles)

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/fault"
+)
+
+// smallCampaignConfigs returns a single cheap configuration so campaign
+// tests stay fast.
+func smallCampaignConfigs() []core.Config {
+	cfg := core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, NumBanks: 8,
+		NumDRAMs: 8, CapacityGB: 2, QueueDepth: 16, XbarDepth: 32,
+	}
+	return []core.Config{cfg}
+}
+
+func TestFaultCampaignDeterministic(t *testing.T) {
+	opts := CampaignOpts{
+		Requests: 512,
+		Seed:     7,
+		Configs:  smallCampaignConfigs(),
+	}
+	run := func() string {
+		rows, err := FaultCampaign(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatCampaign(rows)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("campaign not bit-identical across runs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "clean") || !strings.Contains(a, "mixed") {
+		t.Errorf("campaign output missing default points:\n%s", a)
+	}
+}
+
+func TestFaultCampaignCleanPointIsFaultFree(t *testing.T) {
+	rows, err := FaultCampaign(CampaignOpts{
+		Requests: 256,
+		Seed:     3,
+		Configs:  smallCampaignConfigs(),
+		Points:   []CampaignPoint{{Label: "clean"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	e := rows[0].Result.Engine
+	if e.LinkRetransmits != 0 || e.ErrorResponses != 0 || e.LinkFailures != 0 ||
+		e.Reroutes != 0 || e.PoisonedReads != 0 {
+		t.Errorf("clean point reported faults: %+v", e)
+	}
+	if rows[0].Result.Completed != 256 {
+		t.Errorf("clean point completed %d/256", rows[0].Result.Completed)
+	}
+}
+
+func TestFaultCampaignRingDegradedMode(t *testing.T) {
+	// The acceptance scenario: a ring with one inter-device link failed
+	// from reset completes every request by routing the long way around.
+	rows, err := FaultCampaign(CampaignOpts{
+		Requests:    512,
+		Seed:        11,
+		Configs:     smallCampaignConfigs(),
+		Points:      []CampaignPoint{{Label: "degraded"}},
+		Topology:    "ring",
+		RingDevs:    4,
+		FailedLinks: []fault.LinkID{{Dev: 0, Link: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Note != "" {
+		t.Fatalf("degraded ring cell aborted: %s", r.Note)
+	}
+	if r.Result.Completed != r.Result.Sent || r.Result.Sent != 512 {
+		t.Errorf("degraded ring lost requests: sent %d, completed %d",
+			r.Result.Sent, r.Result.Completed)
+	}
+	if r.Result.Errors != 0 {
+		t.Errorf("degraded ring produced %d ERROR responses, want 0", r.Result.Errors)
+	}
+	e := r.Result.Engine
+	if e.Reroutes == 0 {
+		t.Error("degraded ring completed without any reroutes")
+	}
+	if e.LinkFailures != 2 {
+		t.Errorf("LinkFailures = %d, want 2 (both endpoints)", e.LinkFailures)
+	}
+}

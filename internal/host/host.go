@@ -19,6 +19,12 @@ import (
 	"hmcsim/internal/workload"
 )
 
+// ErrAllLinksFailed reports that every host link of the injection device
+// has been permanently failed by the fault model; no further traffic can
+// be injected. Campaign drivers treat it as a terminal cell outcome
+// rather than a simulation defect.
+var ErrAllLinksFailed = errors.New("host: every host link of the injection device has failed")
+
 // Options configures a Driver.
 type Options struct {
 	// Dev is the root device whose host links carry the traffic.
@@ -159,6 +165,10 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 		// Inject until a stall or tag exhaustion.
 		injected, done, err := d.inject(gen, n, &res)
 		if err != nil {
+			// Terminal outcomes (e.g. every host link failed) still report
+			// the cycles and counters accumulated up to this point.
+			res.Cycles = d.h.Clk() - baseCycles
+			res.Engine = d.h.Stats().Sub(baseStats)
 			return res, err
 		}
 		outstanding += injected
@@ -207,8 +217,21 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 		}
 		d.queued = a
 
-		li := d.opts.Select.Select(*a) % len(d.hostLinks)
-		link := d.hostLinks[li]
+		// The selector names a preferred injection link; permanently failed
+		// links are skipped in favour of the next surviving host link
+		// (degraded-mode operation).
+		sel := d.opts.Select.Select(*a) % len(d.hostLinks)
+		link := -1
+		for off := 0; off < len(d.hostLinks); off++ {
+			cand := d.hostLinks[(sel+off)%len(d.hostLinks)]
+			if !d.h.LinkFailed(d.opts.Dev, cand) {
+				link = cand
+				break
+			}
+		}
+		if link < 0 {
+			return outstanding, false, fmt.Errorf("%w (device %d)", ErrAllLinksFailed, d.opts.Dev)
+		}
 		if len(d.freeTags[link]) == 0 {
 			// No tag available on this link; other links may still have
 			// capacity, but a blocked stream must preserve order — stop
@@ -258,6 +281,13 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 			d.putTag(link, tag)
 			return outstanding, false, nil
 		}
+		if errors.Is(err, core.ErrLinkFailed) {
+			// The injection link failed mid-transfer and the packet was
+			// lost before acceptance. Re-issue the access immediately on a
+			// surviving link (the selection loop above now skips this one).
+			d.putTag(link, tag)
+			continue
+		}
 		if err != nil {
 			d.putTag(link, tag)
 			return outstanding, false, err
@@ -278,9 +308,20 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 // latencies and counting error responses.
 func (d *Driver) drain(lat *stats.Histogram) (completed, errs uint64, err error) {
 	for _, port := range d.drainPorts {
+		if d.h.LinkFailed(port[0], port[1]) {
+			// Responses re-route to surviving host ports; the failed port
+			// carries no further traffic.
+			continue
+		}
 		for {
 			rsp, rerr := d.h.RecvPacket(port[0], port[1])
 			if errors.Is(rerr, core.ErrStall) {
+				break
+			}
+			if errors.Is(rerr, core.ErrLinkFailed) {
+				// The port failed between the census above and this receive
+				// (statically failed links are applied on the first
+				// simulation call): treat it like any other dead port.
 				break
 			}
 			if rerr != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/fault"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/workload"
 )
@@ -351,5 +352,37 @@ func TestWarmupExclusion(t *testing.T) {
 	}
 	if warm.Latency.Count() == 0 {
 		t.Error("no measured latencies at all")
+	}
+}
+
+func TestDriverStaticFailedHostLink(t *testing.T) {
+	// A host link failed from reset is only applied on the first
+	// simulation call, after the driver's own port census: both the
+	// drain and inject paths must treat the late ErrLinkFailed as a
+	// dead port, not a run failure.
+	cfg := smallConfig()
+	cfg.Fault.FailedLinks = []fault.LinkID{{Dev: 0, Link: 0}}
+	h := newSimpleHMC(t, cfg)
+	d, err := NewDriver(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewRandomAccess(1, 1<<30, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	res, err := d.Run(gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n {
+		t.Errorf("completed %d/%d with a failed host link", res.Completed, n)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.Engine.LinkFailures != 1 {
+		t.Errorf("LinkFailures = %d, want 1", res.Engine.LinkFailures)
 	}
 }

@@ -87,14 +87,17 @@ const MaxCUB = cubMask
 // ERRSTAT codes reported by error response packets. The zero value means
 // no error.
 const (
-	ErrStatOK       uint8 = 0x00
-	ErrStatCube     uint8 = 0x01 // destination cube unreachable / invalid
-	ErrStatVault    uint8 = 0x02 // vault decode out of range
-	ErrStatBank     uint8 = 0x03 // bank decode out of range
-	ErrStatCmd      uint8 = 0x04 // command unsupported at the vault
-	ErrStatAddr     uint8 = 0x05 // physical address out of configured range
-	ErrStatTopology uint8 = 0x06 // no route to destination (misconfigured topology)
-	ErrStatRegister uint8 = 0x20 // invalid register index in a mode request
+	ErrStatOK        uint8 = 0x00
+	ErrStatCube      uint8 = 0x01 // destination cube unreachable / invalid
+	ErrStatVault     uint8 = 0x02 // vault decode out of range
+	ErrStatBank      uint8 = 0x03 // bank decode out of range
+	ErrStatCmd       uint8 = 0x04 // command unsupported at the vault
+	ErrStatAddr      uint8 = 0x05 // physical address out of configured range
+	ErrStatTopology  uint8 = 0x06 // no route to destination (misconfigured topology)
+	ErrStatLinkCRC   uint8 = 0x07 // link retry budget exhausted (persistent CRC faults)
+	ErrStatVaultFail uint8 = 0x08 // request targets a permanently failed vault
+	ErrStatPoison    uint8 = 0x09 // read data poisoned by a vault fault
+	ErrStatRegister  uint8 = 0x20 // invalid register index in a mode request
 )
 
 // Errors returned by packet validation and decoding.

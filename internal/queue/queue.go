@@ -46,6 +46,11 @@ type Slot struct {
 	// stage per sub-cycle operation; the crossbar stages skip moved slots
 	// and the flag clears at the next clock edge.
 	Moved bool
+	// Retries counts the transparent link-level retransmissions this
+	// packet has consumed on its current hop (fault model). Unlike the
+	// cycle flags it persists across clock edges; it resets when the
+	// packet moves to the next queue.
+	Retries uint8
 	// Arrived records the device clock value at which the packet entered
 	// this queue, for latency tracing.
 	Arrived uint64

@@ -178,7 +178,7 @@ func (t *Topology) Validate() error {
 // link. Traffic addressed to them elicits error responses rather than a
 // configuration failure.
 func (t *Topology) Unreachable() []int {
-	r := t.routes()
+	r := t.routes(nil)
 	var out []int
 	for d := 0; d < t.numDevs; d++ {
 		if r.toHost[d] == Unconnected && !t.IsRoot(d) {
@@ -208,9 +208,19 @@ type Routes struct {
 
 // Routes computes next-hop tables with breadth-first search over the
 // pass-through links, so forwarding always follows a minimal-hop path.
-func (t *Topology) Routes() *Routes { return t.routes() }
+func (t *Topology) Routes() *Routes { return t.routes(nil) }
 
-func (t *Topology) routes() *Routes {
+// RoutesAvoiding computes next-hop tables over the surviving fabric:
+// links for which down reports true at either endpoint carry no traffic,
+// so forwarding follows a minimal-hop path through the remaining links
+// (degraded-mode routing). A device whose host links are all down no
+// longer acts as a root for host-bound routing. A nil filter is
+// equivalent to Routes.
+func (t *Topology) RoutesAvoiding(down func(dev, link int) bool) *Routes {
+	return t.routes(down)
+}
+
+func (t *Topology) routes(down func(dev, link int) bool) *Routes {
 	r := &Routes{
 		numDevs:  t.numDevs,
 		hostID:   t.hostID,
@@ -220,6 +230,14 @@ func (t *Topology) routes() *Routes {
 	}
 	for d := range r.next {
 		r.next[d] = make([]int, t.numDevs)
+	}
+	// linkUp reports whether the pass-through link at (dev, link) with
+	// the given peer survives the down filter at both endpoints.
+	linkUp := func(dev, link int, p Peer) bool {
+		if down == nil {
+			return true
+		}
+		return !down(dev, link) && !down(p.Cube, p.Link)
 	}
 
 	// Per-destination BFS: for destination dst, walk outward from dst and
@@ -237,8 +255,11 @@ func (t *Topology) routes() *Routes {
 			queue = queue[1:]
 			// Examine cur's neighbours; a neighbour reaches dst via the
 			// reverse link.
-			for _, p := range t.peers[cur] {
+			for l, p := range t.peers[cur] {
 				if p.Cube < 0 || p.Cube >= t.numDevs || seen[p.Cube] {
+					continue
+				}
+				if !linkUp(cur, l, p) {
 					continue
 				}
 				seen[p.Cube] = true
@@ -248,21 +269,36 @@ func (t *Topology) routes() *Routes {
 		}
 	}
 
-	// BFS from the set of root devices for host-bound routing.
+	// BFS from the set of root devices for host-bound routing. A root
+	// whose host links are all down cannot surface responses and is not
+	// seeded.
 	for d := 0; d < t.numDevs; d++ {
 		r.toHost[d] = Unconnected
 		r.hostHops[d] = -1
 	}
 	var queue []int
 	for _, d := range t.Roots() {
+		live := false
+		for _, l := range t.HostLinks(d) {
+			if down == nil || !down(d, l) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
 		r.hostHops[d] = 0
 		queue = append(queue, d)
 	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, p := range t.peers[cur] {
+		for l, p := range t.peers[cur] {
 			if p.Cube < 0 || p.Cube >= t.numDevs || r.hostHops[p.Cube] != -1 {
+				continue
+			}
+			if !linkUp(cur, l, p) {
 				continue
 			}
 			r.hostHops[p.Cube] = r.hostHops[cur] + 1

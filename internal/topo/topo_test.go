@@ -366,3 +366,82 @@ func abs(x int) int {
 	}
 	return x
 }
+
+func TestRoutesAvoidingRing(t *testing.T) {
+	ring, err := Ring(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := ring.Routes()
+	// Fail the link between devices 0 and 3 (0:1 <-> 3:0) at one
+	// endpoint; the filter must kill the link in both directions.
+	down := func(dev, link int) bool { return dev == 0 && link == 1 }
+	degraded := ring.RoutesAvoiding(down)
+
+	if l, ok := pristine.NextHop(0, 3); !ok || l != 1 {
+		t.Fatalf("pristine next hop 0->3 = %d,%v, want link 1", l, ok)
+	}
+	if l, ok := degraded.NextHop(0, 3); !ok || l != 0 {
+		t.Errorf("degraded next hop 0->3 = %d,%v, want the long way via link 0", l, ok)
+	}
+	if l, ok := degraded.NextHop(3, 0); !ok || l != 1 {
+		t.Errorf("degraded next hop 3->0 = %d,%v, want the long way via link 1", l, ok)
+	}
+	// Unaffected pairs keep their pristine routes.
+	if l, ok := degraded.NextHop(0, 1); !ok || l != 0 {
+		t.Errorf("degraded next hop 0->1 = %d,%v, want pristine link 0", l, ok)
+	}
+	// A nil filter is equivalent to Routes.
+	nilFiltered := ring.RoutesAvoiding(nil)
+	for d := 0; d < 4; d++ {
+		for dst := 0; dst < 4; dst++ {
+			a, aok := pristine.NextHop(d, dst)
+			b, bok := nilFiltered.NextHop(d, dst)
+			if a != b || aok != bok {
+				t.Errorf("nil filter diverges at %d->%d: %d,%v vs %d,%v", d, dst, a, aok, b, bok)
+			}
+		}
+	}
+}
+
+func TestRoutesAvoidingChainPartition(t *testing.T) {
+	// Severing a chain strands the devices beyond the cut: no next hop,
+	// no path to the host.
+	ch, err := Chain(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := func(dev, link int) bool { return dev == 1 && link == 0 } // 1 -> 2
+	r := ch.RoutesAvoiding(down)
+	if _, ok := r.NextHop(0, 2); ok {
+		t.Error("severed chain still routes 0->2")
+	}
+	if _, ok := r.ToHost(2); ok {
+		t.Error("stranded device 2 still claims a host path")
+	}
+	if r.HostHops(2) != -1 {
+		t.Errorf("stranded device 2 host hops = %d, want -1", r.HostHops(2))
+	}
+	if l, ok := r.ToHost(1); !ok || l != 1 {
+		t.Errorf("device 1 to-host = %d,%v, want link 1", l, ok)
+	}
+}
+
+func TestRoutesAvoidingDeadHostLinks(t *testing.T) {
+	// A root whose host links are all down stops seeding host-bound
+	// routing: responses route to the surviving root instead.
+	ring, err := Ring(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := func(dev, link int) bool { return dev == 1 && link >= 2 } // dev 1's host links
+	r := ring.RoutesAvoiding(down)
+	if l, ok := r.ToHost(1); !ok {
+		t.Error("device 1 has ring neighbours with live host links but no host route")
+	} else if l != 0 && l != 1 {
+		t.Errorf("device 1 to-host = %d, want a ring link", l)
+	}
+	if r.HostHops(1) != 1 {
+		t.Errorf("device 1 host hops = %d, want 1", r.HostHops(1))
+	}
+}

@@ -56,6 +56,15 @@ const (
 	// carries the source link ID) it reconstructs per-request service
 	// latency from a stored trace.
 	KindSend
+	// KindLinkFail records the permanent failure of a link (fault
+	// model): the link carries no further traffic and routing degrades
+	// around it.
+	KindLinkFail
+	// KindReroute records a packet forwarded on a link other than its
+	// undegraded route because a failed link was avoided — the
+	// latency-penalty marker of degraded-mode operation. Aux carries the
+	// link the packet would have used on the pristine fabric.
+	KindReroute
 )
 
 // Masks for common verbosity selections.
@@ -84,6 +93,8 @@ var kindNames = map[Kind]string{
 	KindError:         "ERROR",
 	KindRetry:         "RETRY",
 	KindSend:          "SEND",
+	KindLinkFail:      "LINK_FAIL",
+	KindReroute:       "REROUTE",
 }
 
 // String returns the trace mnemonic for k.
