@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench table1 fig5 faults examples vet clean
+.PHONY: all build test test-race race bench bench-serve serve table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -10,7 +10,12 @@ build:
 	$(GO) build ./...
 
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
 
 test:
 	$(GO) test ./...
@@ -22,6 +27,16 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-serve pushes a fixed 16-job batch (the four Table I configs,
+# four replicas each) through an in-process simulation service over real
+# HTTP and records jobs/sec and cycles/sec — the serving-path perf
+# baseline.
+bench-serve:
+	$(GO) run ./cmd/hmcsim-submit -bench BENCH_serve.json -bench-jobs 16 -requests 65536
+
+serve:
+	$(GO) run ./cmd/hmcsim-serve
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

@@ -1,10 +1,15 @@
 package hmcsim_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -213,5 +218,138 @@ func TestCLIFaultsRingDegraded(t *testing.T) {
 		if strings.Contains(line, "host disconnected") {
 			t.Errorf("degraded ring disconnected the host: %s", line)
 		}
+	}
+}
+
+func TestCLITable1JSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-table1")
+	out := runTool(t, bin, "-json", "-requests", "4096")
+	var rep struct {
+		Requests uint64 `json:"requests"`
+		Rows     []struct {
+			Config       string  `json:"config"`
+			Cycles       uint64  `json:"cycles"`
+			Sent         uint64  `json:"sent"`
+			ReqsPerCycle float64 `json:"reqs_per_cycle"`
+			ResultDigest string  `json:"result_digest"`
+			StateDigest  string  `json:"state_digest"`
+		} `json:"rows"`
+		BankSpeedup float64 `json:"bank_speedup"`
+		LinkSpeedup float64 `json:"link_speedup"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output not parseable: %v\n%s", err, out)
+	}
+	if rep.Requests != 4096 || len(rep.Rows) != 4 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.Cycles == 0 || row.Sent != 4096 || len(row.ResultDigest) != 16 || len(row.StateDigest) != 16 {
+			t.Errorf("implausible row %+v", row)
+		}
+	}
+	if rep.BankSpeedup <= 1 || rep.LinkSpeedup <= 1 {
+		t.Errorf("speedups not > 1: bank %.3f link %.3f", rep.BankSpeedup, rep.LinkSpeedup)
+	}
+	// The -json schema is the service's result schema; a fixed seed must
+	// digest identically across invocations.
+	if out2 := runTool(t, bin, "-json", "-requests", "4096"); out2 != out {
+		t.Error("fixed-seed -json output not byte-identical across runs")
+	}
+}
+
+func TestCLISubmitBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := buildTool(t, "hmcsim-submit")
+	outFile := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	out := runTool(t, bin, "-bench", outFile, "-bench-jobs", "8", "-requests", "1024")
+	if !strings.Contains(out, "bench-serve:") {
+		t.Errorf("bench summary line missing:\n%s", out)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Jobs       int     `json:"jobs"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		Cycles     uint64  `json:"cycles_total"`
+		CyclesSec  float64 `json:"cycles_per_sec"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bench record not JSON: %v\n%s", err, data)
+	}
+	if rec.Jobs != 8 || rec.JobsPerSec <= 0 || rec.Cycles == 0 || rec.CyclesSec <= 0 {
+		t.Errorf("implausible bench record %+v", rec)
+	}
+}
+
+// TestCLIServeDrainsOnSIGTERM is the end-to-end acceptance check for
+// graceful shutdown: a daemon with an in-flight job, signalled with
+// SIGTERM, finishes the job before exiting cleanly.
+func TestCLIServeDrainsOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	serve := buildTool(t, "hmcsim-serve")
+	cmd := exec.Command(serve, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its chosen ephemeral address on the first line.
+	// Keep reading through the same buffered reader afterwards so no
+	// already-buffered output is lost.
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no listen line from hmcsim-serve: %v", err)
+	}
+	line = strings.TrimSpace(line)
+	addr := strings.TrimPrefix(line, "listening on ")
+	if addr == line {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + addr
+
+	spec := `{"config":{"NumDevs":1,"NumLinks":4,"NumVaults":16,"QueueDepth":64,"NumBanks":8,"NumDRAMs":20,"CapacityGB":2,"XbarDepth":128},"workload":{"kind":"random","seed":1,"size":64,"write_percent":50},"requests":20000}`
+	rsp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rsp.Body)
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", rsp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Signal while the job is (very likely) still in flight; the drain
+	// must complete it rather than drop it.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(rd)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("hmcsim-serve exited uncleanly: %v\n%s", err, rest)
+	}
+	if !strings.Contains(string(rest), "drained") {
+		t.Errorf("no drain confirmation in output:\n%s", rest)
 	}
 }

@@ -1,0 +1,84 @@
+// Command hmcsim-serve runs the HMC-Sim simulation service: a long-lived
+// daemon that accepts simulation jobs over a JSON HTTP API, schedules
+// them onto a bounded worker pool (one independent simulator instance
+// per running job) and serves results and expvar metrics.
+//
+//	hmcsim-serve -addr :8080 -workers 8 -queue 64
+//
+// See the README's "Serving mode" section for the endpoint reference and
+// an example curl session. On SIGINT/SIGTERM the daemon stops accepting
+// work, drains queued and running jobs (bounded by -drain) and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hmcsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (concurrent simulator instances)")
+	queue := flag.Int("queue", 64, "bounded job queue depth; submissions beyond it get 429")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
+	drain := flag.Duration("drain", 2*time.Minute, "shutdown drain budget for queued and running jobs")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("hmcsim-serve: ")
+
+	mgr := server.NewManager(server.ManagerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{Handler: server.NewHandler(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The chosen address goes to stdout so scripts (and the CLI tests)
+	// can discover an ephemeral port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	log.Printf("%d workers, queue depth %d, default timeout %v", *workers, *queue, *timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("signal received; draining (budget %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job manager first — the API stays up through the drain
+	// so clients can keep polling and fetch final results (submissions
+	// are already rejected with 503) — then stop the HTTP server.
+	drainErr := mgr.Shutdown(dctx)
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v", drainErr)
+		fmt.Println("drain aborted")
+		os.Exit(1)
+	}
+	fmt.Println("drained; bye")
+}

@@ -1,0 +1,230 @@
+// Command hmcsim-submit is the client side of the simulation service: it
+// submits the paper's four Table I device configurations as concurrent
+// jobs, polls them to completion and prints the Table I cycle counts
+// alongside each job's determinism digests.
+//
+//	hmcsim-serve &
+//	hmcsim-submit -addr http://127.0.0.1:8080 -requests 65536
+//
+// With -bench FILE the command is self-contained: it starts an
+// in-process service on an ephemeral port, pushes a fixed 16-job batch
+// (the four configurations, four replicas each) through the full HTTP
+// path and writes a JSON benchmark record (jobs/sec, cycles/sec) to
+// FILE — the `make bench-serve` baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/server"
+	"hmcsim/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "service base URL")
+	requests := flag.Uint64("requests", 1<<16, "requests per job")
+	seed := flag.Uint("seed", 1, "workload seed")
+	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
+	timeout := flag.Duration("timeout", 10*time.Minute, "client-side wait budget per batch")
+	bench := flag.String("bench", "", "run the 16-job in-process benchmark and write its JSON record to this file")
+	benchJobs := flag.Int("bench-jobs", 16, "benchmark batch size (replicated Table I configs)")
+	flag.Parse()
+
+	if *bench != "" {
+		if err := runBench(*bench, *benchJobs, *requests, uint32(*seed), *poll, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsim-submit:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	results, err := runBatch(*addr, specs(1, *requests, uint32(*seed)), *poll, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsim-submit:", err)
+		os.Exit(1)
+	}
+	printTable(results)
+}
+
+// specs builds replicas copies of the four Table I job specs.
+func specs(replicas int, requests uint64, seed uint32) []server.JobSpec {
+	var out []server.JobSpec
+	for r := 0; r < replicas; r++ {
+		for _, cfg := range core.Table1Configs() {
+			out = append(out, server.JobSpec{
+				Name:     fmt.Sprintf("%v #%d", cfg, r),
+				Config:   cfg,
+				Workload: workload.TableISpec(seed),
+				Requests: requests,
+			})
+		}
+	}
+	return out
+}
+
+// runBatch submits every spec concurrently, polls each job to a
+// terminal state and returns the final statuses in submission order.
+func runBatch(base string, specs []server.JobSpec, poll, timeout time.Duration) ([]server.Status, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	out := make([]server.Status, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec server.JobSpec) {
+			defer wg.Done()
+			out[i], errs[i] = submitAndWait(client, base, spec, poll, timeout)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// submitAndWait pushes one job through the API, retrying on 429
+// backpressure, and polls until it reaches a terminal state.
+func submitAndWait(client *http.Client, base string, spec server.JobSpec, poll, timeout time.Duration) (server.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return server.Status{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	var st server.Status
+	for {
+		rsp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return server.Status{}, err
+		}
+		code := rsp.StatusCode
+		data, err := io.ReadAll(rsp.Body)
+		rsp.Body.Close()
+		if err != nil {
+			return server.Status{}, err
+		}
+		if code == http.StatusTooManyRequests {
+			// Explicit backpressure: the bounded queue is full. Back
+			// off and retry until the drain frees a slot.
+			if time.Now().After(deadline) {
+				return server.Status{}, fmt.Errorf("submit %q: backpressured past the deadline", spec.Name)
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if code != http.StatusAccepted {
+			return server.Status{}, fmt.Errorf("submit %q: HTTP %d: %s", spec.Name, code, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return server.Status{}, err
+		}
+		break
+	}
+	for {
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s: still %s past the deadline", st.ID, st.State)
+		}
+		rsp, err := client.Get(base + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			return st, err
+		}
+		data, err := io.ReadAll(rsp.Body)
+		rsp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		if rsp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("poll %s: HTTP %d: %s", st.ID, rsp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			if st.State != server.StateDone {
+				return st, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+			}
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// printTable renders the batch the way hmcsim-table1 does, with the
+// service's determinism digests attached.
+func printTable(results []server.Status) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Job\tDevice Configuration\tCycles\tReq/Cycle\tResult Digest")
+	for _, st := range results {
+		r := st.Result
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\n", st.ID, r.Config, r.Cycles, r.ReqsPerCycle, r.ResultDigest)
+	}
+	tw.Flush()
+}
+
+// benchRecord is the BENCH_serve.json schema.
+type benchRecord struct {
+	Jobs        int     `json:"jobs"`
+	Workers     int     `json:"workers"`
+	RequestsJob uint64  `json:"requests_per_job"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Cycles      uint64  `json:"cycles_total"`
+	CyclesSec   float64 `json:"cycles_per_sec"`
+	ReqsSec     float64 `json:"requests_per_sec"`
+}
+
+// runBench drives a fixed batch through an in-process service over real
+// HTTP and records throughput.
+func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout time.Duration) error {
+	workers := runtime.GOMAXPROCS(0)
+	mgr := server.NewManager(server.ManagerConfig{Workers: workers, QueueDepth: jobs})
+	srv := &http.Server{Handler: server.NewHandler(mgr)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	replicas := (jobs + 3) / 4
+	batch := specs(replicas, requests, seed)[:jobs]
+	start := time.Now()
+	results, err := runBatch(base, batch, poll, timeout)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	rec := benchRecord{
+		Jobs: jobs, Workers: workers, RequestsJob: requests,
+		WallSeconds: wall, JobsPerSec: float64(jobs) / wall,
+	}
+	for _, st := range results {
+		rec.Cycles += st.Result.Cycles
+	}
+	rec.CyclesSec = float64(rec.Cycles) / wall
+	rec.ReqsSec = float64(uint64(jobs)*requests) / wall
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-serve: %d jobs on %d workers in %.2fs (%.2f jobs/s, %.0f cycles/s) -> %s\n",
+		jobs, workers, wall, rec.JobsPerSec, rec.CyclesSec, path)
+	return nil
+}

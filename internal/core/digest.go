@@ -5,6 +5,25 @@ import (
 	"hash/fnv"
 )
 
+// Snapshot is an exportable summary of one simulation object at a point
+// in time: the clock, the engine counters and the architectural state
+// digest. It is the result payload the simulation service attaches to a
+// finished job, and the unit of the determinism guarantee: two runs of
+// the same deterministic workload produce equal Snapshots.
+type Snapshot struct {
+	// Cycles is the clock value at the time of the snapshot.
+	Cycles uint64 `json:"cycles"`
+	// Stats is the engine counter snapshot.
+	Stats Stats `json:"stats"`
+	// Digest is the StateDigest over the architectural state.
+	Digest uint64 `json:"digest"`
+}
+
+// Snapshot captures the current clock, counters and state digest.
+func (h *HMC) Snapshot() Snapshot {
+	return Snapshot{Cycles: h.clk, Stats: h.stats, Digest: h.StateDigest()}
+}
+
 // StateDigest returns a 64-bit FNV-1a digest over the architectural state
 // of the simulation: the clock, every queued packet in every queue, the
 // register files, link flow-control state, and the engine counters. Two

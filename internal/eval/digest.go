@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"reflect"
+
+	"hmcsim/internal/host"
+)
+
+// ResultDigest returns a 64-bit FNV-1a digest over the deterministic
+// fields of a driver result: the measured cycles, the injection and
+// completion totals, the latency distribution moments and every engine
+// counter (walked reflectively in declaration order, so new Stats fields
+// are picked up automatically). Two runs of the same seeded workload
+// against the same configuration produce equal digests regardless of
+// what else runs in the process — the property the simulation service's
+// concurrency tests pin.
+//
+// Wall-clock artifacts (there are none in Result) and occupancy samples
+// (optional, disabled by the service) are excluded.
+func ResultDigest(r host.Result) uint64 {
+	d := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		d.Write(buf[:])
+	}
+	w64(r.Cycles)
+	w64(r.Sent)
+	w64(r.Completed)
+	w64(r.Errors)
+	w64(r.Latency.Count())
+	w64(r.Latency.Sum())
+	w64(r.Latency.Min())
+	w64(r.Latency.Max())
+	v := reflect.ValueOf(r.Engine)
+	for i := 0; i < v.NumField(); i++ {
+		w64(v.Field(i).Uint())
+	}
+	return d.Sum64()
+}

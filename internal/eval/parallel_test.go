@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"hmcsim/internal/core"
+)
+
+// TestParallelTableIDeterminism pins the architectural assumption the
+// simulation service relies on: simulator instances share no mutable
+// state, so running the four Table I configurations in parallel
+// goroutines (under -race in CI) produces bit-identical results to
+// their serial runs.
+func TestParallelTableIDeterminism(t *testing.T) {
+	const requests = 4096
+	const seed = 1
+	cfgs := core.Table1Configs()
+
+	// Serial baselines first, before any parallel subtest starts.
+	serial := make([]uint64, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := RunRandom(cfg, requests, seed, nil)
+		if err != nil {
+			t.Fatalf("serial %v: %v", cfg, err)
+		}
+		serial[i] = ResultDigest(res)
+	}
+
+	for i, cfg := range cfgs {
+		t.Run(fmt.Sprintf("%v", cfg), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunRandom(cfg, requests, seed, nil)
+			if err != nil {
+				t.Fatalf("parallel %v: %v", cfg, err)
+			}
+			if got := ResultDigest(res); got != serial[i] {
+				t.Errorf("parallel digest %016x != serial %016x", got, serial[i])
+			}
+		})
+	}
+}
+
+// TestResultDigestSensitivity checks the digest actually discriminates:
+// different seeds and different configurations hash differently.
+func TestResultDigestSensitivity(t *testing.T) {
+	cfg := core.Table1Configs()[0]
+	a, err := RunRandom(cfg, 1024, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRandom(cfg, 1024, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultDigest(a) == ResultDigest(b) {
+		t.Error("digests collide across seeds")
+	}
+	c, err := RunRandom(core.Table1Configs()[2], 1024, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultDigest(a) == ResultDigest(c) {
+		t.Error("digests collide across configurations")
+	}
+	d, err := RunRandom(cfg, 1024, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultDigest(a) != ResultDigest(d) {
+		t.Error("repeat run digest differs")
+	}
+}

@@ -52,6 +52,13 @@ type Options struct {
 	// transient. The warm-up requests still execute and still count in
 	// Sent.
 	Warmup uint64
+	// Interrupt, when non-nil, is polled once per simulated cycle; a
+	// non-nil return aborts the run with that error after recording the
+	// cycles and counters accumulated so far. The simulation service
+	// uses it to propagate per-job context cancellation and timeouts
+	// into the clock loop. It has no effect on runs that complete: the
+	// deterministic cycle-by-cycle execution is unchanged.
+	Interrupt func() error
 }
 
 // Result summarizes one driver run.
@@ -185,6 +192,13 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 
 		if done && outstanding == 0 && d.h.Quiescent() {
 			break
+		}
+		if d.opts.Interrupt != nil {
+			if ierr := d.opts.Interrupt(); ierr != nil {
+				res.Cycles = d.h.Clk() - baseCycles
+				res.Engine = d.h.Stats().Sub(baseStats)
+				return res, ierr
+			}
 		}
 		if err := d.h.Clock(); err != nil {
 			return res, err

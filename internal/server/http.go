@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body; specs are small.
+const maxBodyBytes = 1 << 20
+
+// NewHandler mounts the JSON API for m:
+//
+//	POST   /api/v1/jobs       submit a JobSpec   -> 202 Status
+//	GET    /api/v1/jobs       list jobs          -> 200 [Status]
+//	GET    /api/v1/jobs/{id}  poll one job       -> 200 Status (result when done)
+//	DELETE /api/v1/jobs/{id}  cancel a job       -> 200 Status
+//	GET    /metrics           expvar counters    -> 200 JSON object
+//	GET    /healthz           liveness/drain     -> 200 ok | 503 draining
+//
+// Error mapping: invalid spec 400, unknown job 404, cancel-after-finish
+// 409, queue full 429 (with Retry-After), shutting down 503. Error
+// bodies are {"error": "..."} JSON.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrJobFinished):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, st)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, m.Vars().String())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// submitStatus maps a Submit error onto its HTTP status code.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

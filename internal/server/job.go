@@ -1,0 +1,220 @@
+// Package server implements simulation-as-a-service: a job manager that
+// accepts simulation jobs (device configuration + workload spec + fault
+// spec), schedules them onto a bounded worker pool where every worker
+// owns an independent simulator instance, and exposes the whole thing
+// over a net/http JSON API with expvar-based metrics.
+//
+// The design leans on one architectural property of the engine, pinned
+// by tests in internal/eval: simulator instances share no mutable state,
+// so N fixed-seed jobs running side by side produce results bit-identical
+// to their serial runs. The serving layer adds the robustness a long-
+// lived process needs — per-job context timeouts and cancellation, a
+// bounded queue with explicit backpressure, panic recovery that fails a
+// single job rather than the daemon, and graceful shutdown that drains
+// in-flight jobs.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+// State is the lifecycle state of a job. The machine is linear with
+// three terminal states:
+//
+//	queued -> running -> done | failed | cancelled
+//
+// A queued job may also move directly to cancelled without running.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the submission payload: everything needed to build and run
+// one independent simulator instance. The zero value is not valid; at
+// minimum Config and Requests must be set.
+type JobSpec struct {
+	// Name is an optional caller-supplied label echoed in status output.
+	Name string `json:"name,omitempty"`
+	// Config is the device configuration, including the fault spec
+	// (Config.Fault). It is validated at submission time.
+	Config core.Config `json:"config"`
+	// Workload describes the access stream; the zero value selects the
+	// random access workload with seed 0. See workload.Spec.
+	Workload workload.Spec `json:"workload"`
+	// Requests is the number of accesses to inject.
+	Requests uint64 `json:"requests"`
+	// Warmup excludes the first Warmup requests from measurement.
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Posted issues writes as posted requests.
+	Posted bool `json:"posted,omitempty"`
+	// TimeoutMS bounds the job's wall-clock runtime in milliseconds;
+	// zero selects the manager's default. The bound is enforced through
+	// the per-job context: an expired job fails, it does not wedge a
+	// worker.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fig5Interval, when non-zero, attaches a Figure-5 collector with
+	// this sampling interval (in cycles) and includes the per-interval
+	// series in the result payload.
+	Fig5Interval uint64 `json:"fig5_interval,omitempty"`
+}
+
+// maxRequestsPerJob bounds a single job's request count, keeping one
+// submission from monopolizing a worker for hours. The paper-scale
+// experiment (1<<25 requests) fits with headroom.
+const maxRequestsPerJob = 1 << 28
+
+// Validate checks the spec at submission time, before it costs a queue
+// slot.
+func (s JobSpec) Validate() error {
+	if s.Requests == 0 {
+		return fmt.Errorf("server: job needs requests > 0")
+	}
+	if s.Requests > maxRequestsPerJob {
+		return fmt.Errorf("server: %d requests exceeds the per-job bound %d",
+			s.Requests, maxRequestsPerJob)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("server: negative timeout")
+	}
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	return s.Workload.Validate()
+}
+
+// Result is the result payload of a finished job — the same schema
+// cmd/hmcsim-table1 -json emits. Digests are rendered as fixed-width hex
+// strings so they survive JSON number precision limits.
+type Result struct {
+	// Config labels the device configuration the paper's way.
+	Config string `json:"config"`
+	// Requests is the injected request count.
+	Requests uint64 `json:"requests"`
+	// Cycles is the simulated runtime in clock cycles (Table I's
+	// metric).
+	Cycles uint64 `json:"cycles"`
+	// Sent, Completed and Errors summarize the driver run.
+	Sent      uint64 `json:"sent"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	// ReqsPerCycle is the throughput figure of Table I.
+	ReqsPerCycle float64 `json:"reqs_per_cycle"`
+	// Latency moments of the round-trip distribution, in cycles.
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyP50  uint64  `json:"latency_p50"`
+	LatencyP95  uint64  `json:"latency_p95"`
+	LatencyP99  uint64  `json:"latency_p99"`
+	LatencyMax  uint64  `json:"latency_max"`
+	// Engine is the simulator's counter snapshot over the measurement
+	// window.
+	Engine core.Stats `json:"engine"`
+	// ResultDigest is eval.ResultDigest over the driver result; it is
+	// the determinism witness: a fixed-seed job yields the same value
+	// alone or alongside 15 concurrent jobs.
+	ResultDigest string `json:"result_digest"`
+	// StateDigest is core.StateDigest over the final architectural
+	// state of the job's simulator instance.
+	StateDigest string `json:"state_digest"`
+	// Fig5 is the optional per-interval series (JobSpec.Fig5Interval).
+	Fig5 []stats.Sample `json:"fig5,omitempty"`
+}
+
+// NewResult assembles the result payload from a driver run and the final
+// simulator snapshot.
+func NewResult(cfg core.Config, spec JobSpec, r host.Result, snap core.Snapshot, fig5 []stats.Sample) Result {
+	return Result{
+		Config:       cfg.String(),
+		Requests:     spec.Requests,
+		Cycles:       r.Cycles,
+		Sent:         r.Sent,
+		Completed:    r.Completed,
+		Errors:       r.Errors,
+		ReqsPerCycle: r.Throughput(),
+		LatencyMean:  r.Latency.Mean(),
+		LatencyP50:   r.Latency.Percentile(50),
+		LatencyP95:   r.Latency.Percentile(95),
+		LatencyP99:   r.Latency.Percentile(99),
+		LatencyMax:   r.Latency.Max(),
+		Engine:       r.Engine,
+		ResultDigest: fmt.Sprintf("%016x", eval.ResultDigest(r)),
+		StateDigest:  fmt.Sprintf("%016x", snap.Digest),
+		Fig5:         fig5,
+	}
+}
+
+// Status is the externally visible view of a job, returned by the
+// status and list endpoints. Result is present only in StateDone.
+type Status struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Spec      JobSpec    `json:"spec"`
+	Result    *Result    `json:"result,omitempty"`
+}
+
+// job is the manager's internal record. All fields past the immutable
+// header are guarded by the manager's mutex.
+type job struct {
+	id        string
+	spec      JobSpec
+	submitted time.Time
+
+	state     state
+	cancelled bool // cancellation requested (queued or running)
+}
+
+// state groups the mutable lifecycle fields of a job.
+type state struct {
+	phase    State
+	err      error
+	result   *Result
+	started  time.Time
+	finished time.Time
+	cancel   func() // non-nil while running
+}
+
+// status renders the job under the manager's lock.
+func (j *job) status() Status {
+	s := Status{
+		ID:        j.id,
+		Name:      j.spec.Name,
+		State:     j.state.phase,
+		Submitted: j.submitted,
+		Spec:      j.spec,
+		Result:    j.state.result,
+	}
+	if j.state.err != nil {
+		s.Error = j.state.err.Error()
+	}
+	if !j.state.started.IsZero() {
+		t := j.state.started
+		s.Started = &t
+	}
+	if !j.state.finished.IsZero() {
+		t := j.state.finished
+		s.Finished = &t
+	}
+	return s
+}

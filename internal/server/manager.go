@@ -1,0 +1,336 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Submission and lifecycle errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded queue has no
+	// free slot. The HTTP layer renders it as 429 Too Many Requests;
+	// clients should retry after draining completes.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrShuttingDown rejects submissions after Shutdown has begun
+	// (503 Service Unavailable).
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrUnknownJob reports a job ID with no record (404 Not Found).
+	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrJobFinished rejects cancellation of a job already in a
+	// terminal state (409 Conflict).
+	ErrJobFinished = errors.New("server: job already finished")
+)
+
+// ManagerConfig sizes a Manager.
+type ManagerConfig struct {
+	// Workers is the worker-pool size: the number of simulator
+	// instances that run concurrently. Zero selects 4.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// submissions beyond the bound are rejected with ErrQueueFull.
+	// Zero selects 64.
+	QueueDepth int
+	// DefaultTimeout bounds a job's wall-clock runtime when its spec
+	// does not name one. Zero selects 5 minutes.
+	DefaultTimeout time.Duration
+
+	// runFn substitutes the job executor, for tests exercising panic
+	// recovery and scheduling without paying for real simulations. Nil
+	// selects Execute.
+	runFn func(context.Context, JobSpec) (Result, error)
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.runFn == nil {
+		c.runFn = Execute
+	}
+	return c
+}
+
+// Manager owns the job table, the bounded queue and the worker pool.
+// Every worker runs at most one job at a time on its own simulator
+// instance; the manager itself never touches simulation state.
+type Manager struct {
+	cfg   ManagerConfig
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submission order, for stable listings
+	seq    int
+	queue  chan *job
+	closed bool
+	wg     sync.WaitGroup
+
+	// Counters, exposed through Vars. activeWorkers and the cumulative
+	// totals are atomics because workers bump them outside the lock.
+	submitted     expvar.Int
+	completed     expvar.Int
+	failed        expvar.Int
+	cancelledN    expvar.Int
+	rejected      expvar.Int
+	panics        expvar.Int
+	activeWorkers atomic.Int64
+	cycles        atomic.Uint64 // simulated cycles, completed jobs
+	requests      atomic.Uint64 // injected requests, completed jobs
+
+	vars *expvar.Map
+}
+
+// NewManager starts a manager and its worker pool.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+	}
+	m.initVars()
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// initVars builds the expvar map served by /metrics. The map is
+// per-manager (not published to the global expvar namespace) so tests
+// and embedders can run many managers in one process.
+func (m *Manager) initVars() {
+	m.vars = new(expvar.Map).Init()
+	m.vars.Set("jobs_submitted", &m.submitted)
+	m.vars.Set("jobs_completed", &m.completed)
+	m.vars.Set("jobs_failed", &m.failed)
+	m.vars.Set("jobs_cancelled", &m.cancelledN)
+	m.vars.Set("jobs_rejected", &m.rejected)
+	m.vars.Set("job_panics", &m.panics)
+	m.vars.Set("workers", expvar.Func(func() any { return m.cfg.Workers }))
+	m.vars.Set("active_workers", expvar.Func(func() any { return m.activeWorkers.Load() }))
+	m.vars.Set("queue_depth", expvar.Func(func() any { return len(m.queue) }))
+	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(m.queue) }))
+	m.vars.Set("cycles_simulated", expvar.Func(func() any { return m.cycles.Load() }))
+	m.vars.Set("requests_simulated", expvar.Func(func() any { return m.requests.Load() }))
+	m.vars.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	m.vars.Set("cycles_per_second", expvar.Func(func() any {
+		s := time.Since(m.start).Seconds()
+		if s <= 0 {
+			return 0.0
+		}
+		return float64(m.cycles.Load()) / s
+	}))
+}
+
+// Vars returns the manager's expvar map, the payload of /metrics.
+func (m *Manager) Vars() *expvar.Map { return m.vars }
+
+// Submit validates spec and enqueues a job, returning its initial
+// status. It never blocks: a full queue returns ErrQueueFull
+// immediately (explicit backpressure), a closed manager
+// ErrShuttingDown.
+func (m *Manager) Submit(spec JobSpec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Status{}, ErrShuttingDown
+	}
+	m.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", m.seq),
+		spec:      spec,
+		submitted: time.Now(),
+		state:     state{phase: StateQueued},
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.rejected.Add(1)
+		m.seq-- // the rejected job never existed
+		return Status{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.submitted.Add(1)
+	return j.status(), nil
+}
+
+// Get returns the status of one job.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].status())
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job moves straight to
+// cancelled; a running job has its context cancelled and reaches the
+// cancelled state when its worker observes the interrupt. Cancelling a
+// finished job returns ErrJobFinished.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.state.phase {
+	case StateQueued:
+		j.cancelled = true
+		j.state.phase = StateCancelled
+		j.state.finished = time.Now()
+		m.cancelledN.Add(1)
+	case StateRunning:
+		j.cancelled = true
+		if j.state.cancel != nil {
+			j.state.cancel()
+		}
+	default:
+		return j.status(), fmt.Errorf("%w: %s is %s", ErrJobFinished, id, j.state.phase)
+	}
+	return j.status(), nil
+}
+
+// worker is the pool loop: pop, run, settle, repeat until the queue is
+// closed and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runOne(j)
+	}
+}
+
+// runOne executes one job with a derived context and settles its
+// terminal state.
+func (m *Manager) runOne(j *job) {
+	m.mu.Lock()
+	if j.cancelled {
+		// Cancelled while queued; Cancel already settled the state.
+		m.mu.Unlock()
+		return
+	}
+	timeout := m.cfg.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	j.state.phase = StateRunning
+	j.state.started = time.Now()
+	j.state.cancel = cancel
+	m.mu.Unlock()
+
+	m.activeWorkers.Add(1)
+	res, err := m.safeRun(ctx, j.spec)
+	m.activeWorkers.Add(-1)
+	cancel()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.state.cancel = nil
+	j.state.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state.phase = StateDone
+		j.state.result = &res
+		m.completed.Add(1)
+		m.cycles.Add(res.Cycles)
+		m.requests.Add(res.Sent)
+	case j.cancelled && errors.Is(err, context.Canceled):
+		j.state.phase = StateCancelled
+		j.state.err = err
+		m.cancelledN.Add(1)
+	default:
+		// Timeouts, simulation errors, panics and shutdown-forced
+		// aborts all fail the job — never the process.
+		j.state.phase = StateFailed
+		j.state.err = err
+		m.failed.Add(1)
+	}
+}
+
+// safeRun invokes the executor with panic recovery: a panicking job
+// surfaces as a failed job, not a dead daemon.
+func (m *Manager) safeRun(ctx context.Context, spec JobSpec) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			err = fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	return m.cfg.runFn(ctx, spec)
+}
+
+// Shutdown closes the manager for new submissions and drains: queued
+// jobs still run, running jobs finish. If ctx expires first, every
+// outstanding job's context is cancelled (running jobs settle as failed
+// with context.Canceled) and Shutdown returns ctx.Err once the workers
+// exit. Shutdown is idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

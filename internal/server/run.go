@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+
+	"hmcsim/internal/eval"
+	"hmcsim/internal/host"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/trace"
+)
+
+// Execute builds an independent simulator instance for spec and runs it
+// to completion, honouring ctx cancellation between clock cycles. It is
+// the unit of work a manager worker performs, exported so clients
+// (cmd/hmcsim-table1 -json, tests) can produce byte-identical result
+// payloads without a server.
+func Execute(ctx context.Context, spec JobSpec) (Result, error) {
+	cfg := spec.Config
+	h, err := eval.BuildSimple(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var col *stats.Fig5Collector
+	if spec.Fig5Interval > 0 {
+		col = stats.NewFig5Collector(0, cfg.NumVaults, spec.Fig5Interval)
+		h.SetTracer(col)
+		h.SetTraceMask(trace.MaskPerf)
+	}
+	gen, err := spec.Workload.Build(uint64(cfg.CapacityGB) << 30)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := host.NewDriver(h, host.Options{
+		Posted:    spec.Posted,
+		Warmup:    spec.Warmup,
+		Interrupt: ctx.Err,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := d.Run(gen, spec.Requests)
+	if err != nil {
+		return Result{}, err
+	}
+	var fig5 []stats.Sample
+	if col != nil {
+		col.Flush()
+		fig5 = col.Samples
+	}
+	return NewResult(cfg, spec, res, h.Snapshot(), fig5), nil
+}

@@ -1,0 +1,78 @@
+package workload
+
+import "fmt"
+
+// Spec is a declarative, JSON-serializable description of a workload
+// generator. It is the wire format the simulation service accepts: a job
+// submission names a workload by kind plus parameters instead of holding
+// a live Generator, and the executor materializes the generator with
+// Build against the target device's capacity.
+type Spec struct {
+	// Kind selects the generator: "random" (the paper's random access
+	// test, the default), "stream", "stride", "hotspot", "chase" or
+	// "zipf".
+	Kind string `json:"kind,omitempty"`
+	// Seed seeds the generator's deterministic random stream. Two
+	// builds of an identical spec produce identical access streams.
+	Seed uint32 `json:"seed,omitempty"`
+	// RangeBytes is the addressable byte range; zero selects the full
+	// device capacity supplied to Build.
+	RangeBytes uint64 `json:"range_bytes,omitempty"`
+	// Size is the request block size in bytes (16-128 in FLIT
+	// multiples); zero selects the paper's 64.
+	Size int `json:"size,omitempty"`
+	// WritePercent is the share of writes in percent. The paper's
+	// mixture is 50; zero means all reads.
+	WritePercent int `json:"write_percent,omitempty"`
+
+	// StartAddr and StrideBytes parameterize "stride".
+	StartAddr   uint64 `json:"start_addr,omitempty"`
+	StrideBytes uint64 `json:"stride_bytes,omitempty"`
+	// HotBytes and HotPercent parameterize "hotspot".
+	HotBytes   uint64 `json:"hot_bytes,omitempty"`
+	HotPercent int    `json:"hot_percent,omitempty"`
+	// ZipfS is the skew parameter of "zipf" (must exceed 1).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+}
+
+// TableISpec returns the paper's Table I workload spec: 64-byte random
+// accesses with a 50/50 read/write mixture over the whole device.
+func TableISpec(seed uint32) Spec {
+	return Spec{Kind: "random", Seed: seed, Size: 64, WritePercent: 50}
+}
+
+// Build materializes the generator. capacityBytes supplies the default
+// address range when RangeBytes is zero.
+func (s Spec) Build(capacityBytes uint64) (Generator, error) {
+	rng := s.RangeBytes
+	if rng == 0 {
+		rng = capacityBytes
+	}
+	size := s.Size
+	if size == 0 {
+		size = 64
+	}
+	switch s.Kind {
+	case "", "random":
+		return NewRandomAccess(s.Seed, rng, size, s.WritePercent)
+	case "stream":
+		return NewStream(s.Seed, rng, size, s.WritePercent)
+	case "stride":
+		return NewStride(s.Seed, s.StartAddr, s.StrideBytes, rng, size, s.WritePercent)
+	case "hotspot":
+		return NewHotspot(s.Seed, rng, s.HotBytes, s.HotPercent, size, s.WritePercent)
+	case "chase":
+		return NewPointerChase(s.Seed, rng, size)
+	case "zipf":
+		return NewZipf(int64(s.Seed), rng, size, s.WritePercent, s.ZipfS)
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", s.Kind)
+	}
+}
+
+// Validate dry-builds the spec against a nominal 1GB capacity, reporting
+// parameter errors without requiring a device.
+func (s Spec) Validate() error {
+	_, err := s.Build(1 << 30)
+	return err
+}
