@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-serve serve table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-serve serve table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -27,6 +27,14 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-core measures the engine hot path — the four Table I
+# configurations (cycles/sec) and the saturated clock loop (allocs/op) —
+# and commits the parsed record to BENCH_core.json, including the
+# speedup against the pre-optimization baseline.
+bench-core:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated' -benchmem . \
+		| $(GO) run ./cmd/hmcsim-benchcore -out BENCH_core.json
 
 # bench-serve pushes a fixed 16-job batch (the four Table I configs,
 # four replicas each) through an in-process simulation service over real

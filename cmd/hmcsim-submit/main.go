@@ -29,6 +29,7 @@ import (
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/server"
+	"hmcsim/internal/server/api"
 	"hmcsim/internal/workload"
 )
 
@@ -58,11 +59,11 @@ func main() {
 }
 
 // specs builds replicas copies of the four Table I job specs.
-func specs(replicas int, requests uint64, seed uint32) []server.JobSpec {
-	var out []server.JobSpec
+func specs(replicas int, requests uint64, seed uint32) []api.SubmitRequest {
+	var out []api.SubmitRequest
 	for r := 0; r < replicas; r++ {
 		for _, cfg := range core.Table1Configs() {
-			out = append(out, server.JobSpec{
+			out = append(out, api.SubmitRequest{
 				Name:     fmt.Sprintf("%v #%d", cfg, r),
 				Config:   cfg,
 				Workload: workload.TableISpec(seed),
@@ -75,14 +76,14 @@ func specs(replicas int, requests uint64, seed uint32) []server.JobSpec {
 
 // runBatch submits every spec concurrently, polls each job to a
 // terminal state and returns the final statuses in submission order.
-func runBatch(base string, specs []server.JobSpec, poll, timeout time.Duration) ([]server.Status, error) {
+func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duration) ([]api.JobStatus, error) {
 	client := &http.Client{Timeout: 30 * time.Second}
-	out := make([]server.Status, len(specs))
+	out := make([]api.JobStatus, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		wg.Add(1)
-		go func(i int, spec server.JobSpec) {
+		go func(i int, spec api.SubmitRequest) {
 			defer wg.Done()
 			out[i], errs[i] = submitAndWait(client, base, spec, poll, timeout)
 		}(i, spec)
@@ -98,38 +99,38 @@ func runBatch(base string, specs []server.JobSpec, poll, timeout time.Duration) 
 
 // submitAndWait pushes one job through the API, retrying on 429
 // backpressure, and polls until it reaches a terminal state.
-func submitAndWait(client *http.Client, base string, spec server.JobSpec, poll, timeout time.Duration) (server.Status, error) {
+func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, poll, timeout time.Duration) (api.JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return server.Status{}, err
+		return api.JobStatus{}, err
 	}
 	deadline := time.Now().Add(timeout)
-	var st server.Status
+	var st api.JobStatus
 	for {
-		rsp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		rsp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return server.Status{}, err
+			return api.JobStatus{}, err
 		}
 		code := rsp.StatusCode
 		data, err := io.ReadAll(rsp.Body)
 		rsp.Body.Close()
 		if err != nil {
-			return server.Status{}, err
+			return api.JobStatus{}, err
 		}
 		if code == http.StatusTooManyRequests {
 			// Explicit backpressure: the bounded queue is full. Back
 			// off and retry until the drain frees a slot.
 			if time.Now().After(deadline) {
-				return server.Status{}, fmt.Errorf("submit %q: backpressured past the deadline", spec.Name)
+				return api.JobStatus{}, fmt.Errorf("submit %q: backpressured past the deadline", spec.Name)
 			}
 			time.Sleep(poll)
 			continue
 		}
 		if code != http.StatusAccepted {
-			return server.Status{}, fmt.Errorf("submit %q: HTTP %d: %s", spec.Name, code, data)
+			return api.JobStatus{}, fmt.Errorf("submit %q: HTTP %d: %s", spec.Name, code, data)
 		}
 		if err := json.Unmarshal(data, &st); err != nil {
-			return server.Status{}, err
+			return api.JobStatus{}, err
 		}
 		break
 	}
@@ -137,7 +138,7 @@ func submitAndWait(client *http.Client, base string, spec server.JobSpec, poll, 
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("job %s: still %s past the deadline", st.ID, st.State)
 		}
-		rsp, err := client.Get(base + "/api/v1/jobs/" + st.ID)
+		rsp, err := client.Get(base + "/v1/jobs/" + st.ID)
 		if err != nil {
 			return st, err
 		}
@@ -153,7 +154,7 @@ func submitAndWait(client *http.Client, base string, spec server.JobSpec, poll, 
 			return st, err
 		}
 		if st.State.Terminal() {
-			if st.State != server.StateDone {
+			if st.State != api.StateDone {
 				return st, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
 			}
 			return st, nil
@@ -164,7 +165,7 @@ func submitAndWait(client *http.Client, base string, spec server.JobSpec, poll, 
 
 // printTable renders the batch the way hmcsim-table1 does, with the
 // service's determinism digests attached.
-func printTable(results []server.Status) {
+func printTable(results []api.JobStatus) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Job\tDevice Configuration\tCycles\tReq/Cycle\tResult Digest")
 	for _, st := range results {

@@ -24,17 +24,18 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
 	"hmcsim/internal/server"
+	"hmcsim/internal/server/api"
 	"hmcsim/internal/workload"
 )
 
 // jsonReport is the -json output schema: the service's per-job result
 // rows plus the derived Table I speedup figures.
 type jsonReport struct {
-	Requests    uint64          `json:"requests"`
-	Seed        uint32          `json:"seed"`
-	Rows        []server.Result `json:"rows"`
-	BankSpeedup float64         `json:"bank_speedup"`
-	LinkSpeedup float64         `json:"link_speedup"`
+	Requests    uint64       `json:"requests"`
+	Seed        uint32       `json:"seed"`
+	Rows        []api.Result `json:"rows"`
+	BankSpeedup float64      `json:"bank_speedup"`
+	LinkSpeedup float64      `json:"link_speedup"`
 }
 
 func main() {
@@ -73,7 +74,7 @@ func main() {
 func emitJSON(n uint64, seed uint32) error {
 	rep := jsonReport{Requests: n, Seed: seed}
 	for _, cfg := range core.Table1Configs() {
-		res, err := server.Execute(context.Background(), server.JobSpec{
+		res, err := server.Execute(context.Background(), api.SubmitRequest{
 			Config:   cfg,
 			Workload: workload.TableISpec(seed),
 			Requests: n,

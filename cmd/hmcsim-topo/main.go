@@ -101,11 +101,8 @@ func main() {
 		NumDevs: t.NumDevs(), NumLinks: t.NumLinks(), NumVaults: 4 * t.NumLinks(),
 		QueueDepth: 64, NumBanks: 8, NumDRAMs: 20, CapacityGB: 2, XbarDepth: 128,
 	}
-	h, err := core.New(cfg)
+	h, err := core.NewWithOptions(cfg, core.WithTopology(t))
 	if err != nil {
-		fatal(err)
-	}
-	if err := h.UseTopology(t); err != nil {
 		fatal(err)
 	}
 	roots := t.Roots()

@@ -45,7 +45,7 @@ func Verify(h *core.HMC) error {
 			}
 			// Vault request queues only hold packets for this vault.
 			for i := 0; i < v.RqstQ.Len(); i++ {
-				p := &v.RqstQ.At(i).Packet
+				p := v.RqstQ.At(i).Packet
 				if p.Cmd().IsMode() {
 					return fmt.Errorf("check: %s slot %d holds a mode request", name, i)
 				}
@@ -74,7 +74,10 @@ func verifyQueue(q *queue.Queue, name string, wantRequests bool, cfg core.Config
 		if s == nil || !s.Valid {
 			return fmt.Errorf("check: %s slot %d invalid but within Len", name, i)
 		}
-		p := &s.Packet
+		p := s.Packet
+		if p == nil {
+			return fmt.Errorf("check: %s slot %d valid but holds no packet", name, i)
+		}
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("check: %s slot %d: %w", name, i, err)
 		}

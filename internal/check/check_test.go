@@ -138,7 +138,7 @@ func TestVerifyDetectsForeignVaultPacket(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = h.Clock() // seal
-	if err := h.Device(0).Vaults[0].RqstQ.Push(p, 0); err != nil {
+	if err := h.Device(0).Vaults[0].RqstQ.Push(&p, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := Verify(h); err == nil {
@@ -153,7 +153,7 @@ func TestVerifyDetectsResponseInRequestQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Device(0).Links[2].RqstQ.Push(rsp, 0); err != nil {
+	if err := h.Device(0).Links[2].RqstQ.Push(&rsp, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := Verify(h); err == nil {
@@ -170,7 +170,7 @@ func TestVerifyDetectsModeRequestInVault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Device(0).Vaults[2].RqstQ.Push(p, 0); err != nil {
+	if err := h.Device(0).Vaults[2].RqstQ.Push(&p, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := Verify(h); err == nil {
@@ -185,7 +185,7 @@ func TestVerifyDetectsBadCUB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Device(0).Links[0].RqstQ.Push(p, 0); err != nil {
+	if err := h.Device(0).Links[0].RqstQ.Push(&p, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := Verify(h); err == nil {

@@ -14,8 +14,7 @@ import (
 // sequence number is drawn from a rolling per-link counter keyed by the
 // link the caller intends to send on.
 func (h *HMC) BuildMemRequest(cub uint8, physAddr uint64, tag uint16, cmd packet.Command, link int) (head, tail uint64, err error) {
-	seq := h.seq[link]
-	h.seq[link] = (seq + 1) & 0x7
+	seq := h.nextSeq(link)
 	p, err := packet.BuildRequest(packet.Request{
 		CUB:  cub,
 		Addr: physAddr,
@@ -37,8 +36,7 @@ func (h *HMC) BuildMemRequest(cub uint8, physAddr uint64, tag uint16, cmd packet
 // the C-style BuildMemRequest.
 func (h *HMC) BuildRequestPacket(req packet.Request, link int) ([]uint64, error) {
 	req.SLID = uint8(link)
-	req.Seq = h.seq[link]
-	h.seq[link] = (req.Seq + 1) & 0x7
+	req.Seq = h.nextSeq(link)
 	p, err := packet.BuildRequest(req)
 	if err != nil {
 		return nil, err
@@ -46,6 +44,112 @@ func (h *HMC) BuildRequestPacket(req packet.Request, link int) ([]uint64, error)
 	out := make([]uint64, len(p.Words()))
 	copy(out, p.Words())
 	return out, nil
+}
+
+// nextSeq draws the rolling 3-bit sequence number for a link. The counter
+// advances even when the subsequent Send stalls — the per-link sequence
+// reflects build order, not acceptance order — so digest-pinned runs must
+// preserve every draw.
+func (h *HMC) nextSeq(link int) uint8 {
+	if link < 0 || link >= len(h.seq) {
+		return 0
+	}
+	seq := h.seq[link]
+	h.seq[link] = (seq + 1) & 0x7
+	return seq
+}
+
+// SendRequest builds and submits a request in one step, the
+// allocation-free fast path of the BuildRequestPacket + Send pair: the
+// per-link sequence number is drawn, the packet is encoded directly into
+// a pooled buffer (one CRC computation instead of three) and enqueued on
+// the crossbar. Semantics match Send: ErrStall on back-pressure,
+// ErrLinkFailed when the transfer trips a hard link failure. Flow packets
+// are not accepted; use Send for those.
+func (h *HMC) SendRequest(dev, link int, req packet.Request) error {
+	req.SLID = uint8(link)
+	req.Seq = h.nextSeq(link)
+	if err := h.seal(); err != nil {
+		return err
+	}
+	d := h.Device(dev)
+	if d == nil {
+		return fmt.Errorf("%w: device %d", ErrRange, dev)
+	}
+	if link < 0 || link >= len(d.Links) {
+		return fmt.Errorf("%w: link %d", ErrRange, link)
+	}
+	l := &d.Links[link]
+	if !l.Active || l.DstCube != h.HostID() {
+		return ErrNotHostLink
+	}
+	if linkDown(d, link) {
+		return ErrLinkDown
+	}
+	if h.linkFailed(dev, link) {
+		return ErrLinkFailed
+	}
+	if !req.Cmd.IsRequest() {
+		return fmt.Errorf("hmcsim: cannot send %v packets", req.Cmd)
+	}
+	rs := &h.retry[dev][link]
+	if l.RqstQ.Full() || rs.pending {
+		h.stats.SendStalls++
+		if h.mask&trace.KindXbarRqstStall != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindXbarRqstStall, Dev: dev, Link: link,
+				Quad: l.Quad, Vault: trace.None, Bank: trace.None,
+				Addr: req.Addr, Tag: req.Tag, Cmd: req.Cmd.String(),
+				Aux: uint64(l.RqstQ.Len()),
+			})
+		}
+		return ErrStall
+	}
+	p := h.pool.Get()
+	if err := packet.BuildRequestInto(p, req); err != nil {
+		h.pool.Put(p)
+		return err
+	}
+	return h.acceptRequest(d, dev, link, l, rs, p)
+}
+
+// acceptRequest runs the ingress fault rolls and enqueues a fully formed
+// pooled request packet. It owns p: on every outcome the packet ends up
+// in the crossbar queue, the retry buffer, or back in the pool.
+func (h *HMC) acceptRequest(d *device.Device, dev, link int, l *device.Link, rs *retryState, p *packet.Packet) error {
+	if h.fault.LinkFailure() {
+		// The transfer trips a hard SERDES failure: the packet is lost
+		// on the wire and the link carries no further traffic. The host
+		// re-issues on a surviving link.
+		h.failLink(dev, link)
+		h.pool.Put(p)
+		return ErrLinkFailed
+	}
+	l.ReqFlits += uint64(p.Flits())
+	if h.faultTransient(p) {
+		// The transfer arrived CRC-corrupt. The transmitting link
+		// controller keeps the packet in its retry buffer and replays
+		// it on subsequent cycles — transparently to the host, which
+		// sees the packet as accepted.
+		*rs = retryState{pending: true, attempts: 1, packet: p}
+		h.stats.LinkRetransmits++
+		if h.mask&trace.KindRetry != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindRetry, Dev: dev, Link: link, Quad: l.Quad,
+				Vault: trace.None, Bank: trace.None,
+				Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: 1,
+			})
+		}
+		return nil
+	}
+	if h.mask&trace.KindSend != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindSend, Dev: dev, Link: link, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None,
+			Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(),
+		})
+	}
+	return l.RqstQ.Push(p, h.clk)
 }
 
 // Send submits a preformatted, fully formed, compliant request packet
@@ -66,10 +170,10 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 	}
 	d := h.Device(dev)
 	if d == nil {
-		return fmt.Errorf("hmcsim: device %d out of range", dev)
+		return fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	if link < 0 || link >= len(d.Links) {
-		return fmt.Errorf("hmcsim: link %d out of range", link)
+		return fmt.Errorf("%w: link %d", ErrRange, link)
 	}
 	l := &d.Links[link]
 	if !l.Active || l.DstCube != h.HostID() {
@@ -81,13 +185,13 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 	if h.linkFailed(dev, link) {
 		return ErrLinkFailed
 	}
-	p, err := packet.FromWords(words)
+	sp, err := packet.FromWords(words)
 	if err != nil {
 		return err
 	}
-	cmd := p.Cmd()
+	cmd := sp.Cmd()
 	if cmd.IsFlow() {
-		h.consumeFlow(l, &p)
+		h.consumeFlow(l, &sp)
 		return nil
 	}
 	if !cmd.IsRequest() {
@@ -98,48 +202,24 @@ func (h *HMC) Send(dev, link int, words []uint64) error {
 		// Genuine back-pressure: no free crossbar slot, or the link
 		// controller is mid-retry and its buffer is occupied.
 		h.stats.SendStalls++
-		h.emit(trace.Event{
-			Kind: trace.KindXbarRqstStall, Dev: dev, Link: link,
-			Quad: l.Quad, Vault: trace.None, Bank: trace.None,
-			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
-			Aux: uint64(l.RqstQ.Len()),
-		})
+		if h.mask&trace.KindXbarRqstStall != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindXbarRqstStall, Dev: dev, Link: link,
+				Quad: l.Quad, Vault: trace.None, Bank: trace.None,
+				Addr: sp.Addr(), Tag: sp.Tag(), Cmd: cmd.String(),
+				Aux: uint64(l.RqstQ.Len()),
+			})
+		}
 		return ErrStall
 	}
-	// The link logic stamps the ingress source link ID so the response can
-	// be returned on the same link.
+	// The packet is accepted: move it into a pooled buffer the simulation
+	// owns, stamping the ingress source link ID so the response can be
+	// returned on the same link.
+	p := h.pool.Get()
+	*p = sp
 	p.SetSLID(uint8(link))
 	p.Finalize()
-	if h.fault.LinkFailure() {
-		// The transfer trips a hard SERDES failure: the packet is lost
-		// on the wire and the link carries no further traffic. The host
-		// re-issues on a surviving link.
-		h.failLink(dev, link)
-		return ErrLinkFailed
-	}
-	l.ReqFlits += uint64(p.Flits())
-	if h.faultTransient(&p) {
-		// The transfer arrived CRC-corrupt. The transmitting link
-		// controller keeps the packet in its retry buffer and replays
-		// it on subsequent cycles — transparently to the host, which
-		// sees the packet as accepted.
-		*rs = retryState{pending: true, attempts: 1, packet: p}
-		h.stats.LinkRetransmits++
-		h.emit(trace.Event{
-			Kind: trace.KindRetry, Dev: dev, Link: link, Quad: l.Quad,
-			Vault: trace.None, Bank: trace.None,
-			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(), Aux: 1,
-		})
-		return nil
-	}
-	if h.mask&trace.KindSend != 0 {
-		h.emit(trace.Event{
-			Kind: trace.KindSend, Dev: dev, Link: link, Quad: l.Quad,
-			Vault: trace.None, Bank: trace.None,
-			Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
-		})
-	}
-	return l.RqstQ.Push(p, h.clk)
+	return h.acceptRequest(d, dev, link, l, rs, p)
 }
 
 // consumeFlow applies a flow-control packet to the link logic.
@@ -166,10 +246,10 @@ func (h *HMC) Recv(dev, link int) ([]uint64, error) {
 	}
 	d := h.Device(dev)
 	if d == nil {
-		return nil, fmt.Errorf("hmcsim: device %d out of range", dev)
+		return nil, fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	if link < 0 || link >= len(d.Links) {
-		return nil, fmt.Errorf("hmcsim: link %d out of range", link)
+		return nil, fmt.Errorf("%w: link %d", ErrRange, link)
 	}
 	l := &d.Links[link]
 	if !l.Active || l.DstCube != h.HostID() {
@@ -189,6 +269,7 @@ func (h *HMC) Recv(dev, link int) ([]uint64, error) {
 	l.RspFlits += uint64(p.Flits())
 	out := make([]uint64, len(p.Words()))
 	copy(out, p.Words())
+	h.pool.Put(p)
 	return out, nil
 }
 
@@ -201,10 +282,10 @@ func (h *HMC) RecvPacket(dev, link int) (packet.Response, error) {
 	}
 	d := h.Device(dev)
 	if d == nil {
-		return packet.Response{}, fmt.Errorf("hmcsim: device %d out of range", dev)
+		return packet.Response{}, fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	if link < 0 || link >= len(d.Links) {
-		return packet.Response{}, fmt.Errorf("hmcsim: link %d out of range", link)
+		return packet.Response{}, fmt.Errorf("%w: link %d", ErrRange, link)
 	}
 	l := &d.Links[link]
 	if !l.Active || l.DstCube != h.HostID() {
@@ -222,7 +303,11 @@ func (h *HMC) RecvPacket(dev, link int) (packet.Response, error) {
 	}
 	h.stats.Recvs++
 	l.RspFlits += uint64(p.Flits())
-	return p.AsResponse()
+	rsp, err := p.AsResponse()
+	// The buffer is recycled immediately: per the documented contract the
+	// returned Data slice is only valid until the next simulation call.
+	h.pool.Put(p)
+	return rsp, err
 }
 
 // DecodeMemResponse decodes raw response packet words, the analogue of

@@ -32,6 +32,17 @@ func (h *HMC) Clock() error {
 	if err := h.seal(); err != nil {
 		return err
 	}
+	if h.idle() {
+		// Idle fast path: with no packet queued anywhere and no retry
+		// buffer occupied, every sub-cycle stage is a no-op. Only the
+		// register file edge (RWS self-clear) and the clock advance are
+		// observable.
+		for _, d := range h.devs {
+			d.Regs.Tick()
+		}
+		h.clk++
+		return nil
+	}
 	h.clearCycleFlags()
 
 	// Stage 0: link-controller retry buffers replay transfers corrupted
@@ -80,14 +91,44 @@ func (h *HMC) Clock() error {
 	return nil
 }
 
-// ClockN runs n clock cycles.
+// ClockN runs n clock cycles. When the simulation goes idle mid-run —
+// nothing in flight and no register edge pending — the remaining cycles
+// are applied as a bulk clock advance, making dead time between bursts
+// O(1) instead of O(cycles).
 func (h *HMC) ClockN(n int) error {
 	for i := 0; i < n; i++ {
 		if err := h.Clock(); err != nil {
 			return err
 		}
+		if h.idle() && h.regsClean() {
+			// Every remaining cycle would take the idle fast path with
+			// no pending RWS write to clear: only the clock moves.
+			h.clk += uint64(n - i - 1)
+			return nil
+		}
 	}
 	return nil
+}
+
+// idle reports whether the next clock edge can take the bulk fast path:
+// no packet queued anywhere and no retry buffer occupied. The pool's
+// in-use count is the O(1) busy gate; the full queue walk only runs when
+// the gate believes the simulation is empty (externally built packets
+// pushed straight into device queues by tests bypass the pool, so the
+// walk is the authority).
+func (h *HMC) idle() bool {
+	return h.pool.InUse() <= 0 && h.Quiescent()
+}
+
+// regsClean reports whether no device holds an RWS register write
+// awaiting its self-clearing edge.
+func (h *HMC) regsClean() bool {
+	for _, d := range h.devs {
+		if !d.Regs.Clean() {
+			return false
+		}
+	}
+	return true
 }
 
 func (h *HMC) clearCycleFlags() {
@@ -105,7 +146,7 @@ func (h *HMC) clearCycleFlags() {
 
 // pushMoved enqueues p and marks the new slot as already progressed this
 // cycle.
-func pushMoved(q *queue.Queue, p packet.Packet, clk uint64) error {
+func pushMoved(q *queue.Queue, p *packet.Packet, clk uint64) error {
 	if err := q.Push(p, clk); err != nil {
 		return err
 	}
@@ -127,7 +168,7 @@ func (h *HMC) linkRetryStage() {
 			if !rs.pending {
 				continue
 			}
-			p := &rs.packet
+			p := rs.packet
 			if rs.attempts > h.fault.MaxRetries() || h.linkFailed(dev, li) {
 				h.retryGiveUp(d, li, rs)
 				continue
@@ -135,12 +176,14 @@ func (h *HMC) linkRetryStage() {
 			if h.faultTransient(p) {
 				rs.attempts++
 				h.stats.LinkRetransmits++
-				h.emit(trace.Event{
-					Kind: trace.KindRetry, Dev: dev, Link: li,
-					Quad: d.Links[li].Quad, Vault: trace.None, Bank: trace.None,
-					Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(),
-					Aux: uint64(rs.attempts),
-				})
+				if h.mask&trace.KindRetry != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindRetry, Dev: dev, Link: li,
+						Quad: d.Links[li].Quad, Vault: trace.None, Bank: trace.None,
+						Addr: p.Addr(), Tag: p.Tag(), Cmd: p.Cmd().String(),
+						Aux: uint64(rs.attempts),
+					})
+				}
 				if rs.attempts > h.fault.MaxRetries() {
 					h.retryGiveUp(d, li, rs)
 				}
@@ -151,7 +194,7 @@ func (h *HMC) linkRetryStage() {
 				h.stats.XbarRqstStalls++
 				continue
 			}
-			if err := pushMoved(l.RqstQ, *p, h.clk); err == nil {
+			if err := pushMoved(l.RqstQ, p, h.clk); err == nil {
 				*rs = retryState{}
 			}
 		}
@@ -164,50 +207,63 @@ func (h *HMC) linkRetryStage() {
 // host can correlate the failure by tag. The buffer stays occupied
 // until the response is handed off.
 func (h *HMC) retryGiveUp(d *device.Device, li int, rs *retryState) {
-	p := &rs.packet
+	p := rs.packet
 	if p.Cmd().IsPosted() {
 		h.stats.Errors++
-		h.emit(trace.Event{
-			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(packet.ErrStatLinkCRC),
-		})
+		if h.mask&trace.KindError != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(packet.ErrStatLinkCRC),
+			})
+		}
 		*rs = retryState{}
+		h.pool.Put(p)
 		return
 	}
-	rsp := packet.ErrorResponse(p, uint8(d.ID), packet.ErrStatLinkCRC)
+	// The egress choice depends only on the source link ID, which the
+	// in-place error conversion below preserves.
 	out, rerouted := li, false
 	if h.linkFailed(d.ID, li) {
-		out, rerouted = h.responseEgress(d.ID, &rsp)
+		out, rerouted = h.responseEgress(d.ID, p)
 		if out < 0 {
 			// No surviving path back to any host: the response is lost.
 			h.stats.Errors++
 			*rs = retryState{}
+			h.pool.Put(p)
 			return
 		}
 	}
 	q := d.Links[out].RspQ
 	if q.Full() {
 		h.stats.XbarRspStalls++
-		return // hold the buffer; retried next cycle
+		return // hold the buffer (request intact); retried next cycle
 	}
-	_ = pushMoved(q, rsp, h.clk)
+	// Capture the request correlation fields, then rewrite its buffer into
+	// the ERROR response and hand that same buffer to the response queue.
+	addr, tag, reqCmd := p.Addr(), p.Tag(), p.Cmd()
+	packet.ErrorResponseInto(p, p, uint8(d.ID), packet.ErrStatLinkCRC)
+	_ = pushMoved(q, p, h.clk)
+	*rs = retryState{}
 	h.stats.Errors++
 	h.stats.ErrorResponses++
-	h.emit(trace.Event{
-		Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
-		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-		Cmd: p.Cmd().String(), Aux: uint64(packet.ErrStatLinkCRC),
-	})
-	if rerouted {
-		h.stats.Reroutes++
+	if h.mask&trace.KindError != 0 {
 		h.emit(trace.Event{
-			Kind: trace.KindReroute, Dev: d.ID, Link: out,
-			Quad: trace.None, Vault: trace.None, Bank: trace.None,
-			Tag: p.Tag(), Cmd: rsp.Cmd().String(), Aux: uint64(li),
+			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: d.Links[li].Quad,
+			Vault: trace.None, Bank: trace.None, Addr: addr, Tag: tag,
+			Cmd: reqCmd.String(), Aux: uint64(packet.ErrStatLinkCRC),
 		})
 	}
-	*rs = retryState{}
+	if rerouted {
+		h.stats.Reroutes++
+		if h.mask&trace.KindReroute != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindReroute, Dev: d.ID, Link: out,
+				Quad: trace.None, Vault: trace.None, Bank: trace.None,
+				Tag: tag, Cmd: p.Cmd().String(), Aux: uint64(li),
+			})
+		}
+	}
 }
 
 // xbarRequestStage walks each link's crossbar request queue in FIFO order
@@ -238,7 +294,7 @@ func (h *HMC) xbarRequestStage(cube int) {
 				i++
 				continue
 			}
-			p := &s.Packet
+			p := s.Packet
 			dest := int(p.CUB())
 			if h.cfg.XbarPassing {
 				if dest == cube && !p.Cmd().IsMode() &&
@@ -306,7 +362,7 @@ const (
 func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
 	l := &d.Links[li]
 	q := l.RqstQ
-	p := &q.At(slot).Packet
+	p := q.At(slot).Packet
 	cmd := p.Cmd()
 
 	// Mode requests are serviced by the logic base, not a vault.
@@ -328,24 +384,28 @@ func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
 	v := &d.Vaults[dec.Vault]
 	if v.RqstQ.Full() {
 		h.stats.XbarRqstStalls++
-		h.emit(trace.Event{
-			Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: l.Quad,
-			Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: cmd.String(), Aux: uint64(v.RqstQ.Len()),
-		})
+		if h.mask&trace.KindXbarRqstStall != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: l.Quad,
+				Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: cmd.String(), Aux: uint64(v.RqstQ.Len()),
+			})
+		}
 		return outcomeStall
 	}
 	// A latency penalty is raised when the request was received on a link
 	// that is not co-located with the destination quadrant and vault.
 	if l.Quad != v.Quad {
 		h.stats.LatencyEvents++
-		h.emit(trace.Event{
-			Kind: trace.KindLatency, Dev: d.ID, Link: li, Quad: v.Quad,
-			Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: cmd.String(), Aux: uint64(l.Quad),
-		})
+		if h.mask&trace.KindLatency != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindLatency, Dev: d.ID, Link: li, Quad: v.Quad,
+				Vault: dec.Vault, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: cmd.String(), Aux: uint64(l.Quad),
+			})
+		}
 	}
-	if err := pushMoved(v.RqstQ, *p, h.clk); err != nil {
+	if err := pushMoved(v.RqstQ, p, h.clk); err != nil {
 		return outcomeStall
 	}
 	q.Remove(slot)
@@ -356,7 +416,7 @@ func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
 // an error response when the destination is invalid or unreachable.
 func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutcome {
 	q := d.Links[li].RqstQ
-	p := &q.At(slot).Packet
+	p := q.At(slot).Packet
 	if dest < 0 || dest >= h.cfg.NumDevs {
 		// The destination names the host or a nonexistent cube.
 		return h.errorAt(d, li, slot, packet.ErrStatCube)
@@ -378,11 +438,13 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 	pq := peer.Links[link.DstLink].RqstQ
 	if pq.Full() {
 		h.stats.XbarRqstStalls++
-		h.emit(trace.Event{
-			Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: link.Quad,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
-		})
+		if h.mask&trace.KindXbarRqstStall != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindXbarRqstStall, Dev: d.ID, Link: li, Quad: link.Quad,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
+			})
+		}
 		return outcomeStall
 	}
 	if h.fault.LinkFailure() {
@@ -398,35 +460,41 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 		s := q.At(slot)
 		s.Retries++
 		h.stats.LinkRetransmits++
-		h.emit(trace.Event{
-			Kind: trace.KindRetry, Dev: d.ID, Link: el, Quad: trace.None,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
-		})
+		if h.mask&trace.KindRetry != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindRetry, Dev: d.ID, Link: el, Quad: trace.None,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
+			})
+		}
 		if int(s.Retries) > h.fault.MaxRetries() {
 			return h.errorAt(d, li, slot, packet.ErrStatLinkCRC)
 		}
 		return outcomeStall
 	}
-	if err := pushMoved(pq, *p, h.clk); err != nil {
+	if err := pushMoved(pq, p, h.clk); err != nil {
 		return outcomeStall
 	}
 	peer.Links[link.DstLink].ReqFlits += uint64(p.Flits())
 	h.stats.RouteHops++
-	h.emit(trace.Event{
-		Kind: trace.KindRoute, Dev: d.ID, Link: el, Quad: trace.None,
-		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-		Cmd: p.Cmd().String(), Aux: uint64(dest),
-	})
+	if h.mask&trace.KindRoute != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindRoute, Dev: d.ID, Link: el, Quad: trace.None,
+			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: uint64(dest),
+		})
+	}
 	if pl, ok := h.routesPristine.NextHop(d.ID, dest); ok && pl != el {
 		// Degraded-mode routing chose a different hop than the pristine
 		// fabric would: record the latency-penalty event.
 		h.stats.Reroutes++
-		h.emit(trace.Event{
-			Kind: trace.KindReroute, Dev: d.ID, Link: el, Quad: trace.None,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(pl),
-		})
+		if h.mask&trace.KindReroute != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindReroute, Dev: d.ID, Link: el, Quad: trace.None,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(pl),
+			})
+		}
 	}
 	q.Remove(slot)
 	return outcomeRemoved
@@ -438,43 +506,51 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 func (h *HMC) serviceMode(d *device.Device, li, slot int) stageOutcome {
 	l := &d.Links[li]
 	q := l.RqstQ
-	p := &q.At(slot).Packet
+	p := q.At(slot).Packet
 	if l.RspQ.Full() {
 		h.stats.XbarRspStalls++
-		h.emit(trace.Event{
-			Kind: trace.KindXbarRspStall, Dev: d.ID, Link: li, Quad: l.Quad,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(l.RspQ.Len()),
-		})
+		if h.mask&trace.KindXbarRspStall != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindXbarRspStall, Dev: d.ID, Link: li, Quad: l.Quad,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(l.RspQ.Len()),
+			})
+		}
 		return outcomeStall
 	}
-	var rsp packet.Packet
-	switch p.Cmd() {
+	// Capture the correlation fields before the request buffer is rewritten
+	// in place into its response.
+	addr, tag, cmd := p.Addr(), p.Tag(), p.Cmd()
+	slid, seq := p.SLID(), p.Seq()
+	switch cmd {
 	case packet.CmdMDRD:
-		v, err := d.Regs.Read(p.Addr())
+		v, err := d.Regs.Read(addr)
 		if err != nil {
 			return h.errorAt(d, li, slot, packet.ErrStatRegister)
 		}
-		rsp = mustResponse(packet.Response{
-			CUB: uint8(d.ID), Tag: p.Tag(), Cmd: packet.CmdMDRDRS,
-			SLID: p.SLID(), Seq: p.Seq(), Data: []uint64{v, 0},
+		data := [2]uint64{v, 0}
+		mustResponseInto(p, packet.Response{
+			CUB: uint8(d.ID), Tag: tag, Cmd: packet.CmdMDRDRS,
+			SLID: slid, Seq: seq, Data: data[:],
 		})
 	case packet.CmdMDWR:
-		if err := d.Regs.Write(p.Addr(), p.Data()[0]); err != nil {
+		if err := d.Regs.Write(addr, p.Data()[0]); err != nil {
 			return h.errorAt(d, li, slot, packet.ErrStatRegister)
 		}
-		rsp = mustResponse(packet.Response{
-			CUB: uint8(d.ID), Tag: p.Tag(), Cmd: packet.CmdMDWRRS,
-			SLID: p.SLID(), Seq: p.Seq(),
+		mustResponseInto(p, packet.Response{
+			CUB: uint8(d.ID), Tag: tag, Cmd: packet.CmdMDWRRS,
+			SLID: slid, Seq: seq,
 		})
 	}
 	h.stats.Modes++
-	h.emit(trace.Event{
-		Kind: trace.KindRqst, Dev: d.ID, Link: li, Quad: l.Quad,
-		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-		Cmd: p.Cmd().String(),
-	})
-	_ = pushMoved(l.RspQ, rsp, h.clk)
+	if h.mask&trace.KindRqst != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindRqst, Dev: d.ID, Link: li, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None, Addr: addr, Tag: tag,
+			Cmd: cmd.String(),
+		})
+	}
+	_ = pushMoved(l.RspQ, p, h.clk)
 	q.Remove(slot)
 	return outcomeRemoved
 }
@@ -484,44 +560,50 @@ func (h *HMC) serviceMode(d *device.Device, li, slot int) stageOutcome {
 func (h *HMC) errorAt(d *device.Device, li, slot int, errStat uint8) stageOutcome {
 	l := &d.Links[li]
 	q := l.RqstQ
-	p := &q.At(slot).Packet
+	p := q.At(slot).Packet
 	if p.Cmd().IsPosted() {
 		// Posted requests receive no responses, even on error — their tags
 		// are recycled by the host the moment Send accepts them, so an
 		// ERROR response would collide with a reused tag. The request is
 		// dropped and the error recorded.
 		h.stats.Errors++
-		h.emit(trace.Event{
-			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
-			Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: p.Cmd().String(), Aux: uint64(errStat),
-		})
+		if h.mask&trace.KindError != 0 {
+			h.emit(trace.Event{
+				Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
+				Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
+				Cmd: p.Cmd().String(), Aux: uint64(errStat),
+			})
+		}
 		q.Remove(slot)
+		h.pool.Put(p)
 		return outcomeRemoved
 	}
 	if l.RspQ.Full() {
 		h.stats.XbarRspStalls++
 		return outcomeStall
 	}
-	rsp := packet.ErrorResponse(p, uint8(d.ID), errStat)
+	// Rewrite the request buffer in place into the ERROR response; the
+	// correlation fields are captured first for the trace event.
+	addr, tag, reqCmd := p.Addr(), p.Tag(), p.Cmd()
+	packet.ErrorResponseInto(p, p, uint8(d.ID), errStat)
 	h.stats.Errors++
 	h.stats.ErrorResponses++
-	h.emit(trace.Event{
-		Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
-		Vault: trace.None, Bank: trace.None, Addr: p.Addr(), Tag: p.Tag(),
-		Cmd: p.Cmd().String(), Aux: uint64(errStat),
-	})
-	_ = pushMoved(l.RspQ, rsp, h.clk)
+	if h.mask&trace.KindError != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindError, Dev: d.ID, Link: li, Quad: l.Quad,
+			Vault: trace.None, Bank: trace.None, Addr: addr, Tag: tag,
+			Cmd: reqCmd.String(), Aux: uint64(errStat),
+		})
+	}
+	_ = pushMoved(l.RspQ, p, h.clk)
 	q.Remove(slot)
 	return outcomeRemoved
 }
 
-func mustResponse(r packet.Response) packet.Packet {
-	p, err := packet.BuildResponse(r)
-	if err != nil {
+func mustResponseInto(p *packet.Packet, r packet.Response) {
+	if err := packet.BuildResponseInto(p, r); err != nil {
 		panic("hmcsim: internal response build failed: " + err.Error())
 	}
-	return p
 }
 
 // bankConflictStage recognizes potential bank conflicts on each vault by
@@ -536,6 +618,11 @@ func (h *HMC) bankConflictStage(d *device.Device) {
 		v := &d.Vaults[vi]
 		q := v.RqstQ
 		n := q.Len()
+		if n == 0 {
+			// Nothing queued: the refresh mask is observable only through
+			// deferred packets, so the whole vault is skipped.
+			continue
+		}
 		if window > 0 && window < n {
 			n = window
 		}
@@ -543,7 +630,7 @@ func (h *HMC) bankConflictStage(d *device.Device) {
 		claimed := refreshing
 		for i := 0; i < n; i++ {
 			s := q.At(i)
-			p := &s.Packet
+			p := s.Packet
 			bank := d.Map.Decode(p.Addr()).Bank
 			bit := uint64(1) << uint(bank)
 			if claimed&bit != 0 {
@@ -612,31 +699,43 @@ func (h *HMC) vaultStage(d *device.Device) {
 				i++
 				continue
 			}
-			p := &s.Packet
+			p := s.Packet
 			cmd := p.Cmd()
 			if !cmd.IsPosted() && v.RspQ.Full() {
 				// Preserve response ordering: a full response queue
 				// blocks the vault for the rest of the cycle.
 				h.stats.VaultRspStalls++
-				h.emit(trace.Event{
-					Kind: trace.KindVaultRspStall, Dev: d.ID, Link: trace.None,
-					Quad: v.Quad, Vault: vi, Bank: trace.None,
-					Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
-					Aux: uint64(v.RspQ.Len()),
-				})
+				if h.mask&trace.KindVaultRspStall != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindVaultRspStall, Dev: d.ID, Link: trace.None,
+						Quad: v.Quad, Vault: vi, Bank: trace.None,
+						Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
+						Aux: uint64(v.RspQ.Len()),
+					})
+				}
 				break
 			}
-			h.serviceVaultRequest(d, v, vi, p)
+			moved := h.serviceVaultRequest(d, v, vi, p)
 			q.Remove(i)
+			if !moved {
+				// Posted request (or the buffer was otherwise consumed):
+				// the packet leaves the simulation here.
+				h.pool.Put(p)
+			}
 			n--
 		}
 	}
 }
 
 // serviceVaultRequest performs the memory operation for one request and
-// registers the response, if any, in the vault response queue.
-func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *packet.Packet) {
-	dec := d.Map.Decode(p.Addr())
+// registers the response, if any, in the vault response queue. The
+// response is built in place into the request's own buffer; the return
+// value reports whether that buffer moved into the vault response queue
+// (false for posted requests, whose buffer the caller recycles).
+func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *packet.Packet) bool {
+	addr, tag := p.Addr(), p.Tag()
+	slid, seq := p.SLID(), p.Seq()
+	dec := d.Map.Decode(addr)
 	bank := &v.Banks[dec.Bank]
 	cmd := p.Cmd()
 
@@ -665,12 +764,14 @@ func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *
 			errStat = packet.ErrStatPoison
 			h.stats.PoisonedReads++
 			h.stats.Errors++
-			h.emit(trace.Event{
-				Kind: trace.KindError, Dev: d.ID, Link: trace.None,
-				Quad: v.Quad, Vault: vi, Bank: dec.Bank,
-				Addr: p.Addr(), Tag: p.Tag(), Cmd: cmd.String(),
-				Aux: uint64(packet.ErrStatPoison),
-			})
+			if h.mask&trace.KindError != 0 {
+				h.emit(trace.Event{
+					Kind: trace.KindError, Dev: d.ID, Link: trace.None,
+					Quad: v.Quad, Vault: vi, Bank: dec.Bank,
+					Addr: addr, Tag: tag, Cmd: cmd.String(),
+					Aux: uint64(packet.ErrStatPoison),
+				})
+			}
 		}
 	case cmd.IsWrite():
 		bank.Write(dec.DRAM, p.Data())
@@ -704,33 +805,37 @@ func (h *HMC) serviceVaultRequest(d *device.Device, v *device.Vault, vi int, p *
 		// this service event to its SEND event.
 		h.emit(trace.Event{
 			Kind: trace.KindRqst, Dev: d.ID, Link: trace.None, Quad: v.Quad,
-			Vault: vi, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
-			Cmd: cmd.String(), Aux: uint64(p.SLID()),
+			Vault: vi, Bank: dec.Bank, Addr: addr, Tag: tag,
+			Cmd: cmd.String(), Aux: uint64(slid),
 		})
 	}
 
 	if cmd.IsPosted() && errStat == packet.ErrStatOK {
 		h.stats.Posted++
-		return
+		return false
 	}
 
-	rsp := mustResponse(packet.Response{
-		CUB: uint8(d.ID), Tag: p.Tag(), Cmd: rspCmd,
-		SLID: p.SLID(), Seq: p.Seq(), ErrStat: errStat,
+	// The response overwrites the request's buffer: every field it needs
+	// was captured above, and read payloads stage through h.rdbuf, which
+	// never aliases packet storage.
+	mustResponseInto(p, packet.Response{
+		CUB: uint8(d.ID), Tag: tag, Cmd: rspCmd,
+		SLID: slid, Seq: seq, ErrStat: errStat,
 		DInv: errStat != packet.ErrStatOK, Data: rspData,
 	})
 	// Space was checked by the caller; a failure here is an engine bug.
-	if err := v.RspQ.Push(rsp, h.clk); err != nil {
+	if err := v.RspQ.Push(p, h.clk); err != nil {
 		panic("hmcsim: vault response queue overflow")
 	}
 	h.stats.Responses++
 	if h.mask&trace.KindRsp != 0 {
 		h.emit(trace.Event{
 			Kind: trace.KindRsp, Dev: d.ID, Link: trace.None, Quad: v.Quad,
-			Vault: vi, Bank: dec.Bank, Addr: p.Addr(), Tag: p.Tag(),
+			Vault: vi, Bank: dec.Bank, Addr: addr, Tag: tag,
 			Cmd: rspCmd.String(),
 		})
 	}
+	return true
 }
 
 // responseStage routes response packets toward the host: first from vault
@@ -755,12 +860,13 @@ func (h *HMC) responseStage(cube int) {
 				i++
 				continue
 			}
-			p := &s.Packet
+			p := s.Packet
 			out, _ := h.responseEgress(cube, p)
 			if out < 0 || out == li {
 				// No surviving path back to any host.
 				h.stats.Errors++
 				q.Remove(i)
+				h.pool.Put(p)
 				continue
 			}
 			oq := d.Links[out].RspQ
@@ -768,7 +874,7 @@ func (h *HMC) responseStage(cube int) {
 				h.stats.XbarRspStalls++
 				break
 			}
-			if err := pushMoved(oq, *p, h.clk); err != nil {
+			if err := pushMoved(oq, p, h.clk); err != nil {
 				break
 			}
 			h.noteReroute(cube, out, p, uint64(li))
@@ -780,32 +886,37 @@ func (h *HMC) responseStage(cube int) {
 	for vi := range d.Vaults {
 		v := &d.Vaults[vi]
 		for v.RspQ.Len() > 0 {
-			p := &v.RspQ.Head().Packet
+			p := v.RspQ.Head().Packet
 			out, rerouted := h.responseEgress(cube, p)
 			if out < 0 {
 				// Zombie response: no path back to any host. Drop it and
 				// record the error.
 				h.stats.Errors++
-				h.emit(trace.Event{
-					Kind: trace.KindError, Dev: cube, Link: trace.None,
-					Quad: v.Quad, Vault: vi, Bank: trace.None,
-					Tag: p.Tag(), Cmd: p.Cmd().String(),
-					Aux: uint64(packet.ErrStatTopology),
-				})
+				if h.mask&trace.KindError != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindError, Dev: cube, Link: trace.None,
+						Quad: v.Quad, Vault: vi, Bank: trace.None,
+						Tag: p.Tag(), Cmd: p.Cmd().String(),
+						Aux: uint64(packet.ErrStatTopology),
+					})
+				}
 				v.RspQ.Pop()
+				h.pool.Put(p)
 				continue
 			}
 			lq := d.Links[out].RspQ
 			if lq.Full() {
 				h.stats.XbarRspStalls++
-				h.emit(trace.Event{
-					Kind: trace.KindXbarRspStall, Dev: cube, Link: out,
-					Quad: v.Quad, Vault: vi, Bank: trace.None,
-					Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(lq.Len()),
-				})
+				if h.mask&trace.KindXbarRspStall != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindXbarRspStall, Dev: cube, Link: out,
+						Quad: v.Quad, Vault: vi, Bank: trace.None,
+						Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(lq.Len()),
+					})
+				}
 				break
 			}
-			if err := pushMoved(lq, *p, h.clk); err != nil {
+			if err := pushMoved(lq, p, h.clk); err != nil {
 				break
 			}
 			if rerouted {
@@ -838,22 +949,25 @@ func (h *HMC) responseStage(cube int) {
 				i++
 				continue
 			}
-			p := &s.Packet
+			p := s.Packet
 			peer := l.DstCube
 			out, rerouted := h.responseEgress(peer, p)
 			if out < 0 {
 				h.stats.Errors++
 				q.Remove(i)
+				h.pool.Put(p)
 				continue
 			}
 			pq := h.devs[peer].Links[out].RspQ
 			if pq.Full() {
 				h.stats.XbarRspStalls++
-				h.emit(trace.Event{
-					Kind: trace.KindXbarRspStall, Dev: cube, Link: li,
-					Quad: trace.None, Vault: trace.None, Bank: trace.None,
-					Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
-				})
+				if h.mask&trace.KindXbarRspStall != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindXbarRspStall, Dev: cube, Link: li,
+						Quad: trace.None, Vault: trace.None, Bank: trace.None,
+						Tag: p.Tag(), Cmd: p.Cmd().String(), Aux: uint64(pq.Len()),
+					})
+				}
 				i = q.Len()
 				continue
 			}
@@ -871,36 +985,42 @@ func (h *HMC) responseStage(cube int) {
 				// unrecoverable, but the tag still reaches the host).
 				s.Retries++
 				h.stats.LinkRetransmits++
-				h.emit(trace.Event{
-					Kind: trace.KindRetry, Dev: cube, Link: li, Quad: trace.None,
-					Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
-					Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
-				})
+				if h.mask&trace.KindRetry != 0 {
+					h.emit(trace.Event{
+						Kind: trace.KindRetry, Dev: cube, Link: li, Quad: trace.None,
+						Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+						Cmd: p.Cmd().String(), Aux: uint64(s.Retries),
+					})
+				}
 				if int(s.Retries) > h.fault.MaxRetries() {
 					h.stats.Errors++
 					h.stats.ErrorResponses++
-					h.emit(trace.Event{
-						Kind: trace.KindError, Dev: cube, Link: li,
-						Quad: trace.None, Vault: trace.None, Bank: trace.None,
-						Tag: p.Tag(), Cmd: p.Cmd().String(),
-						Aux: uint64(packet.ErrStatLinkCRC),
-					})
-					s.Packet = packet.ErrorResponse(p, uint8(cube), packet.ErrStatLinkCRC)
+					if h.mask&trace.KindError != 0 {
+						h.emit(trace.Event{
+							Kind: trace.KindError, Dev: cube, Link: li,
+							Quad: trace.None, Vault: trace.None, Bank: trace.None,
+							Tag: p.Tag(), Cmd: p.Cmd().String(),
+							Aux: uint64(packet.ErrStatLinkCRC),
+						})
+					}
+					packet.ErrorResponseInto(p, p, uint8(cube), packet.ErrStatLinkCRC)
 					s.Retries = 0
 				}
 				i = q.Len()
 				continue
 			}
-			if err := pushMoved(pq, *p, h.clk); err != nil {
+			if err := pushMoved(pq, p, h.clk); err != nil {
 				i = q.Len()
 				continue
 			}
 			l.RspFlits += uint64(p.Flits())
-			h.emit(trace.Event{
-				Kind: trace.KindRoute, Dev: cube, Link: li, Quad: trace.None,
-				Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
-				Cmd: p.Cmd().String(), Aux: uint64(peer),
-			})
+			if h.mask&trace.KindRoute != 0 {
+				h.emit(trace.Event{
+					Kind: trace.KindRoute, Dev: cube, Link: li, Quad: trace.None,
+					Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+					Cmd: p.Cmd().String(), Aux: uint64(peer),
+				})
+			}
 			if rerouted {
 				h.noteReroute(peer, out, p, uint64(p.SLID()))
 			}
@@ -914,11 +1034,13 @@ func (h *HMC) responseStage(cube int) {
 // instead.
 func (h *HMC) noteReroute(dev, out int, p *packet.Packet, aux uint64) {
 	h.stats.Reroutes++
-	h.emit(trace.Event{
-		Kind: trace.KindReroute, Dev: dev, Link: out, Quad: trace.None,
-		Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
-		Cmd: p.Cmd().String(), Aux: aux,
-	})
+	if h.mask&trace.KindReroute != 0 {
+		h.emit(trace.Event{
+			Kind: trace.KindReroute, Dev: dev, Link: out, Quad: trace.None,
+			Vault: trace.None, Bank: trace.None, Tag: p.Tag(),
+			Cmd: p.Cmd().String(), Aux: aux,
+		})
+	}
 }
 
 // responseEgress selects the crossbar response queue a response should

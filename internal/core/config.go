@@ -127,44 +127,49 @@ func (c Config) effectiveFault() fault.Config {
 	return fc
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every rejection wraps ErrConfig,
+// so callers can classify configuration failures with
+// errors.Is(err, ErrConfig) regardless of which field was at fault.
 func (c Config) Validate() error {
 	if c.FaultPPM < 0 || c.FaultPPM >= 1000000 {
-		return fmt.Errorf("hmcsim: fault rate %d PPM out of [0, 1000000)", c.FaultPPM)
+		return fmt.Errorf("%w: fault rate %d PPM out of [0, 1000000)", ErrConfig, c.FaultPPM)
 	}
 	if err := c.effectiveFault().Validate(); err != nil {
-		return fmt.Errorf("hmcsim: %w", err)
+		return fmt.Errorf("%w: %w", ErrConfig, err)
 	}
 	for _, l := range c.Fault.FailedLinks {
 		if l.Dev < 0 || l.Dev >= c.NumDevs || l.Link < 0 || l.Link >= c.NumLinks {
-			return fmt.Errorf("hmcsim: failed link %v outside %d devices x %d links",
-				l, c.NumDevs, c.NumLinks)
+			return fmt.Errorf("%w: failed link %v outside %d devices x %d links",
+				ErrConfig, l, c.NumDevs, c.NumLinks)
 		}
 	}
 	for _, v := range c.Fault.FailedVaults {
 		if v.Dev < 0 || v.Dev >= c.NumDevs || v.Vault < 0 || v.Vault >= c.NumVaults {
-			return fmt.Errorf("hmcsim: failed vault %v outside %d devices x %d vaults",
-				v, c.NumDevs, c.NumVaults)
+			return fmt.Errorf("%w: failed vault %v outside %d devices x %d vaults",
+				ErrConfig, v, c.NumDevs, c.NumVaults)
 		}
 	}
 	if c.RefreshInterval < 0 || c.RefreshDuration < 0 {
-		return fmt.Errorf("hmcsim: negative refresh parameters")
+		return fmt.Errorf("%w: negative refresh parameters", ErrConfig)
 	}
 	if c.RefreshInterval > 0 && c.RefreshDuration >= c.RefreshInterval {
-		return fmt.Errorf("hmcsim: refresh duration %d must be below the interval %d",
-			c.RefreshDuration, c.RefreshInterval)
+		return fmt.Errorf("%w: refresh duration %d must be below the interval %d",
+			ErrConfig, c.RefreshDuration, c.RefreshInterval)
 	}
 	if c.RefreshInterval == 0 && c.RefreshDuration > 0 {
-		return fmt.Errorf("hmcsim: refresh duration without an interval")
+		return fmt.Errorf("%w: refresh duration without an interval", ErrConfig)
 	}
 	if c.NumDevs < 1 {
-		return fmt.Errorf("hmcsim: device count %d < 1", c.NumDevs)
+		return fmt.Errorf("%w: device count %d < 1", ErrConfig, c.NumDevs)
 	}
 	if c.NumDevs >= packet.MaxCUB {
-		return fmt.Errorf("hmcsim: device count %d exceeds the %d-cube ID space",
-			c.NumDevs, packet.MaxCUB)
+		return fmt.Errorf("%w: device count %d exceeds the %d-cube ID space",
+			ErrConfig, c.NumDevs, packet.MaxCUB)
 	}
-	return c.deviceConfig().Validate()
+	if err := c.deviceConfig().Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrConfig, err)
+	}
+	return nil
 }
 
 func (c Config) deviceConfig() device.Config {

@@ -31,6 +31,14 @@ var (
 	// condition never clears; hosts should move traffic to a surviving
 	// link.
 	ErrLinkFailed = errors.New("hmcsim: link permanently failed (fault model)")
+	// ErrRange indicates a device or link index outside the configured
+	// topology. Returned errors wrap it with the offending index; test
+	// with errors.Is(err, ErrRange).
+	ErrRange = errors.New("hmcsim: device or link out of range")
+	// ErrConfig indicates an invalid Config. Every error returned by
+	// Config.Validate (and therefore by New) wraps it with the specific
+	// complaint; test with errors.Is(err, ErrConfig).
+	ErrConfig = errors.New("hmcsim: invalid configuration")
 )
 
 // LCLinkDown is the link-down control bit of the per-link LC registers.
@@ -67,8 +75,14 @@ type HMC struct {
 	mask   trace.Kind
 
 	// seq holds the per-host-link 3-bit sequence counters used by
-	// BuildMemRequest.
-	seq map[int]uint8
+	// BuildMemRequest, indexed by link ID (a dense slice rather than a
+	// map: the counter is drawn on every injected request).
+	seq []uint8
+
+	// pool is the free list every in-flight packet buffer is drawn from;
+	// see packet.Pool for the ownership rules. Its in-use count doubles as
+	// a cheap busy gate for the idle fast path in Clock.
+	pool *packet.Pool
 
 	// rootOrder and childOrder cache the device processing order for the
 	// response and request sub-cycle stages.
@@ -90,11 +104,12 @@ type HMC struct {
 }
 
 // retryState is one link controller's retry buffer: a single in-flight
-// transfer being replayed after transient faults.
+// transfer being replayed after transient faults. The buffer owns the
+// pooled packet while pending is set.
 type retryState struct {
 	pending  bool
 	attempts int
-	packet   packet.Packet
+	packet   *packet.Packet
 }
 
 // New initializes one or more simulated HMC devices into a reset state.
@@ -114,7 +129,8 @@ func New(cfg Config) (*HMC, error) {
 		topo:   t,
 		tracer: trace.Nop{},
 		mask:   trace.MaskNone,
-		seq:    make(map[int]uint8),
+		seq:    make([]uint8, cfg.NumLinks),
+		pool:   packet.NewPool(),
 		fault:  fault.NewEngine(cfg.effectiveFault()),
 	}
 	h.devs = make([]*device.Device, cfg.NumDevs)
@@ -201,10 +217,10 @@ func (h *HMC) LinkFailed(dev, link int) bool {
 func (h *HMC) FailLink(dev, link int) error {
 	d := h.Device(dev)
 	if d == nil {
-		return fmt.Errorf("hmcsim: device %d out of range", dev)
+		return fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	if link < 0 || link >= len(d.Links) {
-		return fmt.Errorf("hmcsim: link %d out of range", link)
+		return fmt.Errorf("%w: link %d", ErrRange, link)
 	}
 	h.failLink(dev, link)
 	return nil
@@ -330,6 +346,7 @@ func (h *HMC) Free() {
 		clear(h.retry[i])
 	}
 	clear(h.seq)
+	h.pool.Reset()
 }
 
 // Occupancy is a snapshot of queued packets per queuing layer, with the
@@ -391,7 +408,7 @@ func (h *HMC) Quiescent() bool {
 func (h *HMC) JTAGRead(dev int, phys uint64) (uint64, error) {
 	d := h.Device(dev)
 	if d == nil {
-		return 0, fmt.Errorf("hmcsim: device %d out of range", dev)
+		return 0, fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	return d.Regs.Read(phys)
 }
@@ -401,7 +418,7 @@ func (h *HMC) JTAGRead(dev int, phys uint64) (uint64, error) {
 func (h *HMC) JTAGWrite(dev int, phys uint64, v uint64) error {
 	d := h.Device(dev)
 	if d == nil {
-		return fmt.Errorf("hmcsim: device %d out of range", dev)
+		return fmt.Errorf("%w: device %d", ErrRange, dev)
 	}
 	return d.Regs.Write(phys, v)
 }

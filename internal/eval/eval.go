@@ -12,6 +12,7 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/host"
 	"hmcsim/internal/stats"
+	"hmcsim/internal/topo"
 	"hmcsim/internal/trace"
 	"hmcsim/internal/workload"
 )
@@ -28,18 +29,34 @@ const PaperRequests = 1 << 25
 // device attached to the host (the paper's single-device evaluation
 // wiring).
 func BuildSimple(cfg core.Config) (*core.HMC, error) {
-	h, err := core.New(cfg)
+	return BuildSimpleWithOptions(cfg)
+}
+
+// BuildSimpleWithOptions is BuildSimple with extra construction options
+// (tracing, fault overrides) threaded through core.NewWithOptions.
+func BuildSimpleWithOptions(cfg core.Config, opts ...core.Option) (*core.HMC, error) {
+	t, err := simpleTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWithOptions(cfg, append([]core.Option{core.WithTopology(t)}, opts...)...)
+}
+
+// simpleTopology prebuilds the BuildSimple wiring as a topology value,
+// for use with core.WithTopology.
+func simpleTopology(cfg core.Config) (*topo.Topology, error) {
+	t, err := topo.New(cfg.NumDevs, cfg.NumLinks, cfg.HostID())
 	if err != nil {
 		return nil, err
 	}
 	for d := 0; d < cfg.NumDevs; d++ {
 		for l := 0; l < cfg.NumLinks; l++ {
-			if err := h.ConnectHost(d, l); err != nil {
+			if err := t.ConnectHost(d, l); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return h, nil
+	return t, nil
 }
 
 // RandomWorkload returns the paper's random access workload for cfg:
@@ -90,13 +107,9 @@ func RunTableI(numRequests uint64, seed uint32) (Table1Result, error) {
 // RunRandom runs the random access harness against one configuration. A
 // non-nil tracer is installed with the performance mask before the run.
 func RunRandom(cfg core.Config, numRequests uint64, seed uint32, tracer trace.Tracer) (host.Result, error) {
-	h, err := BuildSimple(cfg)
+	h, err := BuildSimpleWithOptions(cfg, core.WithTrace(tracer, trace.MaskPerf))
 	if err != nil {
 		return host.Result{}, err
-	}
-	if tracer != nil {
-		h.SetTracer(tracer)
-		h.SetTraceMask(trace.MaskPerf)
 	}
 	gen, err := RandomWorkload(cfg, seed)
 	if err != nil {

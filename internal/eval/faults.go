@@ -130,16 +130,12 @@ func runCampaignCell(cfg core.Config, opts CampaignOpts, pt CampaignPoint) (host
 			devs = 4
 		}
 		cfg.NumDevs = devs
-		h, err = core.New(cfg)
-		if err != nil {
-			return host.Result{}, err
-		}
 		var ring *topo.Topology
 		ring, err = topo.Ring(devs, cfg.NumLinks)
 		if err != nil {
 			return host.Result{}, err
 		}
-		err = h.UseTopology(ring)
+		h, err = core.NewWithOptions(cfg, core.WithTopology(ring))
 		// Traffic spreads over the ring: the destination cube derives
 		// deterministically from the access address, injection stays on
 		// device 0's host links.

@@ -108,8 +108,12 @@ type Driver struct {
 	// freeTags[link] is a stack of unallocated tags.
 	freeTags [][]uint16
 
-	queued  *workload.Access // access awaiting a free slot after a stall
-	dataBuf [16]uint64
+	// queued holds the access awaiting a free slot after a stall;
+	// hasQueued reports whether it is occupied. A value plus flag (rather
+	// than a pointer) keeps the per-access state out of the heap.
+	queued    workload.Access
+	hasQueued bool
+	dataBuf   [16]uint64
 }
 
 // NewDriver prepares a driver for h. The topology must already be wired;
@@ -224,12 +228,11 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, bool, error) {
 	var outstanding uint64
 	for res.Sent < n {
-		a := d.queued
-		if a == nil {
-			next := gen.Next()
-			a = &next
+		if !d.hasQueued {
+			d.queued = gen.Next()
+			d.hasQueued = true
 		}
-		d.queued = a
+		a := &d.queued
 
 		// The selector names a preferred injection link; permanently failed
 		// links are skipped in favour of the next surviving host link
@@ -283,14 +286,11 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 			return outstanding, false, err
 		}
 
-		words, err := d.h.BuildRequestPacket(packet.Request{
+		// SendRequest encodes straight into a simulation-owned pooled
+		// buffer: one CRC computation and no per-request allocation.
+		err = d.h.SendRequest(d.opts.Dev, link, packet.Request{
 			CUB: uint8(cube), Addr: a.Addr, Tag: tag, Cmd: cmd, Data: data,
-		}, link)
-		if err != nil {
-			d.putTag(link, tag)
-			return outstanding, false, err
-		}
-		err = d.h.Send(d.opts.Dev, link, words)
+		})
 		if errors.Is(err, core.ErrStall) {
 			d.putTag(link, tag)
 			return outstanding, false, nil
@@ -307,7 +307,7 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 			return outstanding, false, err
 		}
 		res.Sent++
-		d.queued = nil
+		d.hasQueued = false
 		if posted {
 			d.putTag(link, tag)
 		} else {

@@ -260,7 +260,10 @@ func WriteForSize(size int, posted bool) (Command, error) {
 	return base + Command(size/16-1), nil
 }
 
-var cmdNames = map[Command]string{
+// cmdNames is indexed by the 6-bit command code; trace formatting sits on
+// stall paths of the clock loop, so the lookup is an array load rather
+// than a map access.
+var cmdNames = [64]string{
 	CmdNULL: "NULL", CmdPRET: "PRET", CmdTRET: "TRET", CmdIRTRY: "IRTRY",
 	CmdWR16: "WR16", CmdWR32: "WR32", CmdWR48: "WR48", CmdWR64: "WR64",
 	CmdWR80: "WR80", CmdWR96: "WR96", CmdWR112: "WR112", CmdWR128: "WR128",
@@ -277,8 +280,8 @@ var cmdNames = map[Command]string{
 
 // String returns the specification mnemonic for c.
 func (c Command) String() string {
-	if s, ok := cmdNames[c]; ok {
-		return s
+	if int(c) < len(cmdNames) && cmdNames[c] != "" {
+		return cmdNames[c]
 	}
 	return fmt.Sprintf("CMD(%#02x)", uint8(c))
 }

@@ -295,18 +295,28 @@ type Request struct {
 // payload length must match the command's defined payload size.
 func BuildRequest(r Request) (Packet, error) {
 	var p Packet
+	if err := BuildRequestInto(&p, r); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// BuildRequestInto encodes r into p's storage without allocating: the
+// zero-copy companion of BuildRequest used by the simulation hot path
+// with pooled packets. On error p is left unspecified.
+func BuildRequestInto(p *Packet, r Request) error {
 	if !r.Cmd.IsRequest() && !r.Cmd.IsFlow() {
-		return p, fmt.Errorf("packet: %v is not a request command", r.Cmd)
+		return fmt.Errorf("packet: %v is not a request command", r.Cmd)
 	}
 	want := r.Cmd.DataBytes() / 8
 	if len(r.Data) != want {
-		return p, fmt.Errorf("packet: %v requires %d data words, got %d", r.Cmd, want, len(r.Data))
+		return fmt.Errorf("packet: %v requires %d data words, got %d", r.Cmd, want, len(r.Data))
 	}
 	if r.Addr > adrsMask {
-		return p, fmt.Errorf("packet: address %#x exceeds %d bits", r.Addr, AddrBits)
+		return fmt.Errorf("packet: address %#x exceeds %d bits", r.Addr, AddrBits)
 	}
 	if r.Tag > MaxTag {
-		return p, fmt.Errorf("packet: tag %d exceeds %d bits", r.Tag, TagBits)
+		return fmt.Errorf("packet: tag %d exceeds %d bits", r.Tag, TagBits)
 	}
 	flits := r.Cmd.Flits()
 	p.words = flits * WordsPerFlit
@@ -314,7 +324,7 @@ func BuildRequest(r Request) (Packet, error) {
 	copy(p.raw[1:p.words-1], r.Data)
 	p.raw[p.words-1] = uint64(r.SLID&slidMask)<<slidShift | uint64(r.Seq&seqMask)<<seqShift
 	p.Finalize()
-	return p, nil
+	return nil
 }
 
 // AsRequest decodes p into Request form. The returned Data slice aliases
@@ -349,11 +359,22 @@ type Response struct {
 // BuildResponse encodes r as a fully formed, CRC-stamped packet.
 func BuildResponse(r Response) (Packet, error) {
 	var p Packet
+	if err := BuildResponseInto(&p, r); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// BuildResponseInto encodes r into p's storage without allocating. p may
+// be the very packet the request arrived in (the vault stages recycle the
+// request's pooled buffer for its response); r.Data must not alias p's
+// data words in that case. On error p is left unspecified.
+func BuildResponseInto(p *Packet, r Response) error {
 	if !r.Cmd.IsResponse() {
-		return p, fmt.Errorf("packet: %v is not a response command", r.Cmd)
+		return fmt.Errorf("packet: %v is not a response command", r.Cmd)
 	}
 	if len(r.Data)%WordsPerFlit != 0 || len(r.Data) > MaxWords-WordsPerFlit {
-		return p, fmt.Errorf("packet: response data must be whole FLITs, got %d words", len(r.Data))
+		return fmt.Errorf("packet: response data must be whole FLITs, got %d words", len(r.Data))
 	}
 	flits := 1 + len(r.Data)/WordsPerFlit
 	p.words = flits * WordsPerFlit
@@ -366,7 +387,7 @@ func BuildResponse(r Response) (Packet, error) {
 	}
 	p.raw[p.words-1] = tail
 	p.Finalize()
-	return p, nil
+	return nil
 }
 
 // AsResponse decodes p into Response form. The returned Data slice aliases
@@ -405,7 +426,17 @@ func BuildFlow(cmd Command, rtc uint8) (Packet, error) {
 // the given error status, preserving the request's tag, SLID and sequence
 // number so the host can correlate the failure.
 func ErrorResponse(req *Packet, cub uint8, errStat uint8) Packet {
-	rsp, err := BuildResponse(Response{
+	var p Packet
+	ErrorResponseInto(&p, req, cub, errStat)
+	return p
+}
+
+// ErrorResponseInto is ErrorResponse without the copy: it encodes the
+// error response into p's storage. p may be req itself — the correlation
+// fields are captured before the storage is overwritten, so a queued
+// packet can be poisoned in place.
+func ErrorResponseInto(p *Packet, req *Packet, cub uint8, errStat uint8) {
+	r := Response{
 		CUB:     cub,
 		Tag:     req.Tag(),
 		Cmd:     CmdError,
@@ -413,12 +444,11 @@ func ErrorResponse(req *Packet, cub uint8, errStat uint8) Packet {
 		Seq:     req.Seq(),
 		ErrStat: errStat,
 		DInv:    true,
-	})
-	if err != nil {
-		// BuildResponse cannot fail for a dataless CmdError packet.
+	}
+	if err := BuildResponseInto(p, r); err != nil {
+		// BuildResponseInto cannot fail for a dataless CmdError packet.
 		panic("packet: ErrorResponse: " + err.Error())
 	}
-	return rsp
 }
 
 // String returns a one-line human-readable rendering of the packet.

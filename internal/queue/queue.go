@@ -30,11 +30,17 @@ var ErrFull = errors.New("queue: all slots valid (queue full)")
 
 // Slot is a registered input or output logic stage holding at most one
 // packet.
+//
+// Slots hold packets by pointer: the packet buffers themselves live in a
+// free-list pool owned by the simulation object (or wherever the caller
+// built them), so moving a packet between queues moves one word instead
+// of copying the 144-byte maximum-size packet through every hop.
 type Slot struct {
 	// Valid designates whether the slot is in use.
 	Valid bool
-	// Packet is the slot storage, sized for the largest 9-FLIT packet.
-	Packet packet.Packet
+	// Packet points at the slot's packet buffer. It is non-nil exactly
+	// when Valid is set; the queue never dereferences it.
+	Packet *packet.Packet
 	// Deferred marks the slot as not eligible for processing in the
 	// current clock cycle. The bank-conflict recognition stage sets it on
 	// request packets that lost bank arbitration; the vault processing
@@ -119,8 +125,9 @@ func (q *Queue) Full() bool { return q.count == len(q.slots) }
 func (q *Queue) Empty() bool { return q.count == 0 }
 
 // Push appends p to the tail of the queue, recording the arrival clock.
-// It returns ErrFull when no free slot exists.
-func (q *Queue) Push(p packet.Packet, clock uint64) error {
+// It returns ErrFull when no free slot exists. The queue takes ownership
+// of the pointed-to packet until Pop or Remove surrenders it.
+func (q *Queue) Push(p *packet.Packet, clock uint64) error {
 	if q.Full() {
 		return ErrFull
 	}
@@ -148,11 +155,11 @@ func (q *Queue) At(i int) *Slot {
 	return &q.slots[(q.head+i)%len(q.slots)]
 }
 
-// Pop removes and returns the head packet. The second result is false when
-// the queue is empty.
-func (q *Queue) Pop() (packet.Packet, bool) {
+// Pop removes and returns the head packet, transferring ownership to the
+// caller. The second result is false when the queue is empty.
+func (q *Queue) Pop() (*packet.Packet, bool) {
 	if q.Empty() {
-		return packet.Packet{}, false
+		return nil, false
 	}
 	s := &q.slots[q.head]
 	p := s.Packet
@@ -165,12 +172,23 @@ func (q *Queue) Pop() (packet.Packet, bool) {
 // Remove deletes the i-th valid slot (FIFO order) and compacts the queue,
 // preserving the relative order of the remaining packets. It reports
 // whether a slot was removed. Remove supports the vault processing stage,
-// which may service an unconflicted packet behind a deferred head.
+// which may service an unconflicted packet behind a deferred head. The
+// caller is responsible for having taken the slot's packet pointer first
+// if it still needs it.
 func (q *Queue) Remove(i int) bool {
 	if i < 0 || i >= q.count {
 		return false
 	}
-	// Shift everything after i forward by one slot.
+	if i == 0 {
+		// Head removal is the common case (strict FIFO drains); it only
+		// advances the ring head.
+		q.slots[q.head] = Slot{}
+		q.head = (q.head + 1) % len(q.slots)
+		q.count--
+		return true
+	}
+	// Shift everything after i forward by one slot. Slots carry packet
+	// pointers, so the shift moves words, not packet bodies.
 	for j := i; j < q.count-1; j++ {
 		cur := (q.head + j) % len(q.slots)
 		next := (q.head + j + 1) % len(q.slots)

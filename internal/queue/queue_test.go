@@ -8,13 +8,13 @@ import (
 	"hmcsim/internal/packet"
 )
 
-func mkpkt(t *testing.T, tag uint16) packet.Packet {
+func mkpkt(t *testing.T, tag uint16) *packet.Packet {
 	t.Helper()
 	p, err := packet.BuildRequest(packet.Request{Cmd: packet.CmdRD16, Tag: tag, Addr: uint64(tag) * 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return &p
 }
 
 func TestNewRejectsBadDepth(t *testing.T) {
@@ -274,12 +274,12 @@ func TestPropertyFIFOModel(t *testing.T) {
 	}
 }
 
-func mkpktQuick(tag uint16) packet.Packet {
+func mkpktQuick(tag uint16) *packet.Packet {
 	p, err := packet.BuildRequest(packet.Request{Cmd: packet.CmdRD16, Tag: tag})
 	if err != nil {
 		panic(err)
 	}
-	return p
+	return &p
 }
 
 func TestSlab(t *testing.T) {

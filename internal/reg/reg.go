@@ -175,6 +175,10 @@ type Register struct {
 type File struct {
 	regs    [NumRegs]Register
 	pending [NumRegs]bool // RWS registers written since the last clock edge
+	// npending counts set entries of pending, so the per-cycle Tick is a
+	// single compare on the (overwhelmingly common) cycles with no RWS
+	// write.
+	npending int
 }
 
 // NewFile returns a reset register file: all registers zero except FEAT
@@ -239,7 +243,10 @@ func (f *File) Write(phys uint64, v uint64) error {
 		return fmt.Errorf("reg: register %#x is read-only", phys)
 	case RWS:
 		r.Value = v
-		f.pending[lin] = true
+		if !f.pending[lin] {
+			f.pending[lin] = true
+			f.npending++
+		}
 	default:
 		r.Value = v
 	}
@@ -269,13 +276,21 @@ func (f *File) ClassOf(phys uint64) (Class, error) {
 // Tick advances the register file by one clock edge: RWS registers written
 // since the previous edge self-clear.
 func (f *File) Tick() {
+	if f.npending == 0 {
+		return
+	}
 	for i := range f.pending {
 		if f.pending[i] {
 			f.regs[i].Value = 0
 			f.pending[i] = false
 		}
 	}
+	f.npending = 0
 }
+
+// Clean reports whether no RWS register write is awaiting its
+// self-clearing edge.
+func (f *File) Clean() bool { return f.npending == 0 }
 
 // Registers returns a snapshot of all registers in linear order.
 func (f *File) Registers() []Register {

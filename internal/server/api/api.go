@@ -1,0 +1,196 @@
+// Package api defines the stable v1 wire types of the simulation
+// service's HTTP API: the submission payload, the job status view, the
+// result schema and the error envelope. The package exists so that
+// clients (cmd/hmcsim-submit, cmd/hmcsim-table1 -json, external tools)
+// and the server share one schema definition that cannot drift.
+//
+// # Versioning
+//
+// These types are the v1 contract, served under the /v1/ path prefix:
+//
+//	POST   /v1/jobs       submit a SubmitRequest -> 202 JobStatus
+//	GET    /v1/jobs       list jobs              -> 200 [JobStatus]
+//	GET    /v1/jobs/{id}  poll one job           -> 200 JobStatus
+//	DELETE /v1/jobs/{id}  cancel a job           -> 200 JobStatus
+//	GET    /v1/metrics    expvar counters        -> 200 JSON object
+//	GET    /v1/healthz    liveness/drain         -> 200 ok | 503 draining
+//
+// Within v1, fields are only ever added (with omitempty), never renamed,
+// retyped or removed; incompatible changes require a /v2/ prefix. The
+// pre-versioning paths (/api/v1/jobs, /metrics, /healthz) remain as
+// aliases that serve identical payloads with a "Deprecation: true"
+// response header.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+// State is the lifecycle state of a job. The machine is linear with
+// three terminal states:
+//
+//	queued -> running -> done | failed | cancelled
+//
+// A queued job may also move directly to cancelled without running.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SubmitRequest is the submission payload: everything needed to build
+// and run one independent simulator instance. The zero value is not
+// valid; at minimum Config and Requests must be set.
+type SubmitRequest struct {
+	// Name is an optional caller-supplied label echoed in status output.
+	Name string `json:"name,omitempty"`
+	// Config is the device configuration, including the fault spec
+	// (Config.Fault). It is validated at submission time.
+	Config core.Config `json:"config"`
+	// Workload describes the access stream; the zero value selects the
+	// random access workload with seed 0. See workload.Spec.
+	Workload workload.Spec `json:"workload"`
+	// Requests is the number of accesses to inject.
+	Requests uint64 `json:"requests"`
+	// Warmup excludes the first Warmup requests from measurement.
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Posted issues writes as posted requests.
+	Posted bool `json:"posted,omitempty"`
+	// TimeoutMS bounds the job's wall-clock runtime in milliseconds;
+	// zero selects the manager's default. The bound is enforced through
+	// the per-job context: an expired job fails, it does not wedge a
+	// worker.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fig5Interval, when non-zero, attaches a Figure-5 collector with
+	// this sampling interval (in cycles) and includes the per-interval
+	// series in the result payload.
+	Fig5Interval uint64 `json:"fig5_interval,omitempty"`
+}
+
+// MaxRequestsPerJob bounds a single job's request count, keeping one
+// submission from monopolizing a worker for hours. The paper-scale
+// experiment (1<<25 requests) fits with headroom.
+const MaxRequestsPerJob = 1 << 28
+
+// Validate checks the request at submission time, before it costs a
+// queue slot.
+func (s SubmitRequest) Validate() error {
+	if s.Requests == 0 {
+		return fmt.Errorf("api: job needs requests > 0")
+	}
+	if s.Requests > MaxRequestsPerJob {
+		return fmt.Errorf("api: %d requests exceeds the per-job bound %d",
+			s.Requests, MaxRequestsPerJob)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("api: negative timeout")
+	}
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	return s.Workload.Validate()
+}
+
+// Result is the result payload of a finished job — the same schema
+// cmd/hmcsim-table1 -json emits. Digests are rendered as fixed-width hex
+// strings so they survive JSON number precision limits.
+type Result struct {
+	// Config labels the device configuration the paper's way.
+	Config string `json:"config"`
+	// Requests is the injected request count.
+	Requests uint64 `json:"requests"`
+	// Cycles is the simulated runtime in clock cycles (Table I's
+	// metric).
+	Cycles uint64 `json:"cycles"`
+	// Sent, Completed and Errors summarize the driver run.
+	Sent      uint64 `json:"sent"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	// ReqsPerCycle is the throughput figure of Table I.
+	ReqsPerCycle float64 `json:"reqs_per_cycle"`
+	// Latency moments of the round-trip distribution, in cycles.
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyP50  uint64  `json:"latency_p50"`
+	LatencyP95  uint64  `json:"latency_p95"`
+	LatencyP99  uint64  `json:"latency_p99"`
+	LatencyMax  uint64  `json:"latency_max"`
+	// Engine is the simulator's counter snapshot over the measurement
+	// window.
+	Engine core.Stats `json:"engine"`
+	// ResultDigest is eval.ResultDigest over the driver result; it is
+	// the determinism witness: a fixed-seed job yields the same value
+	// alone or alongside 15 concurrent jobs.
+	ResultDigest string `json:"result_digest"`
+	// StateDigest is core.StateDigest over the final architectural
+	// state of the job's simulator instance.
+	StateDigest string `json:"state_digest"`
+	// Fig5 is the optional per-interval series
+	// (SubmitRequest.Fig5Interval).
+	Fig5 []stats.Sample `json:"fig5,omitempty"`
+}
+
+// JobStatus is the externally visible view of a job, returned by the
+// status and list endpoints. Result is present only in StateDone.
+type JobStatus struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name,omitempty"`
+	State     State         `json:"state"`
+	Error     string        `json:"error,omitempty"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Spec      SubmitRequest `json:"spec"`
+	Result    *Result       `json:"result,omitempty"`
+}
+
+// Machine-readable error codes carried in the Error envelope.
+const (
+	// CodeInvalidSpec rejects a malformed body or invalid SubmitRequest
+	// (HTTP 400).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeUnknownJob reports a job ID with no record (HTTP 404).
+	CodeUnknownJob = "unknown_job"
+	// CodeJobFinished rejects cancellation of a job already in a
+	// terminal state (HTTP 409).
+	CodeJobFinished = "job_finished"
+	// CodeQueueFull is the backpressure signal: the bounded queue has no
+	// free slot (HTTP 429 with Retry-After).
+	CodeQueueFull = "queue_full"
+	// CodeShuttingDown rejects submissions after graceful shutdown has
+	// begun (HTTP 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal is an unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the JSON error envelope of every non-2xx response. Message
+// keeps the legacy "error" JSON key so pre-versioning clients that only
+// read that field keep working; Code is the machine-readable
+// discriminator new clients should switch on.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return e.Code + ": " + e.Message
+}

@@ -1,0 +1,190 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/fault"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixtureSubmit populates every field of the submission payload,
+// including the nested fault spec, so a silent rename or retype of any
+// field shows up as a golden diff.
+func fixtureSubmit() SubmitRequest {
+	cfg := core.Table1Configs()[0]
+	cfg.Fault = fault.Config{
+		TransientPPM: 1000,
+		Seed:         7,
+		MaxRetries:   3,
+		FailedLinks:  []fault.LinkID{{Dev: 0, Link: 3}},
+	}
+	return SubmitRequest{
+		Name:         "golden",
+		Config:       cfg,
+		Workload:     workload.TableISpec(1),
+		Requests:     4096,
+		Warmup:       128,
+		Posted:       true,
+		TimeoutMS:    30000,
+		Fig5Interval: 64,
+	}
+}
+
+func fixtureResult() Result {
+	return Result{
+		Config:       "4-Link; 8-Bank; 2GB",
+		Requests:     4096,
+		Cycles:       3748,
+		Sent:         4096,
+		Completed:    4096,
+		Errors:       0,
+		ReqsPerCycle: 1.09,
+		LatencyMean:  24.5,
+		LatencyP50:   22,
+		LatencyP95:   41,
+		LatencyP99:   55,
+		LatencyMax:   70,
+		Engine:       core.Stats{Reads: 2048, Writes: 2048, Responses: 4096},
+		ResultDigest: "459f5f9ad686fb70",
+		StateDigest:  "8814af34acc409c4",
+		Fig5: []stats.Sample{{
+			CycleStart: 0,
+			Conflicts:  []uint32{1, 0},
+			Reads:      []uint32{3, 2},
+			Writes:     []uint32{2, 3},
+			XbarStalls: 4,
+			Latency:    1,
+		}},
+	}
+}
+
+func fixtureStatus() JobStatus {
+	started := time.Date(2026, 8, 6, 12, 0, 1, 0, time.UTC)
+	finished := time.Date(2026, 8, 6, 12, 0, 2, 0, time.UTC)
+	res := fixtureResult()
+	return JobStatus{
+		ID:        "job-000001",
+		Name:      "golden",
+		State:     StateDone,
+		Submitted: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		Started:   &started,
+		Finished:  &finished,
+		Spec:      fixtureSubmit(),
+		Result:    &res,
+	}
+}
+
+// TestGoldenWireFormat pins the JSON encoding of every v1 wire type
+// against committed golden files and checks the decode side round-trips
+// to the identical value. A diff here means the wire format changed:
+// within v1 that is only acceptable for added omitempty fields
+// (regenerate with -update), never for renames or removals.
+func TestGoldenWireFormat(t *testing.T) {
+	cases := []struct {
+		name  string
+		value any
+		fresh func() any
+	}{
+		{"submit_request", fixtureSubmit(), func() any { return &SubmitRequest{} }},
+		{"job_status", fixtureStatus(), func() any { return &JobStatus{} }},
+		{"result", fixtureResult(), func() any { return &Result{} }},
+		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(c.value, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", c.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s wire format drifted from golden file:\ngot:\n%s\nwant:\n%s", c.name, got, want)
+			}
+
+			// Round-trip: the golden bytes decode back to the fixture.
+			back := c.fresh()
+			if err := json.Unmarshal(want, back); err != nil {
+				t.Fatalf("unmarshal golden: %v", err)
+			}
+			if !reflect.DeepEqual(reflect.ValueOf(back).Elem().Interface(), c.value) {
+				t.Errorf("%s did not round-trip:\ngot %+v\nwant %+v",
+					c.name, reflect.ValueOf(back).Elem().Interface(), c.value)
+			}
+		})
+	}
+}
+
+// TestGoldenDecodeUnknownField pins the decode strictness the server
+// relies on: submissions are parsed with DisallowUnknownFields, so a
+// misspelled field is a 400, not a silent default.
+func TestGoldenDecodeUnknownField(t *testing.T) {
+	dec := json.NewDecoder(bytes.NewReader([]byte(`{"requets": 5}`)))
+	dec.DisallowUnknownFields()
+	var s SubmitRequest
+	if err := dec.Decode(&s); err == nil {
+		t.Error("decoder accepted an unknown field")
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, !want, want)
+		}
+	}
+}
+
+func TestSubmitRequestValidate(t *testing.T) {
+	good := fixtureSubmit()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*SubmitRequest){
+		"zero requests":  func(s *SubmitRequest) { s.Requests = 0 },
+		"oversized":      func(s *SubmitRequest) { s.Requests = MaxRequestsPerJob + 1 },
+		"neg timeout":    func(s *SubmitRequest) { s.TimeoutMS = -1 },
+		"bad config":     func(s *SubmitRequest) { s.Config.NumLinks = 3 },
+		"bad workload":   func(s *SubmitRequest) { s.Workload.Kind = "nope" },
+		"bad fault rate": func(s *SubmitRequest) { s.Config.Fault.TransientPPM = 2000000 },
+	} {
+		bad := fixtureSubmit()
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted", name)
+		}
+	}
+}
+
+func TestErrorInterface(t *testing.T) {
+	e := Error{Code: CodeUnknownJob, Message: "no such job"}
+	if got := e.Error(); got != "unknown_job: no such job" {
+		t.Errorf("Error() = %q", got)
+	}
+	if got := (Error{Message: "bare"}).Error(); got != "bare" {
+		t.Errorf("codeless Error() = %q", got)
+	}
+}

@@ -5,88 +5,127 @@ import (
 	"errors"
 	"io"
 	"net/http"
+
+	"hmcsim/internal/server/api"
 )
 
 // maxBodyBytes bounds a submission body; specs are small.
 const maxBodyBytes = 1 << 20
 
-// NewHandler mounts the JSON API for m:
+// NewHandler mounts the JSON API for m under the canonical /v1/ prefix:
 //
-//	POST   /api/v1/jobs       submit a JobSpec   -> 202 Status
-//	GET    /api/v1/jobs       list jobs          -> 200 [Status]
-//	GET    /api/v1/jobs/{id}  poll one job       -> 200 Status (result when done)
-//	DELETE /api/v1/jobs/{id}  cancel a job       -> 200 Status
-//	GET    /metrics           expvar counters    -> 200 JSON object
-//	GET    /healthz           liveness/drain     -> 200 ok | 503 draining
+//	POST   /v1/jobs       submit a JobSpec   -> 202 Status
+//	GET    /v1/jobs       list jobs          -> 200 [Status]
+//	GET    /v1/jobs/{id}  poll one job       -> 200 Status (result when done)
+//	DELETE /v1/jobs/{id}  cancel a job       -> 200 Status
+//	GET    /v1/metrics    expvar counters    -> 200 JSON object
+//	GET    /v1/healthz    liveness/drain     -> 200 ok | 503 draining
+//
+// The pre-versioning paths (/api/v1/jobs, /api/v1/jobs/{id}, /metrics,
+// /healthz) remain mounted as aliases serving identical payloads; alias
+// responses carry a "Deprecation: true" header so clients can detect
+// they are on the legacy surface.
 //
 // Error mapping: invalid spec 400, unknown job 404, cancel-after-finish
 // 409, queue full 429 (with Retry-After), shutting down 503. Error
-// bodies are {"error": "..."} JSON.
+// bodies are the api.Error envelope: {"code": "...", "error": "..."}.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec JobSpec
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		st, err := m.Submit(spec)
-		if err != nil {
-			writeError(w, submitStatus(err), err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
-	})
-	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
-	})
-	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Get(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Cancel(r.PathValue("id"))
-		switch {
-		case errors.Is(err, ErrUnknownJob):
-			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, ErrJobFinished):
-			writeError(w, http.StatusConflict, err)
-		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
-		default:
+
+	handlers := map[string]http.HandlerFunc{
+		"POST /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
+			var spec JobSpec
+			body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+			dec := json.NewDecoder(body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&spec); err != nil {
+				writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, err)
+				return
+			}
+			st, err := m.Submit(spec)
+			if err != nil {
+				code, status := submitStatus(err)
+				writeError(w, status, code, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, st)
+		},
+		"GET /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, m.List())
+		},
+		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			st, err := m.Get(r.PathValue("id"))
+			if err != nil {
+				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)
+				return
+			}
 			writeJSON(w, http.StatusOK, st)
-		}
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		io.WriteString(w, m.Vars().String())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if m.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		io.WriteString(w, "ok\n")
-	})
+		},
+		"DELETE /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			st, err := m.Cancel(r.PathValue("id"))
+			switch {
+			case errors.Is(err, ErrUnknownJob):
+				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)
+			case errors.Is(err, ErrJobFinished):
+				writeError(w, http.StatusConflict, api.CodeJobFinished, err)
+			case err != nil:
+				writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+			default:
+				writeJSON(w, http.StatusOK, st)
+			}
+		},
+		"GET /v1/metrics": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			io.WriteString(w, m.Vars().String())
+		},
+		"GET /v1/healthz": func(w http.ResponseWriter, r *http.Request) {
+			if m.Draining() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			io.WriteString(w, "ok\n")
+		},
+	}
+
+	// legacyAliases maps each pre-versioning pattern onto its canonical
+	// /v1 handler.
+	legacyAliases := map[string]string{
+		"POST /api/v1/jobs":        "POST /v1/jobs",
+		"GET /api/v1/jobs":         "GET /v1/jobs",
+		"GET /api/v1/jobs/{id}":    "GET /v1/jobs/{id}",
+		"DELETE /api/v1/jobs/{id}": "DELETE /v1/jobs/{id}",
+		"GET /metrics":             "GET /v1/metrics",
+		"GET /healthz":             "GET /v1/healthz",
+	}
+
+	for pattern, h := range handlers {
+		mux.HandleFunc(pattern, h)
+	}
+	for pattern, canonical := range legacyAliases {
+		mux.HandleFunc(pattern, deprecated(handlers[canonical]))
+	}
 	return mux
 }
 
-// submitStatus maps a Submit error onto its HTTP status code.
-func submitStatus(err error) int {
+// deprecated wraps a canonical handler for serving on a legacy path: the
+// payload is identical, plus a Deprecation header (RFC 9745 style) so
+// clients and proxies can flag the old surface.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
+}
+
+// submitStatus maps a Submit error onto its wire code and HTTP status.
+func submitStatus(err error) (code string, status int) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
+		return api.CodeQueueFull, http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
-		return http.StatusServiceUnavailable
+		return api.CodeShuttingDown, http.StatusServiceUnavailable
 	default:
-		return http.StatusBadRequest
+		return api.CodeInvalidSpec, http.StatusBadRequest
 	}
 }
 
@@ -98,9 +137,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusTooManyRequests {
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, status, api.Error{Code: code, Message: err.Error()})
 }

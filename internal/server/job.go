@@ -12,6 +12,11 @@
 // bounded queue with explicit backpressure, panic recovery that fails a
 // single job rather than the daemon, and graceful shutdown that drains
 // in-flight jobs.
+//
+// The wire types (submission payload, status view, result schema, error
+// envelope) live in the api subpackage so clients can depend on the
+// schema without pulling in the execution machinery; this package
+// aliases them under their historical names.
 package server
 
 import (
@@ -21,124 +26,35 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
 	"hmcsim/internal/host"
+	"hmcsim/internal/server/api"
 	"hmcsim/internal/stats"
-	"hmcsim/internal/workload"
 )
 
-// State is the lifecycle state of a job. The machine is linear with
-// three terminal states:
-//
-//	queued -> running -> done | failed | cancelled
-//
-// A queued job may also move directly to cancelled without running.
-type State string
+// State aliases the v1 lifecycle state; see api.State.
+type State = api.State
 
-// Job lifecycle states.
+// Job lifecycle states, re-exported from the api package.
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued    = api.StateQueued
+	StateRunning   = api.StateRunning
+	StateDone      = api.StateDone
+	StateFailed    = api.StateFailed
+	StateCancelled = api.StateCancelled
 )
 
-// Terminal reports whether s is an end state.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
+// JobSpec aliases the v1 submission payload; see api.SubmitRequest.
+type JobSpec = api.SubmitRequest
 
-// JobSpec is the submission payload: everything needed to build and run
-// one independent simulator instance. The zero value is not valid; at
-// minimum Config and Requests must be set.
-type JobSpec struct {
-	// Name is an optional caller-supplied label echoed in status output.
-	Name string `json:"name,omitempty"`
-	// Config is the device configuration, including the fault spec
-	// (Config.Fault). It is validated at submission time.
-	Config core.Config `json:"config"`
-	// Workload describes the access stream; the zero value selects the
-	// random access workload with seed 0. See workload.Spec.
-	Workload workload.Spec `json:"workload"`
-	// Requests is the number of accesses to inject.
-	Requests uint64 `json:"requests"`
-	// Warmup excludes the first Warmup requests from measurement.
-	Warmup uint64 `json:"warmup,omitempty"`
-	// Posted issues writes as posted requests.
-	Posted bool `json:"posted,omitempty"`
-	// TimeoutMS bounds the job's wall-clock runtime in milliseconds;
-	// zero selects the manager's default. The bound is enforced through
-	// the per-job context: an expired job fails, it does not wedge a
-	// worker.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Fig5Interval, when non-zero, attaches a Figure-5 collector with
-	// this sampling interval (in cycles) and includes the per-interval
-	// series in the result payload.
-	Fig5Interval uint64 `json:"fig5_interval,omitempty"`
-}
+// Result aliases the v1 result payload; see api.Result.
+type Result = api.Result
 
-// maxRequestsPerJob bounds a single job's request count, keeping one
-// submission from monopolizing a worker for hours. The paper-scale
-// experiment (1<<25 requests) fits with headroom.
-const maxRequestsPerJob = 1 << 28
-
-// Validate checks the spec at submission time, before it costs a queue
-// slot.
-func (s JobSpec) Validate() error {
-	if s.Requests == 0 {
-		return fmt.Errorf("server: job needs requests > 0")
-	}
-	if s.Requests > maxRequestsPerJob {
-		return fmt.Errorf("server: %d requests exceeds the per-job bound %d",
-			s.Requests, maxRequestsPerJob)
-	}
-	if s.TimeoutMS < 0 {
-		return fmt.Errorf("server: negative timeout")
-	}
-	if err := s.Config.Validate(); err != nil {
-		return err
-	}
-	return s.Workload.Validate()
-}
-
-// Result is the result payload of a finished job — the same schema
-// cmd/hmcsim-table1 -json emits. Digests are rendered as fixed-width hex
-// strings so they survive JSON number precision limits.
-type Result struct {
-	// Config labels the device configuration the paper's way.
-	Config string `json:"config"`
-	// Requests is the injected request count.
-	Requests uint64 `json:"requests"`
-	// Cycles is the simulated runtime in clock cycles (Table I's
-	// metric).
-	Cycles uint64 `json:"cycles"`
-	// Sent, Completed and Errors summarize the driver run.
-	Sent      uint64 `json:"sent"`
-	Completed uint64 `json:"completed"`
-	Errors    uint64 `json:"errors"`
-	// ReqsPerCycle is the throughput figure of Table I.
-	ReqsPerCycle float64 `json:"reqs_per_cycle"`
-	// Latency moments of the round-trip distribution, in cycles.
-	LatencyMean float64 `json:"latency_mean"`
-	LatencyP50  uint64  `json:"latency_p50"`
-	LatencyP95  uint64  `json:"latency_p95"`
-	LatencyP99  uint64  `json:"latency_p99"`
-	LatencyMax  uint64  `json:"latency_max"`
-	// Engine is the simulator's counter snapshot over the measurement
-	// window.
-	Engine core.Stats `json:"engine"`
-	// ResultDigest is eval.ResultDigest over the driver result; it is
-	// the determinism witness: a fixed-seed job yields the same value
-	// alone or alongside 15 concurrent jobs.
-	ResultDigest string `json:"result_digest"`
-	// StateDigest is core.StateDigest over the final architectural
-	// state of the job's simulator instance.
-	StateDigest string `json:"state_digest"`
-	// Fig5 is the optional per-interval series (JobSpec.Fig5Interval).
-	Fig5 []stats.Sample `json:"fig5,omitempty"`
-}
+// Status aliases the v1 job view; see api.JobStatus.
+type Status = api.JobStatus
 
 // NewResult assembles the result payload from a driver run and the final
-// simulator snapshot.
+// simulator snapshot. It lives here rather than in api because it pulls
+// in the execution packages (host, eval) that wire-schema clients should
+// not need.
 func NewResult(cfg core.Config, spec JobSpec, r host.Result, snap core.Snapshot, fig5 []stats.Sample) Result {
 	return Result{
 		Config:       cfg.String(),
@@ -158,20 +74,6 @@ func NewResult(cfg core.Config, spec JobSpec, r host.Result, snap core.Snapshot,
 		StateDigest:  fmt.Sprintf("%016x", snap.Digest),
 		Fig5:         fig5,
 	}
-}
-
-// Status is the externally visible view of a job, returned by the
-// status and list endpoints. Result is present only in StateDone.
-type Status struct {
-	ID        string     `json:"id"`
-	Name      string     `json:"name,omitempty"`
-	State     State      `json:"state"`
-	Error     string     `json:"error,omitempty"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Spec      JobSpec    `json:"spec"`
-	Result    *Result    `json:"result,omitempty"`
 }
 
 // job is the manager's internal record. All fields past the immutable

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 
+	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
 	"hmcsim/internal/host"
 	"hmcsim/internal/stats"
@@ -16,15 +17,15 @@ import (
 // payloads without a server.
 func Execute(ctx context.Context, spec JobSpec) (Result, error) {
 	cfg := spec.Config
-	h, err := eval.BuildSimple(cfg)
-	if err != nil {
-		return Result{}, err
-	}
 	var col *stats.Fig5Collector
+	var opts []core.Option
 	if spec.Fig5Interval > 0 {
 		col = stats.NewFig5Collector(0, cfg.NumVaults, spec.Fig5Interval)
-		h.SetTracer(col)
-		h.SetTraceMask(trace.MaskPerf)
+		opts = append(opts, core.WithTrace(col, trace.MaskPerf))
+	}
+	h, err := eval.BuildSimpleWithOptions(cfg, opts...)
+	if err != nil {
+		return Result{}, err
 	}
 	gen, err := spec.Workload.Build(uint64(cfg.CapacityGB) << 30)
 	if err != nil {

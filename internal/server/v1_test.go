@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/server/api"
+)
+
+// TestV1AndLegacyPaths drives the same job lifecycle through the
+// canonical /v1 surface and checks every legacy alias serves the
+// identical payload with the Deprecation marker, so pre-versioning
+// clients keep working while new clients can detect the old surface.
+func TestV1AndLegacyPaths(t *testing.T) {
+	m := NewManager(ManagerConfig{Workers: 2, QueueDepth: 8})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// Submit on the canonical path.
+	spec := testSpec("v1", core.Table1Configs()[0], 256)
+	body, _ := json.Marshal(spec)
+	rsp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rsp.Body)
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d: %s", rsp.StatusCode, data)
+	}
+	if rsp.Header.Get("Deprecation") != "" {
+		t.Error("canonical path tagged Deprecation")
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+
+	// The same job is visible on both poll paths with identical bodies.
+	canonical := get(t, srv.URL+"/v1/jobs/"+st.ID)
+	legacy := get(t, srv.URL+"/api/v1/jobs/"+st.ID)
+	if canonical.header.Get("Deprecation") != "" {
+		t.Error("GET /v1/jobs/{id} tagged Deprecation")
+	}
+	if legacy.header.Get("Deprecation") != "true" {
+		t.Errorf("GET /api/v1/jobs/{id} Deprecation = %q, want \"true\"", legacy.header.Get("Deprecation"))
+	}
+	if !bytes.Equal(canonical.body, legacy.body) {
+		t.Error("legacy alias served a different payload than /v1")
+	}
+
+	// List, metrics and health all exist on both surfaces.
+	for _, c := range []struct{ canonical, legacy string }{
+		{"/v1/jobs", "/api/v1/jobs"},
+		{"/v1/metrics", "/metrics"},
+		{"/v1/healthz", "/healthz"},
+	} {
+		cr := get(t, srv.URL+c.canonical)
+		lr := get(t, srv.URL+c.legacy)
+		if cr.status != http.StatusOK || lr.status != http.StatusOK {
+			t.Errorf("%s/%s: status %d/%d", c.canonical, c.legacy, cr.status, lr.status)
+		}
+		if cr.header.Get("Deprecation") != "" {
+			t.Errorf("%s tagged Deprecation", c.canonical)
+		}
+		if lr.header.Get("Deprecation") != "true" {
+			t.Errorf("%s missing Deprecation header", c.legacy)
+		}
+	}
+}
+
+// TestErrorEnvelopeCodes pins the machine-readable code of each error
+// path alongside the legacy "error" message key.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	m := NewManager(ManagerConfig{Workers: 1, QueueDepth: 2})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// Invalid spec -> 400 invalid_spec.
+	rsp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{"requests": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, rsp, http.StatusBadRequest, api.CodeInvalidSpec)
+
+	// Unknown job -> 404 unknown_job.
+	rsp, err = http.Get(srv.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, rsp, http.StatusNotFound, api.CodeUnknownJob)
+
+	// Cancel after finish -> 409 job_finished.
+	st, err := m.Submit(testSpec("done", core.Table1Configs()[0], 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	rsp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, rsp, http.StatusConflict, api.CodeJobFinished)
+}
+
+type httpResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func get(t *testing.T, url string) httpResult {
+	t.Helper()
+	rsp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	body, err := io.ReadAll(rsp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httpResult{status: rsp.StatusCode, header: rsp.Header, body: body}
+}
+
+func checkEnvelope(t *testing.T, rsp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer rsp.Body.Close()
+	data, _ := io.ReadAll(rsp.Body)
+	if rsp.StatusCode != wantStatus {
+		t.Fatalf("status %d, want %d: %s", rsp.StatusCode, wantStatus, data)
+	}
+	var e api.Error
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, data)
+	}
+	if e.Code != wantCode {
+		t.Errorf("code %q, want %q", e.Code, wantCode)
+	}
+	if e.Message == "" {
+		t.Error("envelope missing the legacy error message")
+	}
+}

@@ -39,6 +39,11 @@ type Topology struct {
 	numLinks int
 	hostID   int
 	peers    [][]Peer // peers[dev][link]
+	// hostLinks[dev] caches the host-facing link indices of dev in
+	// ascending order. Connections are append-only, so the cache is
+	// maintained incrementally by ConnectHost; the per-cycle response
+	// egress logic reads it on every response packet.
+	hostLinks [][]int
 }
 
 // New returns a topology for numDevs devices of numLinks links each, with
@@ -57,6 +62,7 @@ func New(numDevs, numLinks, hostID int) (*Topology, error) {
 	}
 	t := &Topology{numDevs: numDevs, numLinks: numLinks, hostID: hostID}
 	t.peers = make([][]Peer, numDevs)
+	t.hostLinks = make([][]int, numDevs)
 	for d := range t.peers {
 		t.peers[d] = make([]Peer, numLinks)
 		for l := range t.peers[d] {
@@ -96,6 +102,13 @@ func (t *Topology) ConnectHost(dev, link int) error {
 		return fmt.Errorf("topo: device %d link %d already connected", dev, link)
 	}
 	t.peers[dev][link] = Peer{Cube: t.hostID, Link: Unconnected}
+	// Keep the cache sorted: links may be connected in any order, but
+	// HostLinks documents ascending link indices.
+	hl := append(t.hostLinks[dev], link)
+	for i := len(hl) - 1; i > 0 && hl[i-1] > hl[i]; i-- {
+		hl[i-1], hl[i] = hl[i], hl[i-1]
+	}
+	t.hostLinks[dev] = hl
 	return nil
 }
 
@@ -132,23 +145,21 @@ func (t *Topology) Peer(dev, link int) Peer {
 	return t.peers[dev][link]
 }
 
-// HostLinks returns the link indices of dev that connect to the host.
+// HostLinks returns the link indices of dev that connect to the host, in
+// ascending order. The returned slice is shared topology state: callers
+// must treat it as read-only.
 func (t *Topology) HostLinks(dev int) []int {
-	var out []int
 	if dev < 0 || dev >= t.numDevs {
 		return nil
 	}
-	for l, p := range t.peers[dev] {
-		if p.Cube == t.hostID {
-			out = append(out, l)
-		}
-	}
-	return out
+	return t.hostLinks[dev]
 }
 
 // IsRoot reports whether dev has at least one host link. Root devices are
 // processed before child devices in the response sub-cycle stages.
-func (t *Topology) IsRoot(dev int) bool { return len(t.HostLinks(dev)) > 0 }
+func (t *Topology) IsRoot(dev int) bool {
+	return dev >= 0 && dev < t.numDevs && len(t.hostLinks[dev]) > 0
+}
 
 // Roots returns the cube IDs of all root (host-connected) devices.
 func (t *Topology) Roots() []int {
