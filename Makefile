@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-serve serve table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -29,12 +29,23 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-core measures the engine hot path — the four Table I
-# configurations (cycles/sec) and the saturated clock loop (allocs/op) —
-# and commits the parsed record to BENCH_core.json, including the
-# speedup against the pre-optimization baseline.
+# configurations (cycles/sec), the saturated clock loop (allocs/op) with
+# its worker sweep, and the isolated vault-stage dispatch — and commits
+# the parsed record to BENCH_core.json, including the speedup against
+# the pre-optimization baseline.
 bench-core:
-	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated' -benchmem . \
+	( $(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated' -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkVaultStage' -benchmem ./internal/core ) \
 		| $(GO) run ./cmd/hmcsim-benchcore -out BENCH_core.json
+
+# bench-compare is the perf regression gate: it re-runs the serial-path
+# benchmarks and fails if any regresses more than 10% against the
+# committed BENCH_core.json — the guard that the sharded vault pipeline
+# never slows the Workers=1 rows. Each benchmark runs three times and
+# the comparison takes the minimum, filtering shared-machine noise.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated$$' -benchmem -count 3 . \
+		| $(GO) run ./cmd/hmcsim-benchcore -compare BENCH_core.json
 
 # bench-serve pushes a fixed 16-job batch (the four Table I configs,
 # four replicas each) through an in-process simulation service over real

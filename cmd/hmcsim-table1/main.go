@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
@@ -43,6 +44,8 @@ func main() {
 	paper := flag.Bool("paper", false, "run at the paper's full scale (33,554,432 requests)")
 	seed := flag.Uint("seed", 1, "glibc LCG seed for the random workload")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (the service's result schema) instead of the table")
+	workers := flag.Int("workers", 0, "shard worker count per simulation (0 = serial; results are bit-identical for any value)")
+	concurrent := flag.Bool("concurrent", true, "run the four configurations concurrently (rows and digests are unaffected)")
 	flag.Parse()
 
 	n := *requests
@@ -50,13 +53,16 @@ func main() {
 		n = eval.PaperRequests
 	}
 	if *jsonOut {
-		if err := emitJSON(n, uint32(*seed)); err != nil {
+		if err := emitJSON(n, uint32(*seed), *workers, *concurrent); err != nil {
 			fmt.Fprintln(os.Stderr, "hmcsim-table1:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	res, err := eval.RunTableI(n, uint32(*seed))
+	res, err := eval.RunTableIOpts(eval.TableIOpts{
+		Requests: n, Seed: uint32(*seed),
+		Workers: *workers, Concurrent: *concurrent,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmcsim-table1:", err)
 		os.Exit(1)
@@ -70,10 +76,15 @@ func main() {
 }
 
 // emitJSON runs the four configurations through the service's executor
-// (serially) and prints the shared result schema.
-func emitJSON(n uint64, seed uint32) error {
-	rep := jsonReport{Requests: n, Seed: seed}
-	for _, cfg := range core.Table1Configs() {
+// and prints the shared result schema. The outer loop runs the four
+// independent simulations concurrently when asked; rows stay in Table I
+// order and every digest matches the serial run.
+func emitJSON(n uint64, seed uint32, workers int, concurrent bool) error {
+	cfgs := core.Table1Configs()
+	rep := jsonReport{Requests: n, Seed: seed, Rows: make([]api.Result, len(cfgs))}
+	run := func(i int) error {
+		cfg := cfgs[i]
+		cfg.Workers = workers
 		res, err := server.Execute(context.Background(), api.SubmitRequest{
 			Config:   cfg,
 			Workload: workload.TableISpec(seed),
@@ -82,7 +93,31 @@ func emitJSON(n uint64, seed uint32) error {
 		if err != nil {
 			return fmt.Errorf("%v: %w", cfg, err)
 		}
-		rep.Rows = append(rep.Rows, res)
+		rep.Rows[i] = res
+		return nil
+	}
+	if concurrent {
+		var wg sync.WaitGroup
+		errs := make([]error, len(cfgs))
+		for i := range cfgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = run(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := range cfgs {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
 	}
 	c := func(i int) float64 { return float64(rep.Rows[i].Cycles) }
 	// Rows: 0 = 4L/8B, 1 = 4L/16B, 2 = 8L/8B, 3 = 8L/16B.

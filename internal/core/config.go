@@ -83,6 +83,15 @@ type Config struct {
 	//
 	// Deprecated: set Fault.Seed instead.
 	FaultSeed uint64
+	// Workers selects the clock engine's shard worker count: the vault
+	// and bank-conflict sub-cycle stages are partitioned into Workers
+	// static contiguous shards executed by a fixed goroutine pool, then
+	// merged in vault-index order before the serial crossbar stages run.
+	// Results are bit-identical for every worker count (see DESIGN.md
+	// §10); Workers only trades wall-clock time for cores. Zero or one
+	// selects the serial engine; the value is validated against
+	// MaxWorkers and capped at the simulated vault count.
+	Workers int
 	// XbarPassing enables the specification's crossbar reordering point:
 	// arriving packets destined for ancillary devices (or for other
 	// vaults) may pass packets stalled waiting for local vault access.
@@ -111,6 +120,26 @@ func Table1Configs() []Config {
 		mk(8, 8, 4),
 		mk(8, 16, 8),
 	}
+}
+
+// MaxWorkers bounds Config.Workers. The cap exists for API hygiene (a
+// service submission cannot spawn an arbitrary goroutine count); it is
+// far above the vault-count ceiling that effectively limits useful
+// parallelism on the paper's device shapes.
+const MaxWorkers = 64
+
+// effectiveWorkers resolves the shard worker count: at least one, at
+// most one worker per simulated vault (a shard cannot be smaller than
+// one vault).
+func (c Config) effectiveWorkers() int {
+	w := c.Workers
+	if w < 1 {
+		w = 1
+	}
+	if units := c.NumDevs * c.NumVaults; units > 0 && w > units {
+		w = units
+	}
+	return w
 }
 
 // effectiveFault resolves the fault configuration, folding the
@@ -158,6 +187,9 @@ func (c Config) Validate() error {
 	}
 	if c.RefreshInterval == 0 && c.RefreshDuration > 0 {
 		return fmt.Errorf("%w: refresh duration without an interval", ErrConfig)
+	}
+	if c.Workers < 0 || c.Workers > MaxWorkers {
+		return fmt.Errorf("%w: worker count %d out of [0, %d]", ErrConfig, c.Workers, MaxWorkers)
 	}
 	if c.NumDevs < 1 {
 		return fmt.Errorf("%w: device count %d < 1", ErrConfig, c.NumDevs)

@@ -8,6 +8,7 @@ import (
 	"hmcsim/internal/fault"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/reg"
+	"hmcsim/internal/sched"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/trace"
 )
@@ -88,12 +89,23 @@ type HMC struct {
 	// response and request sub-cycle stages.
 	rootOrder, childOrder []int
 
-	// rdbuf is the scratch buffer for bank read data en route to a
-	// response packet.
-	rdbuf [16]uint64
+	// shards is the static partition of the (device, vault) space for
+	// the sharded bank-conflict/vault stages; sched is the worker pool
+	// that executes it, nil when the effective worker count is one (the
+	// shards then run inline on the coordinator). shardFn is the stored
+	// dispatch closure, allocated once so the per-cycle Run call does
+	// not allocate. See shard.go and DESIGN.md §10.
+	shards  []shard
+	sched   *sched.Pool
+	shardFn func(worker int)
 
 	// fault is the deterministic fault engine (see package fault).
 	fault *fault.Engine
+	// vaultFaults holds one independent fault stream per (device, vault),
+	// indexed [dev][vault]. Each stream is owned by the shard that owns
+	// its vault, so shards draw vault faults concurrently without
+	// perturbing each other's schedules (see fault.VaultStream).
+	vaultFaults [][]fault.VaultStream
 	// retry holds the per-host-link retry buffers of the link
 	// controllers, indexed [dev][link]: a transfer corrupted by a
 	// transient fault waits here and is retransmitted transparently on
@@ -143,7 +155,26 @@ func New(cfg Config) (*HMC, error) {
 		h.devs[i] = d
 		h.retry[i] = make([]retryState, cfg.NumLinks)
 	}
+	h.shards = buildShards(cfg)
+	h.shardFn = h.runShard
+	if len(h.shards) > 1 {
+		h.sched = sched.New(len(h.shards))
+	}
+	h.vaultFaults = make([][]fault.VaultStream, cfg.NumDevs)
+	for i := range h.vaultFaults {
+		h.vaultFaults[i] = make([]fault.VaultStream, cfg.NumVaults)
+	}
+	h.resetVaultFaults()
 	return h, nil
+}
+
+// resetVaultFaults rewinds every per-vault fault stream to its seed.
+func (h *HMC) resetVaultFaults() {
+	for dev := range h.vaultFaults {
+		for vi := range h.vaultFaults[dev] {
+			h.vaultFaults[dev][vi] = h.fault.VaultStream(dev, vi)
+		}
+	}
 }
 
 // Config returns the object's configuration.
@@ -342,6 +373,7 @@ func (h *HMC) Free() {
 	h.clk = 0
 	h.stats = Stats{}
 	h.fault.Reset()
+	h.resetVaultFaults()
 	for i := range h.retry {
 		clear(h.retry[i])
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package eval
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight conformance runs scale themselves down under it.
+const raceEnabled = false

@@ -158,19 +158,30 @@ func (e *Engine) MaxRetries() int {
 // StaticFailedLinks returns the configured from-reset link failures.
 func (e *Engine) StaticFailedLinks() []LinkID { return e.cfg.FailedLinks }
 
-// roll advances the splitmix64 stream and reports whether an event with
-// the given parts-per-million rate fires.
-func (e *Engine) roll(ppm int) bool {
+// splitRoll advances one splitmix64 state and reports whether an event
+// with the given parts-per-million rate fires.
+func splitRoll(state *uint64, ppm int) bool {
 	if ppm <= 0 {
 		return false
 	}
-	e.state += 0x9E3779B97F4A7C15
-	x := e.state
+	*state += 0x9E3779B97F4A7C15
+	x := *state
 	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
 	x = (x ^ x>>27) * 0x94D049BB133111EB
 	x ^= x >> 31
 	return x%ppmRange < uint64(ppm)
 }
+
+// splitMix finalizes one splitmix64 step over v, for seed derivation.
+func splitMix(v uint64) uint64 {
+	v += 0x9E3779B97F4A7C15
+	v = (v ^ v>>30) * 0xBF58476D1CE4E5B9
+	v = (v ^ v>>27) * 0x94D049BB133111EB
+	return v ^ v>>31
+}
+
+// roll advances the engine's shared link stream.
+func (e *Engine) roll(ppm int) bool { return splitRoll(&e.state, ppm) }
 
 // Transient reports whether the next link transfer is CRC-corrupted.
 func (e *Engine) Transient() bool { return e.roll(e.cfg.TransientPPM) }
@@ -179,8 +190,41 @@ func (e *Engine) Transient() bool { return e.roll(e.cfg.TransientPPM) }
 // permanent failure of its carrying link.
 func (e *Engine) LinkFailure() bool { return e.roll(e.cfg.LinkFailPPM) }
 
-// VaultFault reports whether the next vault read returns poisoned data.
+// VaultFault reports whether the next vault read returns poisoned data,
+// drawn from the engine's shared stream.
+//
+// Deprecated: the shared stream makes the vault-fault schedule depend on
+// the global interleaving of draws across vaults, which a sharded engine
+// cannot reproduce. Use VaultStream, whose per-vault schedule is
+// independent of cross-vault ordering.
 func (e *Engine) VaultFault() bool { return e.roll(e.cfg.VaultPPM) }
+
+// VaultStream is an independent deterministic fault stream for one
+// vault. Splitting vault faults away from the engine's shared link
+// stream makes the vault-fault schedule a pure function of (seed,
+// device, vault, draw index): it does not depend on how draws from
+// different vaults interleave, so a sharded clock engine can advance
+// per-vault streams concurrently — each stream owned by exactly one
+// shard — and observe the same schedule as a serial walk in vault-index
+// order. Methods on a given stream must not be called concurrently.
+type VaultStream struct {
+	state uint64
+	ppm   int
+}
+
+// VaultStream derives the fault stream of vault (dev, vault). The
+// per-vault seed mixes the engine seed with the vault coordinates
+// through two splitmix64 finalizer steps, so neighbouring vaults get
+// decorrelated streams even for small engine seeds.
+func (e *Engine) VaultStream(dev, vault int) VaultStream {
+	s := splitMix(e.cfg.Seed ^ (0xA5A5A5A55A5A5A5A + uint64(dev)))
+	s = splitMix(s + uint64(vault))
+	return VaultStream{state: s, ppm: e.cfg.VaultPPM}
+}
+
+// Fault advances the stream and reports whether the next read serviced
+// by this vault returns poisoned data.
+func (s *VaultStream) Fault() bool { return splitRoll(&s.state, s.ppm) }
 
 // FailLink marks a link endpoint permanently failed. It reports whether
 // the endpoint was newly failed.

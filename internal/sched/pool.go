@@ -1,0 +1,125 @@
+// Package sched implements the fixed worker pool behind the simulation
+// engine's sharded clock mode: a small set of long-lived goroutines that
+// repeatedly execute one task function over a reusable barrier.
+//
+// The pool is built for a hot loop that dispatches work every simulated
+// clock cycle. Its design constraints, in order:
+//
+//   - No per-dispatch goroutine creation: the workers are spawned once
+//     and parked on channels between cycles.
+//   - No per-dispatch heap allocation: the barrier exchanges empty
+//     struct{} tokens over preallocated channels, and the task function
+//     is stored by the caller once and reused.
+//   - Deterministic hand-off: Run returns only after every worker has
+//     finished the current task, establishing a happens-before edge from
+//     all worker writes to the caller's subsequent reads (the merge
+//     phase of the sharded clock).
+//
+// The pool deliberately does not split or balance work: the caller owns
+// the partition (static contiguous shards, in the engine's case) and the
+// task function receives only its worker index. Static partitioning is
+// what keeps the sharded engine bit-reproducible for any worker count.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of parked worker goroutines. The zero value is not
+// usable; construct with New. A Pool must not be copied.
+//
+// Run and Close must not be called concurrently with each other; the
+// intended owner is a single coordinating goroutine (the simulation
+// engine's clock loop).
+type Pool struct {
+	in *inner
+}
+
+// inner holds the state shared with the worker goroutines. It is split
+// from Pool so that an abandoned Pool handle can be finalized — the
+// workers reference only inner, never the handle, so the handle becomes
+// unreachable as soon as the owner drops it and the finalizer can close
+// the workers down.
+type inner struct {
+	n     int
+	fn    func(worker int)
+	start []chan struct{}
+	done  chan struct{}
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// New returns a pool of n parked workers (n is clamped to at least 1).
+// The workers exit when Close is called; as a safety net against leaked
+// pools a finalizer closes them when the handle is garbage collected,
+// so a forgotten Close does not accumulate goroutines in long-lived
+// processes such as the simulation service.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	in := &inner{
+		n:     n,
+		start: make([]chan struct{}, n),
+		done:  make(chan struct{}, n),
+		stop:  make(chan struct{}),
+	}
+	for i := range in.start {
+		in.start[i] = make(chan struct{}, 1)
+	}
+	for i := 0; i < n; i++ {
+		go in.worker(i)
+	}
+	p := &Pool{in: in}
+	runtime.SetFinalizer(p, func(p *Pool) { p.in.close() })
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.in.n }
+
+// Run executes fn(worker) on every worker and returns when all have
+// finished — the reusable barrier. fn must be safe for concurrent
+// invocation with distinct worker indices. Callers that run every cycle
+// should pass the same stored func value each time to avoid a closure
+// allocation per dispatch.
+//
+// Run must not be called after Close, nor concurrently with itself.
+func (p *Pool) Run(fn func(worker int)) {
+	in := p.in
+	in.fn = fn
+	for _, c := range in.start {
+		c <- struct{}{}
+	}
+	for i := 0; i < in.n; i++ {
+		<-in.done
+	}
+	in.fn = nil
+}
+
+// Close terminates the workers. It is idempotent and must not overlap a
+// Run call. A closed pool must not be reused.
+func (p *Pool) Close() {
+	p.in.close()
+	runtime.SetFinalizer(p, nil)
+}
+
+func (in *inner) close() {
+	in.once.Do(func() { close(in.stop) })
+}
+
+// worker parks on its start channel and executes the current task once
+// per token. The done send is buffered, so a worker never blocks on the
+// coordinator between tasks.
+func (in *inner) worker(i int) {
+	for {
+		select {
+		case <-in.start[i]:
+			in.fn(i)
+			in.done <- struct{}{}
+		case <-in.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryWorker(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	var hits [4]atomic.Int64
+	for cycle := 0; cycle < 100; cycle++ {
+		p.Run(func(w int) { hits[w].Add(1) })
+	}
+	for w := range hits {
+		if got := hits[w].Load(); got != 100 {
+			t.Errorf("worker %d ran %d tasks, want 100", w, got)
+		}
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	// Every write performed inside Run must be visible after Run returns
+	// without further synchronization: the coordinator's merge phase
+	// depends on it. The race detector checks the happens-before edges.
+	p := New(3)
+	defer p.Close()
+	buf := make([]int, 3)
+	for cycle := 0; cycle < 200; cycle++ {
+		p.Run(func(w int) { buf[w] = cycle })
+		for w, v := range buf {
+			if v != cycle {
+				t.Fatalf("cycle %d: worker %d write not visible (got %d)", cycle, w, v)
+			}
+		}
+	}
+}
+
+func TestWorkerCountClamped(t *testing.T) {
+	for _, n := range []int{-3, 0} {
+		p := New(n)
+		if p.Workers() != 1 {
+			t.Errorf("New(%d).Workers() = %d, want 1", n, p.Workers())
+		}
+		ran := false
+		p.Run(func(int) { ran = true })
+		if !ran {
+			t.Errorf("New(%d): task did not run", n)
+		}
+		p.Close()
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestSequentialRunsObserveEachOther(t *testing.T) {
+	// Worker w of dispatch k reads what worker w-1 wrote during dispatch
+	// k-1 — the pattern the sharded clock uses (merge between cycles).
+	p := New(2)
+	defer p.Close()
+	shared := []int{0, 0}
+	for k := 1; k <= 50; k++ {
+		p.Run(func(w int) {
+			if w == 0 {
+				shared[0] = shared[1] + 1
+			}
+		})
+		p.Run(func(w int) {
+			if w == 1 {
+				shared[1] = shared[0]
+			}
+		})
+	}
+	if shared[0] != 50 || shared[1] != 50 {
+		t.Fatalf("shared = %v, want [50 50]", shared)
+	}
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", n), func(b *testing.B) {
+			p := New(n)
+			defer p.Close()
+			fn := func(int) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Run(fn)
+			}
+		})
+	}
+}

@@ -17,6 +17,13 @@ import (
 // payloads without a server.
 func Execute(ctx context.Context, spec JobSpec) (Result, error) {
 	cfg := spec.Config
+	if cfg.Workers == 0 && spec.Workload.Workers > 0 {
+		// The workload-level worker hint applies only when the device
+		// configuration does not pin a count itself, and is capped
+		// rather than rejected: an oversized hint is a wish for "as
+		// parallel as allowed", not an error.
+		cfg.Workers = min(spec.Workload.Workers, core.MaxWorkers)
+	}
 	var col *stats.Fig5Collector
 	var opts []core.Option
 	if spec.Fig5Interval > 0 {

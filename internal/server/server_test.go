@@ -472,6 +472,46 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+func TestWorkerHintExecution(t *testing.T) {
+	// The workload-level worker hint parallelizes the engine without
+	// changing results: both digests match the serial run bit for bit.
+	// An oversized hint is capped, not rejected; a negative one and an
+	// out-of-range Config.Workers fail validation.
+	spec := testSpec("serial", core.Table1Configs()[0], 4096)
+	ref, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted := spec
+	hinted.Workload.Workers = 3
+	got, err := Execute(context.Background(), hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResultDigest != ref.ResultDigest || got.StateDigest != ref.StateDigest {
+		t.Errorf("worker hint changed digests: %s/%s, want %s/%s",
+			got.ResultDigest, got.StateDigest, ref.ResultDigest, ref.StateDigest)
+	}
+	capped := spec
+	capped.Workload.Workers = 10 * core.MaxWorkers
+	if _, err := Execute(context.Background(), capped); err != nil {
+		t.Errorf("oversized worker hint not capped: %v", err)
+	}
+
+	m := NewManager(ManagerConfig{Workers: 1, QueueDepth: 2})
+	defer shutdownNow(t, m)
+	bad := spec
+	bad.Workload.Workers = -1
+	if _, err := m.Submit(bad); err == nil {
+		t.Error("negative worker hint accepted")
+	}
+	bad = spec
+	bad.Config.Workers = core.MaxWorkers + 1
+	if _, err := m.Submit(bad); err == nil {
+		t.Error("out-of-range Config.Workers accepted")
+	}
+}
+
 // TestConcurrentSubmitAndPoll hammers the API from many goroutines to
 // give the race detector surface area over the manager's locking.
 func TestConcurrentSubmitAndPoll(t *testing.T) {

@@ -25,6 +25,15 @@ type Spec struct {
 	// mixture is 50; zero means all reads.
 	WritePercent int `json:"write_percent,omitempty"`
 
+	// Workers is an execution hint, not a workload parameter: it selects
+	// the simulator's shard worker count (core.Config.Workers) when the
+	// submitted device configuration leaves it zero. Results are
+	// bit-identical for every value — the same access stream serviced by
+	// the same deterministic engine — so the hint trades only wall-clock
+	// time. Negative values are rejected; the executor caps the value at
+	// the engine's limit.
+	Workers int `json:"workers,omitempty"`
+
 	// StartAddr and StrideBytes parameterize "stride".
 	StartAddr   uint64 `json:"start_addr,omitempty"`
 	StrideBytes uint64 `json:"stride_bytes,omitempty"`
@@ -73,6 +82,9 @@ func (s Spec) Build(capacityBytes uint64) (Generator, error) {
 // Validate dry-builds the spec against a nominal 1GB capacity, reporting
 // parameter errors without requiring a device.
 func (s Spec) Validate() error {
+	if s.Workers < 0 {
+		return fmt.Errorf("workload: negative worker hint %d", s.Workers)
+	}
 	_, err := s.Build(1 << 30)
 	return err
 }
