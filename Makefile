@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -56,6 +56,18 @@ bench-serve:
 
 serve:
 	$(GO) run ./cmd/hmcsim-serve
+
+# serve-pprof runs the service with the net/http/pprof endpoints mounted
+# under /debug/pprof/ (goroutine stacks, heap and CPU profiles). Opt-in
+# because the profiling surface exposes process internals.
+serve-pprof:
+	$(GO) run ./cmd/hmcsim-serve -pprof
+
+# metrics-smoke validates the /v1/metrics wire shapes end to end: the
+# legacy JSON object and the Prometheus text exposition are both scraped
+# over real HTTP and parsed line by line.
+metrics-smoke:
+	$(GO) test -run 'TestMetrics' -v ./internal/server
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

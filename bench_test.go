@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"hmcsim/internal/cache"
 	"hmcsim/internal/core"
@@ -30,6 +31,7 @@ import (
 	"hmcsim/internal/eval"
 	"hmcsim/internal/host"
 	"hmcsim/internal/numa"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/trace"
@@ -608,7 +610,18 @@ func BenchmarkGlibcRand(b *testing.B) {
 // BenchmarkClockSaturated measures the wall cost of one Clock call on a
 // fully loaded device.
 func BenchmarkClockSaturated(b *testing.B) {
-	benchClockSaturated(b, 0)
+	benchClockSaturated(b, 0, nil)
+}
+
+// BenchmarkClockSaturatedProbe is the saturated clock loop with the live
+// progress probe updated every cycle, the way host.Driver.Run does when
+// a job is served with progress reporting. The -benchmem line must stay
+// at 0 allocs/op: the probe is three atomic stores and may not push the
+// clock hot path off the allocation-free discipline (DESIGN.md §11).
+func BenchmarkClockSaturatedProbe(b *testing.B) {
+	probe := new(obs.Probe)
+	probe.Begin(uint64(b.N), time.Now())
+	benchClockSaturated(b, 0, probe)
 }
 
 // BenchmarkClockSaturatedWorkers sweeps the sharded vault pipeline's
@@ -619,12 +632,12 @@ func BenchmarkClockSaturated(b *testing.B) {
 func BenchmarkClockSaturatedWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
-			benchClockSaturated(b, w)
+			benchClockSaturated(b, w, nil)
 		})
 	}
 }
 
-func benchClockSaturated(b *testing.B, workers int) {
+func benchClockSaturated(b *testing.B, workers int, probe *obs.Probe) {
 	cfg := core.Table1Configs()[0]
 	cfg.Workers = workers
 	h, err := eval.BuildSimple(cfg)
@@ -657,6 +670,9 @@ func benchClockSaturated(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		if err := h.Clock(); err != nil {
 			b.Fatal(err)
+		}
+		if probe != nil {
+			probe.Set(h.Clk(), uint64(i), uint64(i))
 		}
 		b.StopTimer()
 		for link := 0; link < cfg.NumLinks; link++ {

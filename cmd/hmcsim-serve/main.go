@@ -1,13 +1,19 @@
 // Command hmcsim-serve runs the HMC-Sim simulation service: a long-lived
 // daemon that accepts simulation jobs over a JSON HTTP API, schedules
 // them onto a bounded worker pool (one independent simulator instance
-// per running job) and serves results and expvar metrics.
+// per running job) and serves results and metrics (JSON or Prometheus
+// text exposition, negotiated on /v1/metrics via the Accept header).
 //
 //	hmcsim-serve -addr :8080 -workers 8 -queue 64
 //
-// See the README's "Serving mode" section for the endpoint reference and
-// an example curl session. On SIGINT/SIGTERM the daemon stops accepting
-// work, drains queued and running jobs (bounded by -drain) and exits.
+// With -pprof the net/http/pprof profiling endpoints are mounted under
+// /debug/pprof/ alongside the API; they expose goroutine stacks and heap
+// contents, so the flag is off by default.
+//
+// See the README's "Serving mode" and "Observability" sections for the
+// endpoint reference and an example curl session. On SIGINT/SIGTERM the
+// daemon stops accepting work, drains queued and running jobs (bounded
+// by -drain) and exits.
 package main
 
 import (
@@ -32,6 +38,7 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded job queue depth; submissions beyond it get 429")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown drain budget for queued and running jobs")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes stacks and heap)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -42,7 +49,11 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 	})
-	srv := &http.Server{Handler: server.NewHandler(mgr)}
+	handler := server.NewHandler(mgr)
+	if *pprofOn {
+		handler = server.NewHandlerWithPprof(mgr)
+	}
+	srv := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -52,6 +63,9 @@ func main() {
 	// can discover an ephemeral port.
 	fmt.Printf("listening on %s\n", ln.Addr())
 	log.Printf("%d workers, queue depth %d, default timeout %v", *workers, *queue, *timeout)
+	if *pprofOn {
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

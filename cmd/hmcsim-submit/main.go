@@ -6,6 +6,9 @@
 //	hmcsim-serve &
 //	hmcsim-submit -addr http://127.0.0.1:8080 -requests 65536
 //
+// With -progress each poll of a running job prints its live progress
+// block (percent sent, simulated cycle, rate, ETA) to stderr.
+//
 // With -bench FILE the command is self-contained: it starts an
 // in-process service on an ephemeral port, pushes a fixed 16-job batch
 // (the four configurations, four replicas each) through the full HTTP
@@ -41,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "client-side wait budget per batch")
 	bench := flag.String("bench", "", "run the 16-job in-process benchmark and write its JSON record to this file")
 	benchJobs := flag.Int("bench-jobs", 16, "benchmark batch size (replicated Table I configs)")
+	progress := flag.Bool("progress", false, "print each job's live progress to stderr while polling")
 	flag.Parse()
 
 	if *bench != "" {
@@ -50,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	results, err := runBatch(*addr, specs(1, *requests, uint32(*seed)), *poll, *timeout)
+	results, err := runBatch(*addr, specs(1, *requests, uint32(*seed)), *poll, *timeout, *progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmcsim-submit:", err)
 		os.Exit(1)
@@ -76,7 +80,7 @@ func specs(replicas int, requests uint64, seed uint32) []api.SubmitRequest {
 
 // runBatch submits every spec concurrently, polls each job to a
 // terminal state and returns the final statuses in submission order.
-func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duration) ([]api.JobStatus, error) {
+func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duration, progress bool) ([]api.JobStatus, error) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	out := make([]api.JobStatus, len(specs))
 	errs := make([]error, len(specs))
@@ -85,7 +89,7 @@ func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duratio
 		wg.Add(1)
 		go func(i int, spec api.SubmitRequest) {
 			defer wg.Done()
-			out[i], errs[i] = submitAndWait(client, base, spec, poll, timeout)
+			out[i], errs[i] = submitAndWait(client, base, spec, poll, timeout, progress)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -98,8 +102,10 @@ func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duratio
 }
 
 // submitAndWait pushes one job through the API, retrying on 429
-// backpressure, and polls until it reaches a terminal state.
-func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, poll, timeout time.Duration) (api.JobStatus, error) {
+// backpressure, and polls until it reaches a terminal state. With
+// progress set, each poll of a running job prints its live progress
+// block to stderr — a coarse ticker driven by the poll interval.
+func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, poll, timeout time.Duration, progress bool) (api.JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return api.JobStatus{}, err
@@ -153,6 +159,12 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		if err := json.Unmarshal(data, &st); err != nil {
 			return st, err
 		}
+		if progress && st.Progress != nil {
+			p := st.Progress
+			fmt.Fprintf(os.Stderr, "%s %s: %5.1f%% (%d/%d sent) cycle %d, %.0f cyc/s, eta %.1fs\n",
+				st.ID, spec.Name, p.Percent, p.Sent, p.Requests, p.Cycles,
+				p.CyclesPerSecond, p.ETASeconds)
+		}
 		if st.State.Terminal() {
 			if st.State != api.StateDone {
 				return st, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
@@ -204,7 +216,7 @@ func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout
 	replicas := (jobs + 3) / 4
 	batch := specs(replicas, requests, seed)[:jobs]
 	start := time.Now()
-	results, err := runBatch(base, batch, poll, timeout)
+	results, err := runBatch(base, batch, poll, timeout, false)
 	if err != nil {
 		return err
 	}

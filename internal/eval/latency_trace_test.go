@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/fault"
+	"hmcsim/internal/host"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/trace"
+)
+
+// TestLatencyReconstructorFaultInjectedTrace feeds the reconstructor a
+// live trace from a device with a statically failed vault. Requests that
+// decode to the failed vault are answered with ERROR responses and never
+// produce a RQST event, so the host frees and reuses their tags — the
+// exact stream that used to grow the in-flight table without bound and
+// silently corrupt samples on key reuse. The bugfixed reconstructor
+// accounts every send: matched, overwritten or abandoned.
+func TestLatencyReconstructorFaultInjectedTrace(t *testing.T) {
+	cfg := core.Config{
+		NumDevs: 1, NumLinks: 4, NumVaults: 16, NumBanks: 8,
+		NumDRAMs: 8, CapacityGB: 2, QueueDepth: 16, XbarDepth: 32,
+	}
+	cfg.Fault = fault.Config{
+		FailedVaults: []fault.VaultID{{Dev: 0, Vault: 3}, {Dev: 0, Vault: 11}},
+	}
+
+	lr := stats.NewLatencyReconstructor()
+	h, err := BuildSimpleWithOptions(cfg, core.WithTrace(lr, trace.KindSend|trace.KindRqst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := RandomWorkload(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := host.NewDriver(h, host.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const requests = 4096
+	res, err := d.Run(gen, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("fault injection produced no ERROR responses; the scenario is dead")
+	}
+
+	// With 2 of 16 vaults failed, roughly 1/8 of the sends get their tag
+	// reused after an ERROR response: the reconstructor must see them as
+	// overwritten, never as corrupted samples.
+	if lr.Overwritten == 0 {
+		t.Error("no overwrites recorded despite tag reuse after ERROR responses")
+	}
+	// The healthy 7/8 of the stream still measures.
+	if lr.Service.Count() == 0 {
+		t.Error("no service latencies reconstructed from the healthy vaults")
+	}
+	if lr.Unmatched != 0 {
+		t.Errorf("unmatched = %d on a trace that captured every SEND", lr.Unmatched)
+	}
+	// The in-flight table is bounded by construction; after flushing the
+	// tail, every one of the N sends is accounted exactly once.
+	pending := uint64(lr.Pending())
+	lr.Flush()
+	if lr.Pending() != 0 {
+		t.Errorf("pending = %d after flush", lr.Pending())
+	}
+	total := lr.Service.Count() + lr.Overwritten + lr.Abandoned
+	if total != requests {
+		t.Errorf("sends not fully accounted: %d matched + %d overwritten + %d abandoned = %d, want %d (pending before flush: %d)",
+			lr.Service.Count(), lr.Overwritten, lr.Abandoned, total, requests, pending)
+	}
+}

@@ -67,6 +67,8 @@ type Config struct {
 	LinkFailPPM int
 	// VaultPPM is the vault-fault rate: each read serviced by a vault
 	// returns poisoned data with this probability in parts per million.
+	// Draws come from the per-vault streams (Engine.VaultStream), not
+	// the engine's shared stream.
 	VaultPPM int
 	// Seed seeds the deterministic fault stream. Two runs with equal
 	// configuration and seed observe an identical fault schedule.

@@ -74,8 +74,9 @@ func TestEngineDeterministicStream(t *testing.T) {
 
 func TestEngineZeroRatesNeverFire(t *testing.T) {
 	e := NewEngine(Config{Seed: 7})
+	vs := e.VaultStream(0, 0)
 	for i := 0; i < 1000; i++ {
-		if e.Transient() || e.LinkFailure() || e.VaultFault() {
+		if e.Transient() || e.LinkFailure() || vs.Fault() {
 			t.Fatal("zero-rate engine fired a fault")
 		}
 	}
@@ -156,7 +157,7 @@ func TestVaultStreamDeterministicAndIndependent(t *testing.T) {
 	// before and between reads: the schedule must not move.
 	for i := 0; i < 100; i++ {
 		_ = b.Transient()
-		_ = b.VaultFault()
+		_ = b.LinkFailure()
 	}
 	_ = schedule(b, 0, 2, 17)
 	got := schedule(b, 0, 3, 64)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/packet"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/workload"
@@ -59,6 +60,14 @@ type Options struct {
 	// into the clock loop. It has no effect on runs that complete: the
 	// deterministic cycle-by-cycle execution is unchanged.
 	Interrupt func() error
+	// Progress, when non-nil, receives the driver's live counters
+	// (simulated clock, requests injected, responses correlated) once
+	// per simulated cycle via Probe.Set — three atomic stores, no
+	// allocation and no locks, preserving the zero-allocation clock
+	// hot path (DESIGN.md §11). The simulation service threads a probe
+	// here so running jobs report live progress; it never influences
+	// the simulation itself.
+	Progress *obs.Probe
 }
 
 // Result summarizes one driver run.
@@ -163,6 +172,9 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 	warmedUp := d.opts.Warmup == 0
 	var baseCycles uint64
 	var baseStats core.Stats
+	// Hoisted once: the nil check and the probe pointer stay out of the
+	// per-cycle loop body's happy path.
+	probe := d.opts.Progress
 	for {
 		// Drain every candidate response first so tags recycle.
 		got, errs, err := d.drain(&res.Latency)
@@ -206,6 +218,9 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 		}
 		if err := d.h.Clock(); err != nil {
 			return res, err
+		}
+		if probe != nil {
+			probe.Set(d.h.Clk(), res.Sent, res.Completed)
 		}
 		if d.opts.SampleOccupancy {
 			o := d.h.Occupancy()

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets is the default bucket layout for job wall-clock durations
+// in seconds: 1ms through 5 minutes, roughly logarithmic. The implicit
+// +Inf bucket catches everything slower.
+var DefBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations, safe
+// for concurrent use. Observe is lock-free: one bucket increment, one
+// count increment and a CAS loop over the float sum — no allocation.
+// Bucket bounds are inclusive upper edges; an implicit +Inf bucket
+// catches the overflow.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given inclusive upper
+// bounds, which must be sorted in strictly increasing order.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Snapshot captures a point-in-time view of the histogram. Counters are
+// read individually, not under a lock, so a snapshot taken during
+// concurrent observation may be off by in-flight increments — fine for
+// monitoring, which is its only consumer.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is an immutable view of a Histogram: per-bucket counts
+// (not cumulative; index len(Bounds) is the +Inf bucket), total count
+// and sum.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Mean returns the arithmetic mean of the snapshot (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the containing bucket. Observations in the +Inf
+// bucket report the largest finite bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: no finite upper edge to interpolate to.
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - float64(prev)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// appendJSON renders the snapshot as a JSON object:
+//
+//	{"count": 3, "sum": 1.5, "mean": 0.5, "p50": ..., "p95": ...,
+//	 "p99": ..., "buckets": [{"le": "0.001", "count": 1}, ...]}
+//
+// Bucket counts are cumulative, mirroring the Prometheus exposition;
+// the final bucket's le is "+Inf" (a string, since JSON has no Inf).
+func (s HistSnapshot) appendJSON(b []byte) []byte {
+	b = append(b, `{"count": `...)
+	b = strconv.AppendUint(b, s.Count, 10)
+	b = append(b, `, "sum": `...)
+	b = appendJSONFloat(b, s.Sum)
+	b = append(b, `, "mean": `...)
+	b = appendJSONFloat(b, s.Mean())
+	b = append(b, `, "p50": `...)
+	b = appendJSONFloat(b, s.Quantile(0.50))
+	b = append(b, `, "p95": `...)
+	b = appendJSONFloat(b, s.Quantile(0.95))
+	b = append(b, `, "p99": `...)
+	b = appendJSONFloat(b, s.Quantile(0.99))
+	b = append(b, `, "buckets": [`...)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = append(b, `{"le": "`...)
+		if i < len(s.Bounds) {
+			b = appendPromFloat(b, s.Bounds[i])
+		} else {
+			b = append(b, "+Inf"...)
+		}
+		b = append(b, `", "count": `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '}')
+	}
+	b = append(b, "]}"...)
+	return b
+}

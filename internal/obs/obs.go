@@ -1,0 +1,270 @@
+// Package obs is the observability layer of the simulation service: a
+// small, allocation-conscious metrics registry (counters, gauges and
+// fixed-bucket histograms) plus the lock-free progress probe the engine
+// threads through the host driver's clock loop.
+//
+// The registry serves two exposition formats from the same metric set:
+//
+//   - JSON, byte-compatible with the expvar.Map rendering the service
+//     exposed before this package existed — a flat single-line object
+//     with sorted keys, integers rendered as decimal and floats the way
+//     encoding/json renders them. Histograms appear as nested objects.
+//   - Prometheus text exposition (version 0.0.4): # HELP/# TYPE comment
+//     pairs, counters suffixed _total, histograms rendered as the
+//     canonical _bucket{le="..."}/_sum/_count triple.
+//
+// Counters and histograms are safe for concurrent use; gauges are
+// callbacks evaluated at render time. The registry itself is append-only:
+// metrics are registered once at startup and never removed, so renders
+// take no lock on the update path.
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// kind discriminates the metric variants a registry holds.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGaugeInt
+	kindGaugeFloat
+	kindHistogram
+)
+
+// metric is one registered name with its backing value.
+type metric struct {
+	name string
+	help string
+	kind kind
+
+	counter    *Counter
+	gaugeInt   func() int64
+	gaugeFloat func() float64
+	hist       *Histogram
+}
+
+// Registry is an ordered set of named metrics with JSON and Prometheus
+// renderers. Registration must complete before concurrent use; renders
+// and metric updates may then proceed concurrently without locking.
+type Registry struct {
+	// namespace prefixes every metric name in the Prometheus rendering
+	// (namespace_name); the JSON rendering uses the bare names.
+	namespace string
+
+	mu      sync.Mutex
+	metrics []*metric // sorted by name
+}
+
+// NewRegistry returns an empty registry. namespace prefixes Prometheus
+// metric names (for example "hmcsim" renders jobs_submitted as
+// hmcsim_jobs_submitted_total).
+func NewRegistry(namespace string) *Registry {
+	return &Registry{namespace: namespace}
+}
+
+// register inserts m keeping the slice sorted by name. Duplicate names
+// are a programming error.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.metrics), func(i int) bool { return r.metrics[i].name >= m.name })
+	if i < len(r.metrics) && r.metrics[i].name == m.name {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.metrics = append(r.metrics, nil)
+	copy(r.metrics[i+1:], r.metrics[i:])
+	r.metrics[i] = m
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// GaugeInt registers an integer gauge backed by fn, evaluated at render
+// time.
+func (r *Registry) GaugeInt(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeInt, gaugeInt: fn})
+}
+
+// GaugeFloat registers a float gauge backed by fn, evaluated at render
+// time.
+func (r *Registry) GaugeFloat(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFloat, gaugeFloat: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. bounds are
+// the inclusive bucket upper edges in increasing order; an implicit +Inf
+// bucket catches the overflow.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// all returns the sorted metric slice for a render pass.
+func (r *Registry) all() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
+
+// appendJSONFloat renders f the way encoding/json does: shortest
+// round-trip decimal, 'f' form unless the exponent leaves the ES6
+// non-exponential range.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		// JSON has no Inf/NaN; render 0 rather than emit invalid output.
+		return append(b, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim the leading zero of a two-digit exponent (1e-07 -> 1e-7),
+		// matching encoding/json.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// WriteJSON renders every metric as one flat JSON object with sorted
+// keys: counters and integer gauges as decimal integers, float gauges as
+// JSON numbers, histograms as nested snapshot objects. The scalar
+// rendering is byte-compatible with the expvar.Map output this registry
+// replaced.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b := make([]byte, 0, 1024)
+	b = append(b, '{')
+	for i, m := range r.all() {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = strconv.AppendQuote(b, m.name)
+		b = append(b, ": "...)
+		switch m.kind {
+		case kindCounter:
+			b = strconv.AppendUint(b, m.counter.Value(), 10)
+		case kindGaugeInt:
+			b = strconv.AppendInt(b, m.gaugeInt(), 10)
+		case kindGaugeFloat:
+			b = appendJSONFloat(b, m.gaugeFloat())
+		case kindHistogram:
+			b = m.hist.Snapshot().appendJSON(b)
+		}
+	}
+	b = append(b, '}')
+	_, err := w.Write(b)
+	return err
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counter names gain the conventional _total
+// suffix; histogram observations render as cumulative
+// _bucket{le="..."} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	b := make([]byte, 0, 2048)
+	for _, m := range r.all() {
+		name := m.name
+		if r.namespace != "" {
+			name = r.namespace + "_" + name
+		}
+		switch m.kind {
+		case kindCounter:
+			name += "_total"
+			b = appendPromHeader(b, name, m.help, "counter")
+			b = append(b, name...)
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, m.counter.Value(), 10)
+			b = append(b, '\n')
+		case kindGaugeInt:
+			b = appendPromHeader(b, name, m.help, "gauge")
+			b = append(b, name...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, m.gaugeInt(), 10)
+			b = append(b, '\n')
+		case kindGaugeFloat:
+			b = appendPromHeader(b, name, m.help, "gauge")
+			b = append(b, name...)
+			b = append(b, ' ')
+			b = appendPromFloat(b, m.gaugeFloat())
+			b = append(b, '\n')
+		case kindHistogram:
+			b = appendPromHeader(b, name, m.help, "histogram")
+			s := m.hist.Snapshot()
+			cum := uint64(0)
+			for i, c := range s.Counts {
+				cum += c
+				b = append(b, name...)
+				b = append(b, `_bucket{le="`...)
+				if i < len(s.Bounds) {
+					b = appendPromFloat(b, s.Bounds[i])
+				} else {
+					b = append(b, "+Inf"...)
+				}
+				b = append(b, `"} `...)
+				b = strconv.AppendUint(b, cum, 10)
+				b = append(b, '\n')
+			}
+			b = append(b, name...)
+			b = append(b, "_sum "...)
+			b = appendPromFloat(b, s.Sum)
+			b = append(b, '\n')
+			b = append(b, name...)
+			b = append(b, "_count "...)
+			b = strconv.AppendUint(b, s.Count, 10)
+			b = append(b, '\n')
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func appendPromHeader(b []byte, name, help, typ string) []byte {
+	if help != "" {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, '\n')
+	}
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+func appendPromFloat(b []byte, f float64) []byte {
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}

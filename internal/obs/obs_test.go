@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestRegistryJSONShape(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("bravo", "a counter")
+	c.Add(7)
+	r.GaugeInt("alpha", "an int gauge", func() int64 { return -3 })
+	r.GaugeFloat("delta", "a float gauge", func() float64 { return 2.5 })
+	h := r.Histogram("charlie", "a histogram", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Valid JSON, keys sorted, scalars rendered expvar-style.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if want := `{"alpha": -3, "bravo": 7, "charlie": `; !strings.HasPrefix(out, want) {
+		t.Errorf("JSON prefix = %q, want %q...", out[:min(len(out), len(want))], want)
+	}
+	var hist struct {
+		Count   uint64  `json:"count"`
+		Sum     float64 `json:"sum"`
+		Mean    float64 `json:"mean"`
+		Buckets []struct {
+			LE    string `json:"le"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(m["charlie"], &hist); err != nil {
+		t.Fatalf("histogram block: %v", err)
+	}
+	if hist.Count != 3 || hist.Sum != 55.5 {
+		t.Errorf("histogram count/sum = %d/%v, want 3/55.5", hist.Count, hist.Sum)
+	}
+	if len(hist.Buckets) != 3 || hist.Buckets[2].LE != "+Inf" || hist.Buckets[2].Count != 3 {
+		t.Errorf("buckets = %+v", hist.Buckets)
+	}
+	// Cumulative counts are monotone.
+	for i := 1; i < len(hist.Buckets); i++ {
+		if hist.Buckets[i].Count < hist.Buckets[i-1].Count {
+			t.Errorf("bucket counts not cumulative: %+v", hist.Buckets)
+		}
+	}
+}
+
+// TestJSONFloatMatchesEncodingJSON pins the byte compatibility claim:
+// the registry's float rendering equals encoding/json's for the value
+// ranges uptime and rate gauges produce.
+func TestJSONFloatMatchesEncodingJSON(t *testing.T) {
+	for _, f := range []float64{
+		0, 1, -1, 0.5, 2.25, 1e-7, 3.5e-9, 1.5e21, 123456.789,
+		1e20, 9.999999e20, 1e-6, 0.000001234, 86400.000001,
+	} {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONFloat(nil, f)
+		if string(got) != string(want) {
+			t.Errorf("float %v: rendered %q, encoding/json %q", f, got, want)
+		}
+	}
+}
+
+// promLine matches a Prometheus text-exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+func TestRegistryPrometheusShape(t *testing.T) {
+	r := NewRegistry("hmcsim")
+	c := r.Counter("jobs_submitted", "Jobs accepted.")
+	c.Add(5)
+	r.GaugeInt("queue_depth", "Queued jobs.", func() int64 { return 2 })
+	r.GaugeFloat("uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	h := r.Histogram("job_service_seconds", "Service time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE hmcsim_jobs_submitted_total counter",
+		"hmcsim_jobs_submitted_total 5",
+		"# TYPE hmcsim_queue_depth gauge",
+		"hmcsim_queue_depth 2",
+		"hmcsim_uptime_seconds 1.5",
+		"# TYPE hmcsim_job_service_seconds histogram",
+		`hmcsim_job_service_seconds_bucket{le="0.1"} 1`,
+		`hmcsim_job_service_seconds_bucket{le="1"} 2`,
+		`hmcsim_job_service_seconds_bucket{le="+Inf"} 3`,
+		"hmcsim_job_service_seconds_sum 5.55",
+		"hmcsim_job_service_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every non-comment line parses as a sample.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry("x")
+	r.Counter("a", "")
+	r.Counter("a", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5) // uniform over [0.5, 7.5]
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 2 || p50 > 4.5 {
+		t.Errorf("p50 = %v, want within [2, 4.5]", p50)
+	}
+	if q := s.Quantile(1); q > 8 {
+		t.Errorf("p100 = %v exceeds top bound", q)
+	}
+	if q := s.Quantile(0); q < 0 {
+		t.Errorf("p0 = %v negative", q)
+	}
+	// +Inf observations clamp to the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Snapshot().Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %v, want 1", q)
+	}
+	// Empty histogram is all zeros.
+	if q := NewHistogram(DefBuckets).Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g) * 0.01)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+	want := 0.0
+	for g := 0; g < 8; g++ {
+		want += float64(g) * 0.01 * 500
+	}
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestProbeSnapshot(t *testing.T) {
+	var p Probe
+	start := time.Now()
+	p.Begin(1000, start)
+	p.Set(5000, 250, 200)
+
+	s := p.Snapshot(start.Add(2 * time.Second))
+	if s.Cycles != 5000 || s.Sent != 250 || s.Completed != 200 || s.Target != 1000 {
+		t.Errorf("snapshot counters: %+v", s)
+	}
+	if s.Elapsed != 2*time.Second {
+		t.Errorf("elapsed = %v", s.Elapsed)
+	}
+	if s.CyclesPerSec != 2500 {
+		t.Errorf("cycles/sec = %v, want 2500", s.CyclesPerSec)
+	}
+	if s.Fraction != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", s.Fraction)
+	}
+	// 250 sent in 2s -> 125/s; 750 remaining -> 6s.
+	if got := s.ETA.Seconds(); math.Abs(got-6) > 0.01 {
+		t.Errorf("ETA = %vs, want 6s", got)
+	}
+
+	// Completion: fraction clamps at 1, ETA drops to zero.
+	p.Set(20000, 1000, 1000)
+	s = p.Snapshot(start.Add(8 * time.Second))
+	if s.Fraction != 1 || s.ETA != 0 {
+		t.Errorf("completed snapshot: fraction=%v eta=%v", s.Fraction, s.ETA)
+	}
+
+	// A zero-value probe (never begun) snapshots safely.
+	var z Probe
+	s = z.Snapshot(time.Now())
+	if s.Cycles != 0 || s.Elapsed != 0 || s.Fraction != 0 || s.ETA != 0 {
+		t.Errorf("zero probe snapshot: %+v", s)
+	}
+}
+
+// TestProbeBenchAllocFree double-checks the hot-path contract without a
+// benchmark harness: Set allocates nothing.
+func TestProbeBenchAllocFree(t *testing.T) {
+	var p Probe
+	p.Begin(100, time.Now())
+	allocs := testing.AllocsPerRun(1000, func() { p.Set(1, 2, 3) })
+	if allocs != 0 {
+		t.Errorf("Probe.Set allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkProbeSet(b *testing.B) {
+	var p Probe
+	p.Begin(1<<20, time.Now())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Set(uint64(i), uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.001)
+	}
+}
+
+// ExampleRegistry_WriteJSON shows the flat expvar-compatible shape.
+func ExampleRegistry_WriteJSON() {
+	r := NewRegistry("demo")
+	r.Counter("requests", "").Add(3)
+	r.GaugeInt("workers", "", func() int64 { return 4 })
+	var sb strings.Builder
+	r.WriteJSON(&sb)
+	fmt.Println(sb.String())
+	// Output: {"requests": 3, "workers": 4}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Probe is the lock-free progress probe a running simulation updates
+// from its clock loop. The writer side (the host driver) performs three
+// atomic stores per simulated cycle — no allocation, no locks, no time
+// syscalls — preserving the zero-allocation discipline of the clock hot
+// path (DESIGN.md §9/§11). Readers (the job manager's status endpoint)
+// derive rate and ETA at snapshot time from their own wall clock.
+//
+// A Probe has exactly one writer; any number of concurrent readers may
+// call Snapshot.
+type Probe struct {
+	target    atomic.Uint64
+	start     atomic.Int64 // wall-clock start, unix nanoseconds
+	cycles    atomic.Uint64
+	sent      atomic.Uint64
+	completed atomic.Uint64
+}
+
+// Begin arms the probe for a run injecting target requests, stamping
+// the wall-clock start readers use for rate and ETA derivation.
+func (p *Probe) Begin(target uint64, now time.Time) {
+	p.target.Store(target)
+	p.start.Store(now.UnixNano())
+	p.cycles.Store(0)
+	p.sent.Store(0)
+	p.completed.Store(0)
+}
+
+// Set publishes the driver's live counters. It is the per-cycle hot
+// path: three atomic stores, nothing else.
+func (p *Probe) Set(cycles, sent, completed uint64) {
+	p.cycles.Store(cycles)
+	p.sent.Store(sent)
+	p.completed.Store(completed)
+}
+
+// ProbeSnapshot is a point-in-time reader view of a probe, with the
+// wall-clock derivations attached.
+type ProbeSnapshot struct {
+	// Cycles is the simulated clock value last published by the driver.
+	Cycles uint64
+	// Sent and Completed count injected requests and correlated
+	// responses.
+	Sent      uint64
+	Completed uint64
+	// Target is the job's total request count.
+	Target uint64
+	// Elapsed is the wall-clock time since Begin.
+	Elapsed time.Duration
+	// CyclesPerSec is the observed simulation rate over Elapsed.
+	CyclesPerSec float64
+	// Fraction is injection progress, Sent/Target in [0,1].
+	Fraction float64
+	// ETA estimates the remaining wall-clock time from the observed
+	// injection rate; zero when no rate is observable yet.
+	ETA time.Duration
+}
+
+// Snapshot reads the probe and derives rate, fraction and ETA against
+// the caller's wall clock.
+func (p *Probe) Snapshot(now time.Time) ProbeSnapshot {
+	s := ProbeSnapshot{
+		Cycles:    p.cycles.Load(),
+		Sent:      p.sent.Load(),
+		Completed: p.completed.Load(),
+		Target:    p.target.Load(),
+	}
+	start := p.start.Load()
+	if start != 0 {
+		s.Elapsed = now.Sub(time.Unix(0, start))
+	}
+	if s.Elapsed < 0 {
+		s.Elapsed = 0
+	}
+	secs := s.Elapsed.Seconds()
+	if secs > 0 {
+		s.CyclesPerSec = float64(s.Cycles) / secs
+	}
+	if s.Target > 0 {
+		s.Fraction = float64(s.Sent) / float64(s.Target)
+		if s.Fraction > 1 {
+			s.Fraction = 1
+		}
+		if s.Sent > 0 && secs > 0 && s.Sent < s.Target {
+			rate := float64(s.Sent) / secs
+			s.ETA = time.Duration(float64(s.Target-s.Sent) / rate * float64(time.Second))
+		}
+	}
+	return s
+}

@@ -10,9 +10,10 @@
 //
 //	POST   /v1/jobs       submit a SubmitRequest -> 202 JobStatus
 //	GET    /v1/jobs       list jobs              -> 200 [JobStatus]
-//	GET    /v1/jobs/{id}  poll one job           -> 200 JobStatus
+//	GET    /v1/jobs/{id}  poll one job           -> 200 JobStatus (live Progress while running)
 //	DELETE /v1/jobs/{id}  cancel a job           -> 200 JobStatus
-//	GET    /v1/metrics    expvar counters        -> 200 JSON object
+//	GET    /v1/metrics    metrics                -> 200 JSON object, or Prometheus
+//	                                               text under Accept: text/plain
 //	GET    /v1/healthz    liveness/drain         -> 200 ok | 503 draining
 //
 // Within v1, fields are only ever added (with omitempty), never renamed,
@@ -144,8 +145,35 @@ type Result struct {
 	Fig5 []stats.Sample `json:"fig5,omitempty"`
 }
 
+// Progress is the live view of a running job, sampled from the lock-free
+// probe the engine's clock loop updates. It is a point-in-time reading:
+// Cycles, Sent and Completed advance monotonically between polls of the
+// same running job; the rate and ETA derivations are computed against
+// the server's wall clock at render time.
+type Progress struct {
+	// Cycles is the simulated clock of the job's engine.
+	Cycles uint64 `json:"cycles"`
+	// Sent and Completed count injected requests and correlated
+	// responses so far.
+	Sent      uint64 `json:"sent"`
+	Completed uint64 `json:"completed"`
+	// Requests is the job's total request target (the denominator of
+	// Percent).
+	Requests uint64 `json:"requests"`
+	// Percent is injection progress, 100*Sent/Requests in [0,100].
+	Percent float64 `json:"percent"`
+	// ElapsedSeconds is wall-clock runtime since the job started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// CyclesPerSecond is the observed simulation rate.
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	// ETASeconds estimates the remaining wall-clock runtime from the
+	// observed injection rate; zero while no rate is observable.
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
 // JobStatus is the externally visible view of a job, returned by the
-// status and list endpoints. Result is present only in StateDone.
+// status and list endpoints. Result is present only in StateDone;
+// Progress only in StateRunning.
 type JobStatus struct {
 	ID        string        `json:"id"`
 	Name      string        `json:"name,omitempty"`
@@ -155,6 +183,7 @@ type JobStatus struct {
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
 	Spec      SubmitRequest `json:"spec"`
+	Progress  *Progress     `json:"progress,omitempty"`
 	Result    *Result       `json:"result,omitempty"`
 }
 

@@ -69,6 +69,30 @@ func fixtureResult() Result {
 	}
 }
 
+// fixtureRunningStatus pins the wire shape of a job mid-run: no result
+// yet, but a live progress block sampled from the engine's probe.
+func fixtureRunningStatus() JobStatus {
+	started := time.Date(2026, 8, 6, 12, 0, 1, 0, time.UTC)
+	return JobStatus{
+		ID:        "job-000002",
+		Name:      "golden-running",
+		State:     StateRunning,
+		Submitted: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		Started:   &started,
+		Spec:      fixtureSubmit(),
+		Progress: &Progress{
+			Cycles:          1024,
+			Sent:            2048,
+			Completed:       1900,
+			Requests:        4096,
+			Percent:         50,
+			ElapsedSeconds:  1.5,
+			CyclesPerSecond: 682.6666666666666,
+			ETASeconds:      1.5,
+		},
+	}
+}
+
 func fixtureStatus() JobStatus {
 	started := time.Date(2026, 8, 6, 12, 0, 1, 0, time.UTC)
 	finished := time.Date(2026, 8, 6, 12, 0, 2, 0, time.UTC)
@@ -98,6 +122,7 @@ func TestGoldenWireFormat(t *testing.T) {
 	}{
 		{"submit_request", fixtureSubmit(), func() any { return &SubmitRequest{} }},
 		{"job_status", fixtureStatus(), func() any { return &JobStatus{} }},
+		{"job_status_running", fixtureRunningStatus(), func() any { return &JobStatus{} }},
 		{"result", fixtureResult(), func() any { return &Result{} }},
 		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},
 	}

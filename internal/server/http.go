@@ -5,6 +5,9 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 
 	"hmcsim/internal/server/api"
 )
@@ -18,7 +21,8 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/jobs       list jobs          -> 200 [Status]
 //	GET    /v1/jobs/{id}  poll one job       -> 200 Status (result when done)
 //	DELETE /v1/jobs/{id}  cancel a job       -> 200 Status
-//	GET    /v1/metrics    expvar counters    -> 200 JSON object
+//	GET    /v1/metrics    metrics            -> 200 JSON object, or Prometheus
+//	                                            text under Accept: text/plain
 //	GET    /v1/healthz    liveness/drain     -> 200 ok | 503 draining
 //
 // The pre-versioning paths (/api/v1/jobs, /api/v1/jobs/{id}, /metrics,
@@ -45,6 +49,11 @@ func NewHandler(m *Manager) http.Handler {
 			st, err := m.Submit(spec)
 			if err != nil {
 				code, status := submitStatus(err)
+				if status == http.StatusTooManyRequests {
+					// Derived from queue occupancy and observed mean job
+					// service time rather than a hardcoded constant.
+					w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfter()))
+				}
 				writeError(w, status, code, err)
 				return
 			}
@@ -75,8 +84,13 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		},
 		"GET /v1/metrics": func(w http.ResponseWriter, r *http.Request) {
+			if wantsPrometheus(r.Header.Get("Accept")) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				m.Metrics().WritePrometheus(w)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			io.WriteString(w, m.Vars().String())
+			m.Metrics().WriteJSON(w)
 		},
 		"GET /v1/healthz": func(w http.ResponseWriter, r *http.Request) {
 			if m.Draining() {
@@ -104,6 +118,39 @@ func NewHandler(m *Manager) http.Handler {
 	for pattern, canonical := range legacyAliases {
 		mux.HandleFunc(pattern, deprecated(handlers[canonical]))
 	}
+	return mux
+}
+
+// wantsPrometheus decides the exposition format of /v1/metrics from the
+// Accept header. Prometheus scrapers send text/plain (the classic
+// exposition type) or application/openmetrics-text; everything else —
+// including no Accept header at all — gets the legacy JSON object.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// NewHandlerWithPprof is NewHandler plus the net/http/pprof profiling
+// endpoints mounted under /debug/pprof/. Profiling exposes goroutine
+// stacks and heap contents, so it is opt-in (cmd/hmcsim-serve -pprof)
+// rather than part of the default surface.
+func NewHandlerWithPprof(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", NewHandler(m))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -138,8 +185,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	writeJSON(w, status, api.Error{Code: code, Message: err.Error()})
 }

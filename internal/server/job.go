@@ -26,6 +26,7 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
 	"hmcsim/internal/host"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/server/api"
 	"hmcsim/internal/stats"
 )
@@ -94,10 +95,13 @@ type state struct {
 	result   *Result
 	started  time.Time
 	finished time.Time
-	cancel   func() // non-nil while running
+	cancel   func()     // non-nil while running
+	probe    *obs.Probe // non-nil while running; the driver's live counters
 }
 
-// status renders the job under the manager's lock.
+// status renders the job under the manager's lock. A running job's view
+// carries a Progress block sampled from its probe — the probe side is
+// lock-free, so reading it here never contends with the clock loop.
 func (j *job) status() Status {
 	s := Status{
 		ID:        j.id,
@@ -106,6 +110,19 @@ func (j *job) status() Status {
 		Submitted: j.submitted,
 		Spec:      j.spec,
 		Result:    j.state.result,
+	}
+	if j.state.phase == StateRunning && j.state.probe != nil {
+		ps := j.state.probe.Snapshot(time.Now())
+		s.Progress = &api.Progress{
+			Cycles:          ps.Cycles,
+			Sent:            ps.Sent,
+			Completed:       ps.Completed,
+			Requests:        ps.Target,
+			Percent:         100 * ps.Fraction,
+			ElapsedSeconds:  ps.Elapsed.Seconds(),
+			CyclesPerSecond: ps.CyclesPerSec,
+			ETASeconds:      ps.ETA.Seconds(),
+		}
 	}
 	if j.state.err != nil {
 		s.Error = j.state.err.Error()

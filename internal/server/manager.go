@@ -3,12 +3,14 @@ package server
 import (
 	"context"
 	"errors"
-	"expvar"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hmcsim/internal/obs"
 )
 
 // Submission and lifecycle errors the HTTP layer maps onto status codes.
@@ -42,8 +44,8 @@ type ManagerConfig struct {
 
 	// runFn substitutes the job executor, for tests exercising panic
 	// recovery and scheduling without paying for real simulations. Nil
-	// selects Execute.
-	runFn func(context.Context, JobSpec) (Result, error)
+	// selects ExecuteProbed.
+	runFn func(context.Context, JobSpec, *obs.Probe) (Result, error)
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -57,7 +59,7 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 		c.DefaultTimeout = 5 * time.Minute
 	}
 	if c.runFn == nil {
-		c.runFn = Execute
+		c.runFn = ExecuteProbed
 	}
 	return c
 }
@@ -80,19 +82,26 @@ type Manager struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// Counters, exposed through Vars. activeWorkers and the cumulative
-	// totals are atomics because workers bump them outside the lock.
-	submitted     expvar.Int
-	completed     expvar.Int
-	failed        expvar.Int
-	cancelledN    expvar.Int
-	rejected      expvar.Int
-	panics        expvar.Int
+	// Counters and histograms, exposed through the obs registry on
+	// /v1/metrics. activeWorkers stays a plain atomic because it is a
+	// level, not a monotone count.
+	submitted     *obs.Counter
+	completed     *obs.Counter
+	failed        *obs.Counter
+	cancelledN    *obs.Counter
+	rejected      *obs.Counter
+	panics        *obs.Counter
+	cycles        *obs.Counter // simulated cycles, completed jobs
+	requests      *obs.Counter // injected requests, completed jobs
 	activeWorkers atomic.Int64
-	cycles        atomic.Uint64 // simulated cycles, completed jobs
-	requests      atomic.Uint64 // injected requests, completed jobs
 
-	vars *expvar.Map
+	// service and queueWait are the per-job wall-clock distributions:
+	// run duration of every settled job, and time spent queued before a
+	// worker picked it up. service also feeds the Retry-After estimate.
+	service   *obs.Histogram
+	queueWait *obs.Histogram
+
+	reg *obs.Registry
 }
 
 // NewManager starts a manager and its worker pool.
@@ -107,7 +116,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
 	}
-	m.initVars()
+	m.initMetrics()
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -115,37 +124,80 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return m
 }
 
-// initVars builds the expvar map served by /metrics. The map is
-// per-manager (not published to the global expvar namespace) so tests
-// and embedders can run many managers in one process.
-func (m *Manager) initVars() {
-	m.vars = new(expvar.Map).Init()
-	m.vars.Set("jobs_submitted", &m.submitted)
-	m.vars.Set("jobs_completed", &m.completed)
-	m.vars.Set("jobs_failed", &m.failed)
-	m.vars.Set("jobs_cancelled", &m.cancelledN)
-	m.vars.Set("jobs_rejected", &m.rejected)
-	m.vars.Set("job_panics", &m.panics)
-	m.vars.Set("workers", expvar.Func(func() any { return m.cfg.Workers }))
-	m.vars.Set("active_workers", expvar.Func(func() any { return m.activeWorkers.Load() }))
-	m.vars.Set("queue_depth", expvar.Func(func() any { return len(m.queue) }))
-	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(m.queue) }))
-	m.vars.Set("cycles_simulated", expvar.Func(func() any { return m.cycles.Load() }))
-	m.vars.Set("requests_simulated", expvar.Func(func() any { return m.requests.Load() }))
-	m.vars.Set("uptime_seconds", expvar.Func(func() any {
+// initMetrics builds the obs registry served by /v1/metrics. The
+// registry is per-manager (nothing is published to a global namespace)
+// so tests and embedders can run many managers in one process. The
+// scalar keys and their JSON rendering are byte-compatible with the
+// expvar map this replaced; the two *_seconds histograms are new.
+func (m *Manager) initMetrics() {
+	r := obs.NewRegistry("hmcsim")
+	m.reg = r
+	m.submitted = r.Counter("jobs_submitted", "Jobs accepted into the queue.")
+	m.completed = r.Counter("jobs_completed", "Jobs that finished successfully.")
+	m.failed = r.Counter("jobs_failed", "Jobs that failed (timeouts, simulation errors, panics).")
+	m.cancelledN = r.Counter("jobs_cancelled", "Jobs cancelled while queued or running.")
+	m.rejected = r.Counter("jobs_rejected", "Submissions rejected by queue backpressure.")
+	m.panics = r.Counter("job_panics", "Jobs that panicked and were settled as failed.")
+	m.cycles = r.Counter("cycles_simulated", "Simulated clock cycles across completed jobs.")
+	m.requests = r.Counter("requests_simulated", "Injected requests across completed jobs.")
+	r.GaugeInt("workers", "Worker pool size.", func() int64 { return int64(m.cfg.Workers) })
+	r.GaugeInt("active_workers", "Workers currently running a job.", m.activeWorkers.Load)
+	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(m.queue)) })
+	r.GaugeInt("queue_capacity", "Bound of the job queue.", func() int64 { return int64(cap(m.queue)) })
+	r.GaugeFloat("uptime_seconds", "Seconds since the manager started.", func() float64 {
 		return time.Since(m.start).Seconds()
-	}))
-	m.vars.Set("cycles_per_second", expvar.Func(func() any {
+	})
+	r.GaugeFloat("cycles_per_second", "Simulated cycles per wall-clock second since start.", func() float64 {
 		s := time.Since(m.start).Seconds()
 		if s <= 0 {
 			return 0.0
 		}
-		return float64(m.cycles.Load()) / s
-	}))
+		return float64(m.cycles.Value()) / s
+	})
+	m.service = r.Histogram("job_service_seconds",
+		"Wall-clock run duration of settled jobs.", obs.DefBuckets)
+	m.queueWait = r.Histogram("job_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.", obs.DefBuckets)
 }
 
-// Vars returns the manager's expvar map, the payload of /metrics.
-func (m *Manager) Vars() *expvar.Map { return m.vars }
+// Metrics returns the manager's metric registry, the payload of
+// /v1/metrics in both its JSON and Prometheus renderings.
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// maxRetryAfter caps the Retry-After estimate; past a minute the client
+// should poll health rather than hold a precise timer.
+const maxRetryAfter = 60
+
+// retryAfterSeconds estimates how long a backpressured client should
+// wait before resubmitting: the expected time for the queue to drain one
+// slot, i.e. mean job service time scaled by queue occupancy over the
+// worker count, clamped to [1, maxRetryAfter] whole seconds. With no
+// observed service times yet the estimate degrades to 1 second — the
+// hardcoded value this derivation replaced.
+func retryAfterSeconds(queued, workers int, meanService float64) int {
+	if meanService <= 0 {
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	eta := meanService * (float64(queued) + 1) / float64(workers)
+	secs := int(math.Ceil(eta))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
+}
+
+// RetryAfter returns the current Retry-After estimate in seconds for a
+// 429 response, derived from live queue occupancy and the observed mean
+// job service time.
+func (m *Manager) RetryAfter() int {
+	return retryAfterSeconds(len(m.queue), m.cfg.Workers, m.service.Mean())
+}
 
 // Submit validates spec and enqueues a job, returning its initial
 // status. It never blocks: a full queue returns ErrQueueFull
@@ -254,20 +306,27 @@ func (m *Manager) runOne(j *job) {
 		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	probe := new(obs.Probe)
 	j.state.phase = StateRunning
 	j.state.started = time.Now()
 	j.state.cancel = cancel
+	j.state.probe = probe
 	m.mu.Unlock()
 
+	probe.Begin(j.spec.Requests, j.state.started)
+	m.queueWait.Observe(j.state.started.Sub(j.submitted).Seconds())
+
 	m.activeWorkers.Add(1)
-	res, err := m.safeRun(ctx, j.spec)
+	res, err := m.safeRun(ctx, j.spec, probe)
 	m.activeWorkers.Add(-1)
 	cancel()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.state.cancel = nil
+	j.state.probe = nil
 	j.state.finished = time.Now()
+	m.service.Observe(j.state.finished.Sub(j.state.started).Seconds())
 	switch {
 	case err == nil:
 		j.state.phase = StateDone
@@ -290,14 +349,14 @@ func (m *Manager) runOne(j *job) {
 
 // safeRun invokes the executor with panic recovery: a panicking job
 // surfaces as a failed job, not a dead daemon.
-func (m *Manager) safeRun(ctx context.Context, spec JobSpec) (res Result, err error) {
+func (m *Manager) safeRun(ctx context.Context, spec JobSpec, probe *obs.Probe) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.panics.Add(1)
 			err = fmt.Errorf("server: job panicked: %v", r)
 		}
 	}()
-	return m.cfg.runFn(ctx, spec)
+	return m.cfg.runFn(ctx, spec, probe)
 }
 
 // Shutdown closes the manager for new submissions and drains: queued

@@ -6,6 +6,7 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
 	"hmcsim/internal/host"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/trace"
 )
@@ -16,6 +17,15 @@ import (
 // (cmd/hmcsim-table1 -json, tests) can produce byte-identical result
 // payloads without a server.
 func Execute(ctx context.Context, spec JobSpec) (Result, error) {
+	return ExecuteProbed(ctx, spec, nil)
+}
+
+// ExecuteProbed is Execute with a live progress probe threaded into the
+// driver's clock loop (host.Options.Progress). The manager passes each
+// running job's probe here so GET /v1/jobs/{id} reports live progress;
+// a nil probe disables the hook entirely. The probe never influences
+// the simulation: results are bit-identical with and without it.
+func ExecuteProbed(ctx context.Context, spec JobSpec, probe *obs.Probe) (Result, error) {
 	cfg := spec.Config
 	if cfg.Workers == 0 && spec.Workload.Workers > 0 {
 		// The workload-level worker hint applies only when the device
@@ -42,6 +52,7 @@ func Execute(ctx context.Context, spec JobSpec) (Result, error) {
 		Posted:    spec.Posted,
 		Warmup:    spec.Warmup,
 		Interrupt: ctx.Err,
+		Progress:  probe,
 	})
 	if err != nil {
 		return Result{}, err

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/obs"
 	"hmcsim/internal/workload"
 )
 
@@ -178,8 +180,8 @@ func TestDeterminismUnderConcurrency(t *testing.T) {
 }
 
 // blockingRun returns a runFn that parks jobs until release is closed.
-func blockingRun(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec) (Result, error) {
-	return func(ctx context.Context, spec JobSpec) (Result, error) {
+func blockingRun(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec, *obs.Probe) (Result, error) {
+	return func(ctx context.Context, spec JobSpec, _ *obs.Probe) (Result, error) {
 		if started != nil {
 			started <- spec.Name
 		}
@@ -312,7 +314,7 @@ func TestPanicRecoveryFailsOnlyTheJob(t *testing.T) {
 	var calls int32
 	m := NewManager(ManagerConfig{
 		Workers: 1, QueueDepth: 4,
-		runFn: func(ctx context.Context, spec JobSpec) (Result, error) {
+		runFn: func(ctx context.Context, spec JobSpec, _ *obs.Probe) (Result, error) {
 			if spec.Name == "bomb" {
 				panic("boom")
 			}
@@ -540,7 +542,7 @@ func TestConcurrentSubmitAndPoll(t *testing.T) {
 						return
 					}
 					m.List()
-					_ = m.Vars().String()
+					m.Metrics().WriteJSON(io.Discard)
 				}
 			}
 		}(g)

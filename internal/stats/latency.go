@@ -2,11 +2,25 @@ package stats
 
 import "hmcsim/internal/trace"
 
+// DefaultMaxInflight bounds the reconstructor's in-flight table when the
+// caller does not set MaxInflight. 32768 entries is far beyond what any
+// in-order device can genuinely have outstanding (links × tag space),
+// so only truly abandoned sends are ever evicted.
+const DefaultMaxInflight = 1 << 15
+
 // LatencyReconstructor rebuilds per-request service latency from a trace
 // stream: the gap, in clock cycles, between a request's SEND event (host
 // injection) and its RQST event (vault service). The RQST event's Aux
 // field carries the source link ID, so requests are matched by
 // (link, tag) — unique among in-flight requests per injection port.
+//
+// Not every SEND gets a RQST: a request that dies to a link fault is
+// answered with an ERROR response and never reaches a vault, and traces
+// captured with SEND masked out start mid-stream. The reconstructor
+// therefore bounds its in-flight table at MaxInflight entries, evicting
+// the oldest send once the bound is hit (counted in Abandoned), and
+// treats a reused (link, tag) key as the old send abandoned rather than
+// silently corrupting the sample (counted in Overwritten).
 //
 // It implements trace.Tracer and works both live and during offline
 // replay of a stored trace file.
@@ -17,8 +31,24 @@ type LatencyReconstructor struct {
 	// trace captured with SEND masked out, or forwarded traffic injected
 	// before tracing began).
 	Unmatched uint64
+	// Overwritten counts sends displaced by a reused (link, tag) key
+	// before their service event arrived — the host freed the tag on an
+	// ERROR response and issued a new request under it.
+	Overwritten uint64
+	// Abandoned counts sends evicted by the MaxInflight bound without
+	// ever matching a service event.
+	Abandoned uint64
+	// MaxInflight bounds the in-flight table; zero selects
+	// DefaultMaxInflight. Set it before the first Trace call.
+	MaxInflight int
 
-	inflight map[latKey]uint64
+	inflight map[latKey]latVal
+	// fifo records insertion order for eviction. Entries whose seq no
+	// longer matches the map are stale (already matched or overwritten)
+	// and are skipped; head indexes the oldest live candidate.
+	fifo []latEntry
+	head int
+	seq  uint64
 }
 
 type latKey struct {
@@ -26,30 +56,102 @@ type latKey struct {
 	tag  uint16
 }
 
-// NewLatencyReconstructor returns an empty reconstructor.
+// latVal is one outstanding send: its injection clock and the sequence
+// number tying it to its fifo entry.
+type latVal struct {
+	clock uint64
+	seq   uint64
+}
+
+type latEntry struct {
+	key latKey
+	seq uint64
+}
+
+// NewLatencyReconstructor returns an empty reconstructor with the
+// default in-flight bound.
 func NewLatencyReconstructor() *LatencyReconstructor {
-	return &LatencyReconstructor{inflight: make(map[latKey]uint64)}
+	return &LatencyReconstructor{inflight: make(map[latKey]latVal)}
 }
 
 // Trace implements trace.Tracer.
 func (l *LatencyReconstructor) Trace(e trace.Event) {
 	switch e.Kind {
 	case trace.KindSend:
-		l.inflight[latKey{link: e.Link, tag: e.Tag}] = e.Clock
+		k := latKey{link: e.Link, tag: e.Tag}
+		if _, ok := l.inflight[k]; ok {
+			// The tag came back into circulation without a service event
+			// for the old send (ERROR response freed it). The stale fifo
+			// entry is left behind; its seq mismatch marks it dead.
+			l.Overwritten++
+		}
+		l.seq++
+		l.inflight[k] = latVal{clock: e.Clock, seq: l.seq}
+		l.fifo = append(l.fifo, latEntry{key: k, seq: l.seq})
+		l.evict()
 	case trace.KindRqst:
 		if e.Vault < 0 {
 			return // register-interface service; no vault latency
 		}
 		k := latKey{link: int(e.Aux), tag: e.Tag}
-		sent, ok := l.inflight[k]
+		v, ok := l.inflight[k]
 		if !ok {
 			l.Unmatched++
 			return
 		}
 		delete(l.inflight, k)
-		l.Service.Observe(e.Clock - sent)
+		l.Service.Observe(e.Clock - v.clock)
+	}
+}
+
+// evict enforces the MaxInflight bound by dropping the oldest live
+// sends, then compacts the fifo so its footprint tracks the live set
+// rather than the trace length.
+func (l *LatencyReconstructor) evict() {
+	bound := l.MaxInflight
+	if bound <= 0 {
+		bound = DefaultMaxInflight
+	}
+	for len(l.inflight) > bound && l.head < len(l.fifo) {
+		e := l.fifo[l.head]
+		l.head++
+		if v, ok := l.inflight[e.key]; ok && v.seq == e.seq {
+			delete(l.inflight, e.key)
+			l.Abandoned++
+		}
+	}
+	// Skip entries already matched or overwritten (seq mismatch) so the
+	// consumed prefix keeps growing on clean traces too.
+	for l.head < len(l.fifo) {
+		e := l.fifo[l.head]
+		if v, ok := l.inflight[e.key]; ok && v.seq == e.seq {
+			break
+		}
+		l.head++
+	}
+	// Rebuild once stale entries dominate: keep only live sends, in
+	// order. This caps the fifo at O(bound) regardless of trace length.
+	if len(l.fifo)-l.head > 2*bound+64 || l.head > 2*bound+64 {
+		out := l.fifo[:0]
+		for _, e := range l.fifo[l.head:] {
+			if v, ok := l.inflight[e.key]; ok && v.seq == e.seq {
+				out = append(out, e)
+			}
+		}
+		l.fifo = out
+		l.head = 0
 	}
 }
 
 // Pending returns the number of sends still awaiting their service event.
 func (l *LatencyReconstructor) Pending() int { return len(l.inflight) }
+
+// Flush abandons every outstanding send, counting them in Abandoned and
+// releasing the in-flight table. Call it after the trace stream ends if
+// leftover sends should be accounted rather than ignored.
+func (l *LatencyReconstructor) Flush() {
+	l.Abandoned += uint64(len(l.inflight))
+	l.inflight = make(map[latKey]latVal)
+	l.fifo = nil
+	l.head = 0
+}

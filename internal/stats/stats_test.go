@@ -231,3 +231,92 @@ func TestLatencyReconstructor(t *testing.T) {
 		t.Errorf("mode request miscounted: unmatched = %d", l.Unmatched)
 	}
 }
+
+// TestLatencyReconstructorOverwrite pins the reused-key semantics: a
+// second SEND under a live (link, tag) abandons the first rather than
+// corrupting its sample, and the later service event measures against
+// the newer send.
+func TestLatencyReconstructorOverwrite(t *testing.T) {
+	l := NewLatencyReconstructor()
+	l.Trace(trace.Event{Kind: trace.KindSend, Clock: 10, Link: 1, Tag: 7})
+	// The tag comes back into circulation (ERROR response freed it)
+	// before any RQST: the old send is overwritten, not matched.
+	l.Trace(trace.Event{Kind: trace.KindSend, Clock: 50, Link: 1, Tag: 7})
+	if l.Overwritten != 1 {
+		t.Errorf("overwritten = %d, want 1", l.Overwritten)
+	}
+	if l.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", l.Pending())
+	}
+	// The service event matches the newer send: latency 3, not 43.
+	l.Trace(trace.Event{Kind: trace.KindRqst, Clock: 53, Vault: 0, Tag: 7, Aux: 1})
+	if l.Service.Count() != 1 || l.Service.Max() != 3 {
+		t.Errorf("service after overwrite: %s", l.Service.String())
+	}
+	if l.Pending() != 0 {
+		t.Errorf("pending after match = %d", l.Pending())
+	}
+}
+
+// TestLatencyReconstructorBound pins the in-flight bound: sends that
+// never match are evicted oldest-first once MaxInflight is exceeded, so
+// the table cannot grow without bound over a long faulty trace.
+func TestLatencyReconstructorBound(t *testing.T) {
+	l := NewLatencyReconstructor()
+	l.MaxInflight = 8
+	// 100 sends with unique tags and no service events at all.
+	for i := 0; i < 100; i++ {
+		l.Trace(trace.Event{Kind: trace.KindSend, Clock: uint64(i), Link: 0, Tag: uint16(i)})
+	}
+	if l.Pending() != 8 {
+		t.Errorf("pending = %d, want bound 8", l.Pending())
+	}
+	if l.Abandoned != 92 {
+		t.Errorf("abandoned = %d, want 92", l.Abandoned)
+	}
+	// The survivors are the newest 8; an old tag is gone (unmatched),
+	// a recent one still matches.
+	l.Trace(trace.Event{Kind: trace.KindRqst, Clock: 200, Vault: 0, Tag: 0, Aux: 0})
+	if l.Unmatched != 1 {
+		t.Errorf("unmatched = %d, want 1 (evicted send)", l.Unmatched)
+	}
+	l.Trace(trace.Event{Kind: trace.KindRqst, Clock: 200, Vault: 0, Tag: 99, Aux: 0})
+	if l.Service.Count() != 1 {
+		t.Errorf("recent send did not match: count = %d", l.Service.Count())
+	}
+
+	// Flush abandons the rest and empties the table.
+	l.Flush()
+	if l.Pending() != 0 {
+		t.Errorf("pending after flush = %d", l.Pending())
+	}
+	if l.Abandoned != 92+7 {
+		t.Errorf("abandoned after flush = %d, want 99", l.Abandoned)
+	}
+}
+
+// TestLatencyReconstructorFIFOCompaction hammers the send/match cycle to
+// check the eviction fifo compacts: matched entries go stale and must
+// not pin memory or miscount later evictions.
+func TestLatencyReconstructorFIFOCompaction(t *testing.T) {
+	l := NewLatencyReconstructor()
+	l.MaxInflight = 4
+	for round := 0; round < 1000; round++ {
+		tag := uint16(round % 16)
+		l.Trace(trace.Event{Kind: trace.KindSend, Clock: uint64(2 * round), Link: 0, Tag: tag})
+		l.Trace(trace.Event{Kind: trace.KindRqst, Clock: uint64(2*round + 1), Vault: 0, Tag: tag, Aux: 0})
+	}
+	if l.Pending() != 0 {
+		t.Errorf("pending = %d", l.Pending())
+	}
+	if l.Abandoned != 0 || l.Overwritten != 0 || l.Unmatched != 0 {
+		t.Errorf("clean trace miscounted: abandoned=%d overwritten=%d unmatched=%d",
+			l.Abandoned, l.Overwritten, l.Unmatched)
+	}
+	if l.Service.Count() != 1000 {
+		t.Errorf("service count = %d", l.Service.Count())
+	}
+	if len(l.fifo) > 2*l.MaxInflight+64 {
+		t.Errorf("fifo did not compact: len %d", len(l.fifo))
+	}
+}
