@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -68,6 +68,14 @@ serve-pprof:
 # over real HTTP and parsed line by line.
 metrics-smoke:
 	$(GO) test -run 'TestMetrics' -v ./internal/server
+
+# crash-smoke is the end-to-end crash-safety check: SIGKILL hmcsim-serve
+# mid-job, restart it over the same -data directory, and require the
+# recovered job's digests to be bit-identical to an uninterrupted run
+# (DESIGN.md §12).
+crash-smoke:
+	$(GO) test -run 'TestCrashRecovery' -v .
+	$(GO) test -run 'TestSuspendResumeDigestIdentical|TestJournalRecovery|TestIdempotentSubmit' -v ./internal/server
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

@@ -10,10 +10,19 @@
 // /debug/pprof/ alongside the API; they expose goroutine stacks and heap
 // contents, so the flag is off by default.
 //
+// With -data DIR the daemon is crash-safe: every job state transition is
+// journaled (and fsynced) to DIR before it is acknowledged, results and
+// periodic checkpoints are persisted, and a restart over the same DIR
+// replays the journal — finished jobs keep their results, interrupted
+// jobs resume from their last checkpoint. See README "Crash recovery"
+// and DESIGN.md §12.
+//
 // See the README's "Serving mode" and "Observability" sections for the
 // endpoint reference and an example curl session. On SIGINT/SIGTERM the
-// daemon stops accepting work, drains queued and running jobs (bounded
-// by -drain) and exits.
+// daemon stops accepting work and exits within the -drain budget: with
+// no -data it drains queued and running jobs to completion; with -data
+// running jobs take a final checkpoint and everything unfinished is left
+// journaled for the next start.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"hmcsim/internal/server"
+	"hmcsim/internal/store"
 )
 
 func main() {
@@ -39,16 +49,37 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown drain budget for queued and running jobs")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes stacks and heap)")
+	dataDir := flag.String("data", "", "durable data directory (journal, results, checkpoints); empty runs in-memory with no crash recovery")
+	ckEvery := flag.Uint64("checkpoint-cycles", 0, "checkpoint interval in simulated cycles with -data (0 selects the default)")
+	retries := flag.Int("retries", 0, "max execution attempts per job, transient failures retrying with backoff (0 selects the default)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("hmcsim-serve: ")
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("opening store: %v", err)
+		}
+		log.Printf("store %s: %d journal records replayed", st.Dir(), len(st.Records()))
+		if n := st.TruncatedBytes(); n > 0 {
+			log.Printf("store: truncated %d bytes of torn journal tail", n)
+		}
+	}
 	mgr := server.NewManager(server.ManagerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		Store:           st,
+		CheckpointEvery: *ckEvery,
+		MaxAttempts:     *retries,
 	})
+	if mgr.Recovering() {
+		log.Printf("recovering: requeueing interrupted jobs from the journal")
+	}
 	handler := server.NewHandler(mgr)
 	if *pprofOn {
 		handler = server.NewHandlerWithPprof(mgr)
@@ -88,6 +119,20 @@ func main() {
 	drainErr := mgr.Shutdown(dctx)
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if st != nil {
+		var left int
+		for _, js := range mgr.List() {
+			if !js.State.Terminal() {
+				left++
+			}
+		}
+		if left > 0 {
+			log.Printf("suspended %d unfinished jobs; they resume on the next start with -data %s", left, st.Dir())
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		}
 	}
 	if drainErr != nil {
 		log.Printf("drain incomplete: %v", drainErr)

@@ -9,6 +9,12 @@
 // With -progress each poll of a running job prints its live progress
 // block (percent sent, simulated cycle, rate, ETA) to stderr.
 //
+// The client is restart-tolerant: connection failures and 502/503/504
+// responses (a draining, recovering or restarting service) are retried
+// with capped exponential backoff, honouring Retry-After when the server
+// sends one, and every submission carries an idempotency key so an
+// ambiguous retry can never double-run a job.
+//
 // With -bench FILE the command is self-contained: it starts an
 // in-process service on an ephemeral port, pushes a fixed 16-job batch
 // (the four configurations, four replicas each) through the full HTTP
@@ -18,6 +24,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -101,21 +110,79 @@ func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duratio
 	return out, nil
 }
 
-// submitAndWait pushes one job through the API, retrying on 429
-// backpressure, and polls until it reaches a terminal state. With
-// progress set, each poll of a running job prints its live progress
-// block to stderr — a coarse ticker driven by the poll interval.
+// Transport-level retry bounds: connection failures and 502/503/504
+// responses back off exponentially from backoffBase, capped at
+// backoffMax, honouring a Retry-After header when the server sends one.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffMax  = 5 * time.Second
+)
+
+// nextBackoff doubles the delay up to the cap, preferring the server's
+// Retry-After hint (in whole seconds) when present.
+func nextBackoff(cur time.Duration, retryAfter string) (sleep, next time.Duration) {
+	sleep = cur
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		sleep = time.Duration(secs) * time.Second
+		if sleep > backoffMax {
+			sleep = backoffMax
+		}
+	}
+	next = 2 * cur
+	if next > backoffMax {
+		next = backoffMax
+	}
+	return sleep, next
+}
+
+// idemKey generates one idempotency key per job submission, reused
+// across every retry of that submission.
+func idemKey() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retriable reports whether an HTTP status signals a temporarily
+// unavailable service: a proxy error, a drain or a journal recovery in
+// progress. The request is safe to repeat — submissions carry an
+// idempotency key.
+func retriable(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// submitAndWait pushes one job through the API, retrying 429
+// backpressure, transport failures and 5xx unavailability, then polls
+// until it reaches a terminal state. With progress set, each poll of a
+// running job prints its live progress block to stderr — a coarse ticker
+// driven by the poll interval.
 func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, poll, timeout time.Duration, progress bool) (api.JobStatus, error) {
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = idemKey()
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return api.JobStatus{}, err
 	}
 	deadline := time.Now().Add(timeout)
+	backoff := backoffBase
 	var st api.JobStatus
 	for {
+		if time.Now().After(deadline) {
+			return api.JobStatus{}, fmt.Errorf("submit %q: retrying past the deadline", spec.Name)
+		}
 		rsp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return api.JobStatus{}, err
+			// Transport failure: connection refused or reset, typically
+			// a service restart. The idempotency key makes the repeat
+			// safe even if the first request landed.
+			var sleep time.Duration
+			sleep, backoff = nextBackoff(backoff, "")
+			time.Sleep(sleep)
+			continue
 		}
 		code := rsp.StatusCode
 		data, err := io.ReadAll(rsp.Body)
@@ -126,13 +193,18 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		if code == http.StatusTooManyRequests {
 			// Explicit backpressure: the bounded queue is full. Back
 			// off and retry until the drain frees a slot.
-			if time.Now().After(deadline) {
-				return api.JobStatus{}, fmt.Errorf("submit %q: backpressured past the deadline", spec.Name)
-			}
 			time.Sleep(poll)
 			continue
 		}
-		if code != http.StatusAccepted {
+		if retriable(code) {
+			var sleep time.Duration
+			sleep, backoff = nextBackoff(backoff, rsp.Header.Get("Retry-After"))
+			time.Sleep(sleep)
+			continue
+		}
+		// 202 created, or 200 when a retried submission's key matched
+		// the job the first attempt already created.
+		if code != http.StatusAccepted && code != http.StatusOK {
 			return api.JobStatus{}, fmt.Errorf("submit %q: HTTP %d: %s", spec.Name, code, data)
 		}
 		if err := json.Unmarshal(data, &st); err != nil {
@@ -140,18 +212,30 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		}
 		break
 	}
+	backoff = backoffBase
 	for {
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("job %s: still %s past the deadline", st.ID, st.State)
 		}
 		rsp, err := client.Get(base + "/v1/jobs/" + st.ID)
 		if err != nil {
-			return st, err
+			// The service may be restarting; with a durable store the
+			// job (and its journal) survives, so keep polling.
+			var sleep time.Duration
+			sleep, backoff = nextBackoff(backoff, "")
+			time.Sleep(sleep)
+			continue
 		}
 		data, err := io.ReadAll(rsp.Body)
 		rsp.Body.Close()
 		if err != nil {
 			return st, err
+		}
+		if retriable(rsp.StatusCode) {
+			var sleep time.Duration
+			sleep, backoff = nextBackoff(backoff, rsp.Header.Get("Retry-After"))
+			time.Sleep(sleep)
+			continue
 		}
 		if rsp.StatusCode != http.StatusOK {
 			return st, fmt.Errorf("poll %s: HTTP %d: %s", st.ID, rsp.StatusCode, data)
@@ -159,6 +243,7 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		if err := json.Unmarshal(data, &st); err != nil {
 			return st, err
 		}
+		backoff = backoffBase
 		if progress && st.Progress != nil {
 			p := st.Progress
 			fmt.Fprintf(os.Stderr, "%s %s: %5.1f%% (%d/%d sent) cycle %d, %.0f cyc/s, eta %.1fs\n",

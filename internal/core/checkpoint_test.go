@@ -1,0 +1,199 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"hmcsim/internal/fault"
+	"hmcsim/internal/packet"
+)
+
+// pumpRequests injects a deterministic read/write mixture on every host
+// link for the given number of cycles, draining responses as it goes.
+// seq threads the injection position so two objects driven with the same
+// seq value observe identical traffic.
+func pumpRequests(t *testing.T, h *HMC, cycles int, seq *uint64) {
+	t.Helper()
+	for c := 0; c < cycles; c++ {
+		for l := 0; l < h.Config().NumLinks; l++ {
+			for i := 0; i < 2; i++ {
+				s := *seq
+				*seq++
+				addr := (s * 0x9E37 * 64) % (1 << 28)
+				req := packet.Request{Addr: addr, Tag: uint16(s % 256)}
+				var err error
+				if s%3 == 0 {
+					req.Cmd, err = packet.WriteForSize(64, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data := make([]uint64, 8)
+					for j := range data {
+						data[j] = s + uint64(j)
+					}
+					req.Data = data
+				} else if req.Cmd, err = packet.ReadForSize(64); err != nil {
+					t.Fatal(err)
+				}
+				if err := h.SendRequest(0, l, req); err != nil {
+					if errors.Is(err, ErrStall) || errors.Is(err, ErrLinkFailed) {
+						break
+					}
+					t.Fatal(err)
+				}
+			}
+		}
+		drainAll(t, h)
+		if err := h.Clock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// drainAll discards every waiting response on every host link.
+func drainAll(t *testing.T, h *HMC) {
+	t.Helper()
+	for l := 0; l < h.Config().NumLinks; l++ {
+		for {
+			_, err := h.RecvPacket(0, l)
+			if errors.Is(err, ErrStall) || errors.Is(err, ErrLinkFailed) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func checkpointConfig() Config {
+	cfg := testConfig()
+	cfg.Fault = fault.Config{TransientPPM: 3000, VaultPPM: 2000, Seed: 9}
+	return cfg
+}
+
+// TestCheckpointRestoreDigestIdentical pins the core durability contract:
+// restoring a mid-run checkpoint (through its JSON wire form) into a
+// freshly built object reproduces the uninterrupted run's digest stream
+// cycle for cycle.
+func TestCheckpointRestoreDigestIdentical(t *testing.T) {
+	cfg := checkpointConfig()
+	const warm = 12
+
+	hA := newSimple(t, cfg)
+	var seq uint64
+	pumpRequests(t, hA, warm, &seq)
+
+	ck := hA.Checkpoint()
+	if ck.Snap.Cycles != hA.Clk() {
+		t.Fatalf("checkpoint at cycle %d, clock is %d", ck.Snap.Cycles, hA.Clk())
+	}
+	b, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := new(Checkpoint)
+	if err := json.Unmarshal(b, wire); err != nil {
+		t.Fatal(err)
+	}
+
+	hB := newSimple(t, cfg)
+	if err := hB.Restore(wire); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if hB.Clk() != hA.Clk() {
+		t.Fatalf("restored clock %d, want %d", hB.Clk(), hA.Clk())
+	}
+	if hB.StateDigest() != hA.StateDigest() {
+		t.Fatal("restored digest differs immediately after restore")
+	}
+
+	// Keep injecting identical traffic on both, comparing the digest at
+	// every cycle boundary, then let both drain to quiescence.
+	seqB := seq
+	for c := 0; c < 30; c++ {
+		pumpRequests(t, hA, 1, &seq)
+		pumpRequests(t, hB, 1, &seqB)
+		if da, db := hA.StateDigest(), hB.StateDigest(); da != db {
+			t.Fatalf("digest diverged at cycle %d: %016x vs %016x", hA.Clk(), da, db)
+		}
+	}
+	for c := 0; c < 2000 && !hA.Quiescent(); c++ {
+		drainAll(t, hA)
+		drainAll(t, hB)
+		if err := hA.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		if err := hB.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		if da, db := hA.StateDigest(), hB.StateDigest(); da != db {
+			t.Fatalf("digest diverged while draining at cycle %d", hA.Clk())
+		}
+	}
+	if sa, sb := hA.Snapshot(), hB.Snapshot(); sa != sb {
+		t.Fatalf("final snapshots differ:\n a %+v\n b %+v", sa, sb)
+	}
+}
+
+// TestRestoreRejectsBadTargets pins the restore guard rails: used
+// engines, mismatched shapes and corrupted payloads must all fail with
+// ErrCheckpoint instead of silently diverging.
+func TestRestoreRejectsBadTargets(t *testing.T) {
+	cfg := checkpointConfig()
+	hA := newSimple(t, cfg)
+	var seq uint64
+	pumpRequests(t, hA, 8, &seq)
+	ck := hA.Checkpoint()
+
+	// A clocked object is not a valid restore target.
+	used := newSimple(t, cfg)
+	if err := used.Clock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Restore(ck); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("Restore into used object: %v, want ErrCheckpoint", err)
+	}
+
+	// Flipped architectural state must fail digest verification.
+	corrupt := new(Checkpoint)
+	b, _ := json.Marshal(ck)
+	if err := json.Unmarshal(b, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	corrupt.Devices[0].Links[0].ReqFlits++
+	if err := newSimple(t, cfg).Restore(corrupt); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("Restore of corrupted checkpoint: %v, want ErrCheckpoint", err)
+	}
+
+	// A mangled queued packet must fail CRC validation, not restore.
+	mangled := new(Checkpoint)
+	if err := json.Unmarshal(b, mangled); err != nil {
+		t.Fatal(err)
+	}
+	damaged := false
+	mangle := func(q []SlotCheckpoint) {
+		if !damaged && len(q) > 0 {
+			q[0].Words[0] ^= 0xFF00
+			damaged = true
+		}
+	}
+	for di := range mangled.Devices {
+		d := &mangled.Devices[di]
+		for vi := range d.Vaults {
+			mangle(d.Vaults[vi].Rqst)
+			mangle(d.Vaults[vi].Rsp)
+		}
+		for li := range d.Links {
+			mangle(d.Links[li].Rqst)
+			mangle(d.Links[li].Rsp)
+		}
+	}
+	if !damaged {
+		t.Skip("no queued vault packet at the capture point")
+	}
+	if err := newSimple(t, cfg).Restore(mangled); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("Restore of mangled packet: %v, want ErrCheckpoint", err)
+	}
+}

@@ -1,5 +1,10 @@
 package device
 
+import (
+	"fmt"
+	"sort"
+)
+
 // Bank is the software representation of a physical memory bank. Each
 // bank is physically nested within its respective vault such that I/O
 // operations never occur outside the owning vault's queue structures.
@@ -68,6 +73,49 @@ func (b *Bank) Write(blk uint64, words []uint64) {
 	for i := 0; i < len(words); i += blockWords {
 		b.data[blk+uint64(i/blockWords)] = [2]uint64{words[i], words[i+1]}
 	}
+}
+
+// StoredBlock is one materialized 16-byte bank storage block, the unit
+// of the checkpoint serialization.
+type StoredBlock struct {
+	// Idx is the in-bank block index.
+	Idx uint64 `json:"idx"`
+	// Data is the block contents, low word first.
+	Data [2]uint64 `json:"data"`
+}
+
+// Export returns every materialized block sorted by index, for a
+// canonical checkpoint serialization. It returns nil when nothing is
+// stored.
+func (b *Bank) Export() []StoredBlock {
+	if len(b.data) == 0 {
+		return nil
+	}
+	out := make([]StoredBlock, 0, len(b.data))
+	for idx, data := range b.data {
+		out = append(out, StoredBlock{Idx: idx, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Idx < out[j].Idx })
+	return out
+}
+
+// Restore replaces the bank's materialized blocks with the exported set.
+// The store flag is left as configured: restoring data into a bank built
+// without functional storage is rejected, because such a bank could never
+// have produced the blocks.
+func (b *Bank) Restore(blocks []StoredBlock) error {
+	if len(blocks) > 0 && !b.store {
+		return fmt.Errorf("device: bank %d/%d has no functional storage to restore into", b.Vault, b.ID)
+	}
+	b.data = nil
+	if len(blocks) == 0 {
+		return nil
+	}
+	b.data = make(map[uint64][2]uint64, len(blocks))
+	for _, blk := range blocks {
+		b.data[blk.Idx] = blk.Data
+	}
+	return nil
 }
 
 // Add16 performs the single 16-byte add-immediate atomic: the 128-bit

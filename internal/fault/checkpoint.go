@@ -1,0 +1,60 @@
+package fault
+
+import "sort"
+
+// EngineState is the serializable position of a fault engine: the shared
+// splitmix64 stream state plus the accumulated failure sets. Together
+// with the (immutable) Config it fully determines every future draw, so a
+// restored engine produces the exact fault schedule the original would
+// have produced from the same point.
+type EngineState struct {
+	// Stream is the shared link-fault stream position.
+	Stream uint64 `json:"stream"`
+	// FailedLinks and FailedVaults are the accumulated failure sets,
+	// sorted for a canonical serialization. They include the statically
+	// configured failures once applied.
+	FailedLinks  []LinkID  `json:"failed_links,omitempty"`
+	FailedVaults []VaultID `json:"failed_vaults,omitempty"`
+}
+
+// State captures the engine's current position.
+func (e *Engine) State() EngineState {
+	st := EngineState{Stream: e.state}
+	for l := range e.failedLinks {
+		st.FailedLinks = append(st.FailedLinks, l)
+	}
+	for v := range e.failedVaults {
+		st.FailedVaults = append(st.FailedVaults, v)
+	}
+	sort.Slice(st.FailedLinks, func(i, j int) bool {
+		a, b := st.FailedLinks[i], st.FailedLinks[j]
+		return a.Dev < b.Dev || (a.Dev == b.Dev && a.Link < b.Link)
+	})
+	sort.Slice(st.FailedVaults, func(i, j int) bool {
+		a, b := st.FailedVaults[i], st.FailedVaults[j]
+		return a.Dev < b.Dev || (a.Dev == b.Dev && a.Vault < b.Vault)
+	})
+	return st
+}
+
+// RestoreState rewinds the engine to a previously captured position,
+// replacing the stream state and both failure sets wholesale. It does not
+// touch trace or statistics state — the caller (the simulation core)
+// restores those through its own checkpoint path.
+func (e *Engine) RestoreState(st EngineState) {
+	e.state = st.Stream
+	e.failedLinks = make(map[LinkID]bool, len(st.FailedLinks))
+	for _, l := range st.FailedLinks {
+		e.failedLinks[l] = true
+	}
+	e.failedVaults = make(map[VaultID]bool, len(st.FailedVaults))
+	for _, v := range st.FailedVaults {
+		e.failedVaults[v] = true
+	}
+}
+
+// State returns the stream's splitmix64 position.
+func (s *VaultStream) State() uint64 { return s.state }
+
+// SetState rewinds the stream to a previously captured position.
+func (s *VaultStream) SetState(v uint64) { s.state = v }

@@ -68,6 +68,17 @@ type Options struct {
 	// here so running jobs report live progress; it never influences
 	// the simulation itself.
 	Progress *obs.Probe
+	// CheckpointEvery, when non-zero alongside Checkpoint, delivers a
+	// periodic checkpoint every CheckpointEvery simulated cycles. The
+	// capture happens at the inter-cycle boundary right after the clock
+	// edge, so a resumed run re-enters the loop exactly where the
+	// original would have continued; the capture itself is read-only and
+	// does not perturb the simulation (DESIGN.md §12).
+	CheckpointEvery uint64
+	// Checkpoint, when non-nil, receives periodic checkpoints (see
+	// CheckpointEvery) and the final checkpoint of a suspended run (see
+	// ErrSuspended). A non-nil return aborts the run with that error.
+	Checkpoint func(*Checkpoint) error
 }
 
 // Result summarizes one driver run.
@@ -122,7 +133,19 @@ type Driver struct {
 	// than a pointer) keeps the per-access state out of the heap.
 	queued    workload.Access
 	hasQueued bool
-	dataBuf   [16]uint64
+	// drawn counts generator Next calls, the workload position a resumed
+	// run fast-forwards a fresh generator to.
+	drawn   uint64
+	dataBuf [16]uint64
+}
+
+// runState groups the loop-carried run variables so Run and Resume can
+// share one loop body.
+type runState struct {
+	outstanding uint64
+	warmedUp    bool
+	baseCycles  uint64
+	baseStats   core.Stats
 }
 
 // NewDriver prepares a driver for h. The topology must already be wired;
@@ -163,15 +186,29 @@ func NewDriver(h *core.HMC, opts Options) (*Driver, error) {
 // been received.
 func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 	var res Result
+	return d.run(gen, n, res, runState{warmedUp: d.opts.Warmup == 0})
+}
+
+// endCycle performs the post-clock-edge bookkeeping shared by the main
+// loop and the suspend path: probe update and occupancy sampling.
+func (d *Driver) endCycle(res *Result, probe *obs.Probe) {
+	if probe != nil {
+		probe.Set(d.h.Clk(), res.Sent, res.Completed)
+	}
+	if d.opts.SampleOccupancy {
+		o := d.h.Occupancy()
+		res.VaultOccupancy.Observe(uint64(o.VaultRqst))
+		res.XbarOccupancy.Observe(uint64(o.XbarRqst))
+	}
+}
+
+// run is the shared clock loop of Run and Resume.
+func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) (Result, error) {
 	maxCycles := d.opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 1000*n + 100000
 	}
 
-	outstanding := uint64(0)
-	warmedUp := d.opts.Warmup == 0
-	var baseCycles uint64
-	var baseStats core.Stats
 	// Hoisted once: the nil check and the probe pointer stay out of the
 	// per-cycle loop body's happy path.
 	probe := d.opts.Progress
@@ -183,57 +220,77 @@ func (d *Driver) Run(gen workload.Generator, n uint64) (Result, error) {
 		}
 		res.Completed += got
 		res.Errors += errs
-		outstanding -= got
+		st.outstanding -= got
 
 		// Inject until a stall or tag exhaustion.
 		injected, done, err := d.inject(gen, n, &res)
 		if err != nil {
 			// Terminal outcomes (e.g. every host link failed) still report
 			// the cycles and counters accumulated up to this point.
-			res.Cycles = d.h.Clk() - baseCycles
-			res.Engine = d.h.Stats().Sub(baseStats)
+			res.Cycles = d.h.Clk() - st.baseCycles
+			res.Engine = d.h.Stats().Sub(st.baseStats)
 			return res, err
 		}
-		outstanding += injected
+		st.outstanding += injected
 
-		if !warmedUp && res.Sent >= d.opts.Warmup {
+		if !st.warmedUp && res.Sent >= d.opts.Warmup {
 			// Open the measurement window: forget the transient.
-			warmedUp = true
-			baseCycles = d.h.Clk()
-			baseStats = d.h.Stats()
+			st.warmedUp = true
+			st.baseCycles = d.h.Clk()
+			st.baseStats = d.h.Stats()
 			res.Latency = stats.Histogram{}
 			res.VaultOccupancy = stats.Histogram{}
 			res.XbarOccupancy = stats.Histogram{}
 		}
 
-		if done && outstanding == 0 && d.h.Quiescent() {
+		if done && st.outstanding == 0 && d.h.Quiescent() {
 			break
 		}
 		if d.opts.Interrupt != nil {
 			if ierr := d.opts.Interrupt(); ierr != nil {
-				res.Cycles = d.h.Clk() - baseCycles
-				res.Engine = d.h.Stats().Sub(baseStats)
+				if errors.Is(ierr, ErrSuspended) && d.opts.Checkpoint != nil {
+					// Finish the cycle so the checkpoint lands on the
+					// inter-cycle boundary a resumed run restarts from;
+					// aborting here, mid-iteration, would replay the
+					// selector and sequence-counter draws this iteration
+					// already consumed.
+					if err := d.h.Clock(); err != nil {
+						return res, err
+					}
+					d.endCycle(&res, probe)
+					if ck, cerr := d.checkpoint(&res, st); cerr != nil {
+						ierr = cerr
+					} else if cerr := d.opts.Checkpoint(ck); cerr != nil {
+						ierr = cerr
+					}
+				}
+				res.Cycles = d.h.Clk() - st.baseCycles
+				res.Engine = d.h.Stats().Sub(st.baseStats)
 				return res, ierr
 			}
 		}
 		if err := d.h.Clock(); err != nil {
 			return res, err
 		}
-		if probe != nil {
-			probe.Set(d.h.Clk(), res.Sent, res.Completed)
-		}
-		if d.opts.SampleOccupancy {
-			o := d.h.Occupancy()
-			res.VaultOccupancy.Observe(uint64(o.VaultRqst))
-			res.XbarOccupancy.Observe(uint64(o.XbarRqst))
+		d.endCycle(&res, probe)
+		if every := d.opts.CheckpointEvery; every > 0 && d.opts.Checkpoint != nil && d.h.Clk()%every == 0 {
+			ck, err := d.checkpoint(&res, st)
+			if err != nil {
+				return res, err
+			}
+			if err := d.opts.Checkpoint(ck); err != nil {
+				res.Cycles = d.h.Clk() - st.baseCycles
+				res.Engine = d.h.Stats().Sub(st.baseStats)
+				return res, err
+			}
 		}
 		if d.h.Clk() > maxCycles {
 			return res, fmt.Errorf("host: run exceeded %d cycles with %d outstanding (%d/%d sent)",
-				maxCycles, outstanding, res.Sent, n)
+				maxCycles, st.outstanding, res.Sent, n)
 		}
 	}
-	res.Cycles = d.h.Clk() - baseCycles
-	res.Engine = d.h.Stats().Sub(baseStats)
+	res.Cycles = d.h.Clk() - st.baseCycles
+	res.Engine = d.h.Stats().Sub(st.baseStats)
 	return res, nil
 }
 
@@ -245,6 +302,7 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 	for res.Sent < n {
 		if !d.hasQueued {
 			d.queued = gen.Next()
+			d.drawn++
 			d.hasQueued = true
 		}
 		a := &d.queued

@@ -81,6 +81,12 @@ type SubmitRequest struct {
 	// this sampling interval (in cycles) and includes the per-interval
 	// series in the result payload.
 	Fig5Interval uint64 `json:"fig5_interval,omitempty"`
+	// IdempotencyKey deduplicates submissions: two submissions carrying
+	// the same non-empty key return the same job. Clients that retry a
+	// submission after a connection failure set a key so an ambiguous
+	// outcome (did the first request land?) cannot double-run the job.
+	// The key may also arrive via the Idempotency-Key request header.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // MaxRequestsPerJob bounds a single job's request count, keeping one
@@ -183,8 +189,12 @@ type JobStatus struct {
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
 	Spec      SubmitRequest `json:"spec"`
-	Progress  *Progress     `json:"progress,omitempty"`
-	Result    *Result       `json:"result,omitempty"`
+	// Attempt counts execution attempts so far; values past 1 indicate
+	// the job was retried after a transient failure or recovered after a
+	// restart.
+	Attempt  int       `json:"attempt,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
 }
 
 // Machine-readable error codes carried in the Error envelope.
@@ -203,6 +213,9 @@ const (
 	// CodeShuttingDown rejects submissions after graceful shutdown has
 	// begun (HTTP 503).
 	CodeShuttingDown = "shutting_down"
+	// CodeRecovering rejects submissions while the service is replaying
+	// its journal after a restart (HTTP 503 with Retry-After).
+	CodeRecovering = "recovering"
 	// CodeInternal is an unexpected server-side failure (HTTP 500).
 	CodeInternal = "internal"
 )

@@ -46,18 +46,32 @@ func NewHandler(m *Manager) http.Handler {
 				writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, err)
 				return
 			}
-			st, err := m.Submit(spec)
+			if spec.IdempotencyKey == "" {
+				spec.IdempotencyKey = r.Header.Get("Idempotency-Key")
+			}
+			st, created, err := m.SubmitIdem(spec)
 			if err != nil {
 				code, status := submitStatus(err)
-				if status == http.StatusTooManyRequests {
+				switch status {
+				case http.StatusTooManyRequests:
 					// Derived from queue occupancy and observed mean job
 					// service time rather than a hardcoded constant.
 					w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfter()))
+				case http.StatusServiceUnavailable:
+					if errors.Is(err, ErrRecovering) {
+						// Recovery is short: replay plus requeue.
+						w.Header().Set("Retry-After", "1")
+					}
 				}
 				writeError(w, status, code, err)
 				return
 			}
-			writeJSON(w, http.StatusAccepted, st)
+			if created {
+				writeJSON(w, http.StatusAccepted, st)
+			} else {
+				// Idempotent replay: the key matched an existing job.
+				writeJSON(w, http.StatusOK, st)
+			}
 		},
 		"GET /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, m.List())
@@ -95,6 +109,11 @@ func NewHandler(m *Manager) http.Handler {
 		"GET /v1/healthz": func(w http.ResponseWriter, r *http.Request) {
 			if m.Draining() {
 				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			if m.Recovering() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "recovering", http.StatusServiceUnavailable)
 				return
 			}
 			io.WriteString(w, "ok\n")
@@ -171,6 +190,8 @@ func submitStatus(err error) (code string, status int) {
 		return api.CodeQueueFull, http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
 		return api.CodeShuttingDown, http.StatusServiceUnavailable
+	case errors.Is(err, ErrRecovering):
+		return api.CodeRecovering, http.StatusServiceUnavailable
 	default:
 		return api.CodeInvalidSpec, http.StatusBadRequest
 	}

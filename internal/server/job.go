@@ -85,6 +85,7 @@ type job struct {
 	submitted time.Time
 
 	state     state
+	attempt   int  // execution attempts so far (retry budget accounting)
 	cancelled bool // cancellation requested (queued or running)
 }
 
@@ -109,6 +110,7 @@ func (j *job) status() Status {
 		State:     j.state.phase,
 		Submitted: j.submitted,
 		Spec:      j.spec,
+		Attempt:   j.attempt,
 		Result:    j.state.result,
 	}
 	if j.state.phase == StateRunning && j.state.probe != nil {

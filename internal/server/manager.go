@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -10,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hmcsim/internal/host"
 	"hmcsim/internal/obs"
+	"hmcsim/internal/store"
 )
 
 // Submission and lifecycle errors the HTTP layer maps onto status codes.
@@ -22,6 +25,9 @@ var (
 	// ErrShuttingDown rejects submissions after Shutdown has begun
 	// (503 Service Unavailable).
 	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrRecovering rejects submissions while the manager is still
+	// requeueing journaled jobs after a restart (503 with Retry-After).
+	ErrRecovering = errors.New("server: recovering journal")
 	// ErrUnknownJob reports a job ID with no record (404 Not Found).
 	ErrUnknownJob = errors.New("server: unknown job")
 	// ErrJobFinished rejects cancellation of a job already in a
@@ -42,10 +48,29 @@ type ManagerConfig struct {
 	// does not name one. Zero selects 5 minutes.
 	DefaultTimeout time.Duration
 
+	// Store, when non-nil, makes the manager crash-safe: every job
+	// state transition is journaled (and synced) before it is
+	// acknowledged, results and periodic checkpoints are persisted, and
+	// a manager reopened over the same store replays the journal —
+	// finished jobs reload their results, interrupted jobs requeue and
+	// resume from their last checkpoint (DESIGN.md §12).
+	Store *store.Store
+	// CheckpointEvery is the periodic checkpoint interval in simulated
+	// cycles for store-backed managers. Zero selects 1<<19.
+	CheckpointEvery uint64
+	// MaxAttempts bounds execution attempts per job: a transient
+	// failure requeues the job (with backoff) while attempts remain.
+	// Zero selects 3.
+	MaxAttempts int
+	// RetryBaseDelay and RetryMaxDelay shape the exponential backoff
+	// between attempts. Zero selects 250ms and 10s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
 	// runFn substitutes the job executor, for tests exercising panic
-	// recovery and scheduling without paying for real simulations. Nil
-	// selects ExecuteProbed.
-	runFn func(context.Context, JobSpec, *obs.Probe) (Result, error)
+	// recovery, retry and scheduling without paying for real
+	// simulations. Nil selects ExecuteOpts.
+	runFn func(context.Context, JobSpec, ExecOptions) (Result, error)
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -58,8 +83,20 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 5 * time.Minute
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1 << 19
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 250 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 10 * time.Second
+	}
 	if c.runFn == nil {
-		c.runFn = ExecuteProbed
+		c.runFn = ExecuteOpts
 	}
 	return c
 }
@@ -70,17 +107,25 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 type Manager struct {
 	cfg   ManagerConfig
 	start time.Time
+	store *store.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // job IDs in submission order, for stable listings
-	seq    int
-	queue  chan *job
-	closed bool
-	wg     sync.WaitGroup
+	// suspend flips during store-backed shutdown: running jobs take a
+	// final checkpoint and stop, queued jobs are left for the next
+	// process. Atomic because the per-cycle interrupt hook reads it.
+	suspend atomic.Bool
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string // job IDs in submission order, for stable listings
+	idem       map[string]string
+	seq        int
+	queue      chan *job
+	closed     bool
+	recovering bool
+	wg         sync.WaitGroup
 
 	// Counters and histograms, exposed through the obs registry on
 	// /v1/metrics. activeWorkers stays a plain atomic because it is a
@@ -93,30 +138,50 @@ type Manager struct {
 	panics        *obs.Counter
 	cycles        *obs.Counter // simulated cycles, completed jobs
 	requests      *obs.Counter // injected requests, completed jobs
+	recovered     *obs.Counter // jobs requeued from the journal at startup
+	resumed       *obs.Counter // runs continued from a persisted checkpoint
+	retries       *obs.Counter // transient failures requeued with backoff
+	checkpoints   *obs.Counter // persisted checkpoints
 	activeWorkers atomic.Int64
 
 	// service and queueWait are the per-job wall-clock distributions:
 	// run duration of every settled job, and time spent queued before a
 	// worker picked it up. service also feeds the Retry-After estimate.
-	service   *obs.Histogram
-	queueWait *obs.Histogram
+	// checkpointH times checkpoint persistence (serialize + fsync).
+	service     *obs.Histogram
+	queueWait   *obs.Histogram
+	checkpointH *obs.Histogram
 
 	reg *obs.Registry
 }
 
-// NewManager starts a manager and its worker pool.
+// NewManager starts a manager and its worker pool. With a store
+// configured, the journal is replayed before the pool starts: finished
+// jobs reappear with their results, interrupted jobs requeue (the
+// manager reports Recovering, and rejects submissions with
+// ErrRecovering, until every one is back in the queue).
 func NewManager(cfg ManagerConfig) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
 		start:      time.Now(),
+		store:      cfg.Store,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+		idem:       make(map[string]string),
 		queue:      make(chan *job, cfg.QueueDepth),
 	}
 	m.initMetrics()
+	var pending []*job
+	if m.store != nil {
+		pending = m.recoverFromJournal()
+	}
+	if len(pending) > 0 {
+		m.recovering = true
+		go m.requeueRecovered(pending)
+	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -128,7 +193,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 // registry is per-manager (nothing is published to a global namespace)
 // so tests and embedders can run many managers in one process. The
 // scalar keys and their JSON rendering are byte-compatible with the
-// expvar map this replaced; the two *_seconds histograms are new.
+// expvar map this replaced; the *_seconds histograms are new.
 func (m *Manager) initMetrics() {
 	r := obs.NewRegistry("hmcsim")
 	m.reg = r
@@ -140,6 +205,10 @@ func (m *Manager) initMetrics() {
 	m.panics = r.Counter("job_panics", "Jobs that panicked and were settled as failed.")
 	m.cycles = r.Counter("cycles_simulated", "Simulated clock cycles across completed jobs.")
 	m.requests = r.Counter("requests_simulated", "Injected requests across completed jobs.")
+	m.recovered = r.Counter("jobs_recovered", "Jobs requeued from the journal at startup.")
+	m.resumed = r.Counter("jobs_resumed", "Runs continued from a persisted checkpoint.")
+	m.retries = r.Counter("job_retries", "Transient job failures requeued with backoff.")
+	m.checkpoints = r.Counter("checkpoints_taken", "Checkpoints persisted to the store.")
 	r.GaugeInt("workers", "Worker pool size.", func() int64 { return int64(m.cfg.Workers) })
 	r.GaugeInt("active_workers", "Workers currently running a job.", m.activeWorkers.Load)
 	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(m.queue)) })
@@ -158,6 +227,8 @@ func (m *Manager) initMetrics() {
 		"Wall-clock run duration of settled jobs.", obs.DefBuckets)
 	m.queueWait = r.Histogram("job_queue_wait_seconds",
 		"Time jobs spent queued before a worker picked them up.", obs.DefBuckets)
+	m.checkpointH = r.Histogram("job_checkpoint_seconds",
+		"Wall-clock cost of persisting one checkpoint (serialize + sync).", obs.DefBuckets)
 }
 
 // Metrics returns the manager's metric registry, the payload of
@@ -202,15 +273,35 @@ func (m *Manager) RetryAfter() int {
 // Submit validates spec and enqueues a job, returning its initial
 // status. It never blocks: a full queue returns ErrQueueFull
 // immediately (explicit backpressure), a closed manager
-// ErrShuttingDown.
+// ErrShuttingDown, a recovering one ErrRecovering.
 func (m *Manager) Submit(spec JobSpec) (Status, error) {
+	st, _, err := m.SubmitIdem(spec)
+	return st, err
+}
+
+// SubmitIdem is Submit with idempotency-key resolution surfaced: created
+// is false when the spec's key matched an existing job and that job's
+// status was returned instead of creating a new one.
+func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) {
 	if err := spec.Validate(); err != nil {
-		return Status{}, err
+		return Status{}, false, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return Status{}, ErrShuttingDown
+		return Status{}, false, ErrShuttingDown
+	}
+	if m.recovering {
+		return Status{}, false, ErrRecovering
+	}
+	if spec.IdempotencyKey != "" {
+		if id, ok := m.idem[spec.IdempotencyKey]; ok {
+			return m.jobs[id].status(), false, nil
+		}
+	}
+	if len(m.queue) >= cap(m.queue) {
+		m.rejected.Add(1)
+		return Status{}, false, ErrQueueFull
 	}
 	m.seq++
 	j := &job{
@@ -219,17 +310,31 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		submitted: time.Now(),
 		state:     state{phase: StateQueued},
 	}
-	select {
-	case m.queue <- j:
-	default:
-		m.rejected.Add(1)
-		m.seq-- // the rejected job never existed
-		return Status{}, ErrQueueFull
+	if m.store != nil {
+		// Journal — and sync — before acknowledging: an accepted job
+		// survives a crash of the process.
+		specJSON, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = m.store.Append(store.Record{
+				Type: store.RecSubmitted, Job: j.id, Time: j.submitted,
+				Key: spec.IdempotencyKey, Spec: specJSON,
+			})
+		}
+		if jerr != nil {
+			m.seq-- // the unjournaled job never existed
+			return Status{}, false, fmt.Errorf("server: journaling submission: %w", jerr)
+		}
 	}
+	// Guaranteed not to block: insertions only happen under m.mu and the
+	// capacity check above held the lock.
+	m.queue <- j
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	if spec.IdempotencyKey != "" {
+		m.idem[spec.IdempotencyKey] = j.id
+	}
 	m.submitted.Add(1)
-	return j.status(), nil
+	return j.status(), true, nil
 }
 
 // Get returns the status of one job.
@@ -272,6 +377,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.state.phase = StateCancelled
 		j.state.finished = time.Now()
 		m.cancelledN.Add(1)
+		m.journal(store.Record{Type: store.RecCancelled, Job: j.id})
 	case StateRunning:
 		j.cancelled = true
 		if j.state.cancel != nil {
@@ -283,6 +389,18 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	return j.status(), nil
 }
 
+// journal appends rec (stamped with the current time) when a store is
+// configured. Journal append failures on settle paths are swallowed: the
+// in-memory settle must proceed — the cost is a conservative journal
+// that reruns the job after a restart, never a lost acknowledgment.
+func (m *Manager) journal(rec store.Record) {
+	if m.store == nil {
+		return
+	}
+	rec.Time = time.Now()
+	_ = m.store.Append(rec)
+}
+
 // worker is the pool loop: pop, run, settle, repeat until the queue is
 // closed and drained.
 func (m *Manager) worker() {
@@ -292,15 +410,22 @@ func (m *Manager) worker() {
 	}
 }
 
-// runOne executes one job with a derived context and settles its
-// terminal state.
+// runOne executes one attempt of a job and settles the outcome.
 func (m *Manager) runOne(j *job) {
 	m.mu.Lock()
-	if j.cancelled {
+	if j.cancelled || j.state.phase != StateQueued {
 		// Cancelled while queued; Cancel already settled the state.
 		m.mu.Unlock()
 		return
 	}
+	if m.suspend.Load() {
+		// Store-backed shutdown: leave the job queued (and non-terminal
+		// in the journal) for the next process to pick up.
+		m.mu.Unlock()
+		return
+	}
+	j.attempt++
+	attempt := j.attempt
 	timeout := m.cfg.DefaultTimeout
 	if j.spec.TimeoutMS > 0 {
 		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
@@ -311,24 +436,97 @@ func (m *Manager) runOne(j *job) {
 	j.state.started = time.Now()
 	j.state.cancel = cancel
 	j.state.probe = probe
+	j.state.err = nil
 	m.mu.Unlock()
 
 	probe.Begin(j.spec.Requests, j.state.started)
 	m.queueWait.Observe(j.state.started.Sub(j.submitted).Seconds())
+	m.journal(store.Record{Type: store.RecStarted, Job: j.id, Attempt: attempt})
 
+	eo := m.execOptions(j)
 	m.activeWorkers.Add(1)
-	res, err := m.safeRun(ctx, j.spec, probe)
+	res, err := m.safeRun(ctx, j.spec, eo)
 	m.activeWorkers.Add(-1)
 	cancel()
 
+	m.settle(j, res, err)
+}
+
+// execOptions wires the durability hooks of one attempt: progress probe,
+// periodic checkpointing, the suspend interrupt and checkpoint resume.
+func (m *Manager) execOptions(j *job) ExecOptions {
+	eo := ExecOptions{Probe: j.state.probe}
+	if m.store == nil || j.spec.Fig5Interval > 0 {
+		// Figure-5 jobs carry collector state outside the checkpoint;
+		// they rerun from scratch after a crash instead of resuming.
+		return eo
+	}
+	id := j.id
+	eo.CheckpointEvery = m.cfg.CheckpointEvery
+	eo.Checkpoint = func(ck *host.Checkpoint) error {
+		t0 := time.Now()
+		if err := m.store.SaveCheckpoint(id, ck); err != nil {
+			return err
+		}
+		if err := m.store.Append(store.Record{
+			Type: store.RecCheckpoint, Job: id, Time: time.Now(),
+			Cycles: ck.Core.Snap.Cycles,
+		}); err != nil {
+			return err
+		}
+		m.checkpoints.Add(1)
+		m.checkpointH.Observe(time.Since(t0).Seconds())
+		return nil
+	}
+	eo.Interrupt = func() error {
+		if m.suspend.Load() {
+			return host.ErrSuspended
+		}
+		return nil
+	}
+	if m.store.HasCheckpoint(id) {
+		ck := new(host.Checkpoint)
+		if err := m.store.LoadCheckpoint(id, ck); err == nil {
+			eo.Resume = ck
+			m.resumed.Add(1)
+		} else {
+			// A checkpoint that fails CRC validation is dropped here;
+			// the attempt runs from scratch.
+			m.store.RemoveCheckpoint(id)
+		}
+	}
+	return eo
+}
+
+// settle records the outcome of one attempt: done, cancelled, suspended
+// for the next process, requeued for retry, or failed for good.
+func (m *Manager) settle(j *job, res Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.state.cancel = nil
 	j.state.probe = nil
+
+	if errors.Is(err, host.ErrSuspended) && m.store != nil {
+		// Graceful drain took the final checkpoint through the hook;
+		// the job stays non-terminal in the journal and resumes on the
+		// next boot.
+		j.state.phase = StateQueued
+		j.state.started = time.Time{}
+		return
+	}
+
 	j.state.finished = time.Now()
 	m.service.Observe(j.state.finished.Sub(j.state.started).Seconds())
 	switch {
 	case err == nil:
+		// Persist the result before journaling done: a replayed done
+		// record implies a loadable result blob.
+		if m.store != nil {
+			if serr := m.store.SaveResult(j.id, &res); serr == nil {
+				m.journal(store.Record{Type: store.RecDone, Job: j.id})
+			}
+			m.store.RemoveCheckpoint(j.id)
+		}
 		j.state.phase = StateDone
 		j.state.result = &res
 		m.completed.Add(1)
@@ -338,36 +536,109 @@ func (m *Manager) runOne(j *job) {
 		j.state.phase = StateCancelled
 		j.state.err = err
 		m.cancelledN.Add(1)
+		m.journal(store.Record{Type: store.RecCancelled, Job: j.id})
+		if m.store != nil {
+			m.store.RemoveCheckpoint(j.id)
+		}
+	case errors.Is(err, ErrBadCheckpoint):
+		// The persisted checkpoint would not restore. Drop it and retry
+		// from cycle zero; the attempt still counts.
+		if m.store != nil {
+			m.store.RemoveCheckpoint(j.id)
+		}
+		m.requeueLocked(j, err)
+	case IsTransient(err) && !m.closed:
+		m.requeueLocked(j, err)
 	default:
-		// Timeouts, simulation errors, panics and shutdown-forced
-		// aborts all fail the job — never the process.
+		// Timeouts, simulation errors and shutdown-forced aborts all
+		// fail the job — never the process.
 		j.state.phase = StateFailed
 		j.state.err = err
 		m.failed.Add(1)
+		m.journal(store.Record{
+			Type: store.RecFailed, Job: j.id,
+			Attempt: j.attempt, Error: err.Error(),
+		})
+	}
+}
+
+// requeueLocked schedules another attempt of a transiently failed job,
+// or fails it when the attempt budget is spent. Caller holds m.mu.
+func (m *Manager) requeueLocked(j *job, cause error) {
+	if j.attempt >= m.cfg.MaxAttempts {
+		j.state.phase = StateFailed
+		j.state.err = fmt.Errorf("server: %d attempts exhausted: %w", j.attempt, cause)
+		m.failed.Add(1)
+		m.journal(store.Record{
+			Type: store.RecFailed, Job: j.id,
+			Attempt: j.attempt, Error: cause.Error(),
+		})
+		return
+	}
+	m.journal(store.Record{
+		Type: store.RecFailed, Job: j.id,
+		Attempt: j.attempt, Error: cause.Error(), Transient: true,
+	})
+	j.state.phase = StateQueued
+	j.state.err = cause
+	m.retries.Add(1)
+	delay := retryDelay(m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay, j.attempt, j.id)
+	time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
+}
+
+// enqueueRetry puts a backoff-expired job back on the queue. A full
+// queue pushes the retry out by another delay; a closed manager leaves
+// the job queued for the next process (store-backed) or fails it.
+func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state.phase != StateQueued || j.cancelled {
+		return // cancelled while waiting for backoff
+	}
+	if m.closed {
+		if m.store == nil {
+			j.state.phase = StateFailed
+			j.state.err = fmt.Errorf("%w: retry abandoned", ErrShuttingDown)
+			m.failed.Add(1)
+		}
+		// With a store the job stays non-terminal in the journal and is
+		// requeued by the next process.
+		return
+	}
+	select {
+	case m.queue <- j:
+	default:
+		time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
 	}
 }
 
 // safeRun invokes the executor with panic recovery: a panicking job
-// surfaces as a failed job, not a dead daemon.
-func (m *Manager) safeRun(ctx context.Context, spec JobSpec, probe *obs.Probe) (res Result, err error) {
+// surfaces as a transiently failed job (worth one more attempt on a
+// fresh simulator instance), not a dead daemon.
+func (m *Manager) safeRun(ctx context.Context, spec JobSpec, eo ExecOptions) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.panics.Add(1)
-			err = fmt.Errorf("server: job panicked: %v", r)
+			err = Transient(fmt.Errorf("server: job panicked: %v", r))
 		}
 	}()
-	return m.cfg.runFn(ctx, spec, probe)
+	return m.cfg.runFn(ctx, spec, eo)
 }
 
-// Shutdown closes the manager for new submissions and drains: queued
-// jobs still run, running jobs finish. If ctx expires first, every
-// outstanding job's context is cancelled (running jobs settle as failed
-// with context.Canceled) and Shutdown returns ctx.Err once the workers
-// exit. Shutdown is idempotent.
+// Shutdown closes the manager for new submissions and drains. Without a
+// store, queued jobs still run and running jobs finish. With a store,
+// drain means suspend: running jobs take a final checkpoint and stop,
+// queued jobs are left journaled — both resume under a future manager
+// opened over the same store. If ctx expires first, every outstanding
+// job's context is cancelled and Shutdown returns ctx.Err once the
+// workers exit. Shutdown is idempotent.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
+		if m.store != nil {
+			m.suspend.Store(true)
+		}
 		close(m.queue)
 	}
 	m.mu.Unlock()
@@ -392,4 +663,13 @@ func (m *Manager) Draining() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.closed
+}
+
+// Recovering reports whether journal replay is still requeueing
+// interrupted jobs; submissions are rejected with ErrRecovering until it
+// finishes.
+func (m *Manager) Recovering() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovering
 }

@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
-	"hmcsim/internal/obs"
 )
 
 // TestMetricsJSONShape pins the JSON exposition: a flat single-line
@@ -238,9 +237,9 @@ func TestRunningJobProgress(t *testing.T) {
 	stepped := make(chan struct{})
 	m := NewManager(ManagerConfig{
 		Workers: 1, QueueDepth: 2,
-		runFn: func(ctx context.Context, spec JobSpec, p *obs.Probe) (Result, error) {
+		runFn: func(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, error) {
 			for c := range steps {
-				p.Set(c, 2*c, c)
+				eo.Probe.Set(c, 2*c, c)
 				stepped <- struct{}{}
 			}
 			return Result{Cycles: 1, Sent: spec.Requests}, nil
@@ -310,7 +309,7 @@ func TestCancelWhileQueuedNeverRuns(t *testing.T) {
 	release := make(chan struct{})
 	m := NewManager(ManagerConfig{
 		Workers: 2, QueueDepth: 64,
-		runFn: func(ctx context.Context, spec JobSpec, _ *obs.Probe) (Result, error) {
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
 			mu.Lock()
 			ran[spec.Name] = true
 			mu.Unlock()

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"hmcsim/internal/store"
+)
+
+// recoverFromJournal rebuilds the job table from the store's replayed
+// journal. It runs synchronously inside NewManager, before the worker
+// pool starts, so the rebuilt table is complete before any request or
+// worker can observe it. The reduction over the record stream is:
+//
+//	submitted            -> the job exists, queued
+//	started              -> attempt counter advances
+//	checkpoint           -> nothing (the blob's presence is the signal)
+//	done                 -> terminal; result reloaded from the blob store
+//	failed (transient)   -> stays queued, attempt counter preserved
+//	failed (final)       -> terminal
+//	cancelled            -> terminal
+//
+// Any job that finishes the reduction still queued was interrupted by
+// the crash (or journaled as retryable) and is returned for requeueing.
+// A done record whose result blob will not load degrades to queued: the
+// job reruns, which is safe because execution is deterministic.
+func (m *Manager) recoverFromJournal() []*job {
+	var pending []*job
+	for _, rec := range m.store.Records() {
+		j := m.jobs[rec.Job]
+		if rec.Type != store.RecSubmitted && j == nil {
+			// The submission record was lost to tail truncation along
+			// with everything before this record; nothing to rebuild.
+			continue
+		}
+		switch rec.Type {
+		case store.RecSubmitted:
+			if j != nil {
+				continue // duplicate ID; keep the first
+			}
+			var spec JobSpec
+			if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+				continue // unreadable spec cannot be rerun
+			}
+			j = &job{
+				id:        rec.Job,
+				spec:      spec,
+				submitted: rec.Time,
+				state:     state{phase: StateQueued},
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			if rec.Key != "" {
+				m.idem[rec.Key] = j.id
+			}
+			var n int
+			if _, err := fmt.Sscanf(rec.Job, "job-%06d", &n); err == nil && n > m.seq {
+				m.seq = n
+			}
+		case store.RecStarted:
+			if rec.Attempt > j.attempt {
+				j.attempt = rec.Attempt
+			}
+		case store.RecDone:
+			res := new(Result)
+			if err := m.store.LoadResult(rec.Job, res); err != nil {
+				continue // degrade to queued; the job reruns
+			}
+			j.state.phase = StateDone
+			j.state.result = res
+			j.state.finished = rec.Time
+		case store.RecFailed:
+			if rec.Transient && j.attempt < m.cfg.MaxAttempts {
+				j.state.phase = StateQueued
+				j.state.err = errors.New(rec.Error)
+				continue
+			}
+			j.state.phase = StateFailed
+			j.state.err = errors.New(rec.Error)
+			j.state.finished = rec.Time
+		case store.RecCancelled:
+			j.cancelled = true
+			j.state.phase = StateCancelled
+			j.state.finished = rec.Time
+		}
+	}
+	for _, id := range m.order {
+		if j := m.jobs[id]; j.state.phase == StateQueued {
+			pending = append(pending, j)
+		}
+	}
+	return pending
+}
+
+// requeueRecovered feeds the crash-interrupted jobs back into the queue
+// in their original submission order, then clears the recovering flag.
+// It runs concurrently with the worker pool — the queue may be smaller
+// than the backlog, so workers must be draining it while this fills it —
+// and holds the lock only per enqueue attempt so status reads stay
+// responsive during recovery.
+func (m *Manager) requeueRecovered(pending []*job) {
+	for _, j := range pending {
+		for {
+			m.mu.Lock()
+			if m.closed || j.cancelled || j.state.phase != StateQueued {
+				m.mu.Unlock()
+				break
+			}
+			select {
+			case m.queue <- j:
+				m.recovered.Add(1)
+				m.mu.Unlock()
+			default:
+				m.mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			break
+		}
+	}
+	m.mu.Lock()
+	m.recovering = false
+	m.mu.Unlock()
+}

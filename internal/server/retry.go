@@ -1,0 +1,63 @@
+package server
+
+import (
+	"errors"
+	"hash/fnv"
+	"time"
+)
+
+// transientError marks a failure worth retrying: the job itself is not
+// known to be at fault, so a fresh attempt may succeed.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err as retryable. The manager requeues a transiently
+// failed job (with backoff) while its attempt budget lasts.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// retryDelay computes the backoff before attempt+1 of a job: exponential
+// in the attempt number from base, capped at max, plus a deterministic
+// jitter in [0, base) derived from (job ID, attempt) — deterministic so
+// the schedule is reproducible in tests and across restarts, jittered so
+// a batch of jobs failing together does not requeue as a thundering
+// herd.
+func retryDelay(base, max time.Duration, attempt int, jobID string) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := max
+	if shift := uint(attempt - 1); attempt >= 1 && shift < 32 {
+		if exp := base << shift; exp > 0 && exp < max {
+			d = exp
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	v := h.Sum64() + uint64(attempt)
+	// splitmix64 finalizer: decorrelates the jitter from the raw hash.
+	v += 0x9E3779B97F4A7C15
+	v = (v ^ v>>30) * 0xBF58476D1CE4E5B9
+	v = (v ^ v>>27) * 0x94D049BB133111EB
+	v ^= v >> 31
+	jitter := time.Duration(v % uint64(base))
+	if d+jitter > max {
+		return max
+	}
+	return d + jitter
+}

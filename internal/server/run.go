@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
@@ -11,21 +13,55 @@ import (
 	"hmcsim/internal/trace"
 )
 
+// ErrBadCheckpoint reports that a persisted checkpoint could not be
+// restored (shape mismatch, failed CRC or digest verification). The
+// manager treats it as a transient condition: it drops the checkpoint
+// and reruns the job from scratch rather than failing it.
+var ErrBadCheckpoint = errors.New("server: unusable checkpoint")
+
+// ExecOptions carries the optional hooks of one job execution. The zero
+// value runs the job plainly, exactly like Execute.
+type ExecOptions struct {
+	// Probe receives live progress (host.Options.Progress).
+	Probe *obs.Probe
+	// Interrupt, when non-nil, is polled once per simulated cycle before
+	// the job's context; returning host.ErrSuspended triggers the
+	// suspend-with-final-checkpoint path.
+	Interrupt func() error
+	// Resume, when non-nil, restores this checkpoint into the freshly
+	// built engine and continues the run instead of starting from cycle
+	// zero. Restoration failures surface as ErrBadCheckpoint.
+	Resume *host.Checkpoint
+	// CheckpointEvery and Checkpoint enable periodic checkpoint delivery
+	// (host.Options.CheckpointEvery / Checkpoint).
+	CheckpointEvery uint64
+	Checkpoint      func(*host.Checkpoint) error
+}
+
 // Execute builds an independent simulator instance for spec and runs it
 // to completion, honouring ctx cancellation between clock cycles. It is
 // the unit of work a manager worker performs, exported so clients
 // (cmd/hmcsim-table1 -json, tests) can produce byte-identical result
 // payloads without a server.
 func Execute(ctx context.Context, spec JobSpec) (Result, error) {
-	return ExecuteProbed(ctx, spec, nil)
+	return ExecuteOpts(ctx, spec, ExecOptions{})
 }
 
 // ExecuteProbed is Execute with a live progress probe threaded into the
-// driver's clock loop (host.Options.Progress). The manager passes each
-// running job's probe here so GET /v1/jobs/{id} reports live progress;
-// a nil probe disables the hook entirely. The probe never influences
-// the simulation: results are bit-identical with and without it.
+// driver's clock loop (host.Options.Progress). The probe never
+// influences the simulation: results are bit-identical with and without
+// it.
 func ExecuteProbed(ctx context.Context, spec JobSpec, probe *obs.Probe) (Result, error) {
+	return ExecuteOpts(ctx, spec, ExecOptions{Probe: probe})
+}
+
+// ExecuteOpts is the full-control executor: Execute plus progress,
+// interrupt, checkpoint and resume hooks. Checkpoint/resume hooks are
+// disabled when the spec attaches a Figure-5 collector — the collector's
+// accumulated series is not part of the checkpoint, so such jobs restart
+// from scratch after a crash instead of resuming with a hole in their
+// series.
+func ExecuteOpts(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, error) {
 	cfg := spec.Config
 	if cfg.Workers == 0 && spec.Workload.Workers > 0 {
 		// The workload-level worker hint applies only when the device
@@ -48,16 +84,39 @@ func ExecuteProbed(ctx context.Context, spec JobSpec, probe *obs.Probe) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	d, err := host.NewDriver(h, host.Options{
+	interrupt := ctx.Err
+	if eo.Interrupt != nil {
+		interrupt = func() error {
+			if err := eo.Interrupt(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+	}
+	hopts := host.Options{
 		Posted:    spec.Posted,
 		Warmup:    spec.Warmup,
-		Interrupt: ctx.Err,
-		Progress:  probe,
-	})
+		Interrupt: interrupt,
+		Progress:  eo.Probe,
+	}
+	resumable := spec.Fig5Interval == 0
+	if resumable {
+		hopts.CheckpointEvery = eo.CheckpointEvery
+		hopts.Checkpoint = eo.Checkpoint
+	}
+	d, err := host.NewDriver(h, hopts)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := d.Run(gen, spec.Requests)
+	var res host.Result
+	if eo.Resume != nil && resumable {
+		res, err = d.Resume(gen, spec.Requests, eo.Resume)
+		if errors.Is(err, host.ErrRestore) {
+			return Result{}, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	} else {
+		res, err = d.Run(gen, spec.Requests)
+	}
 	if err != nil {
 		return Result{}, err
 	}

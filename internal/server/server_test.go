@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
-	"hmcsim/internal/obs"
 	"hmcsim/internal/workload"
 )
 
@@ -180,8 +179,8 @@ func TestDeterminismUnderConcurrency(t *testing.T) {
 }
 
 // blockingRun returns a runFn that parks jobs until release is closed.
-func blockingRun(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec, *obs.Probe) (Result, error) {
-	return func(ctx context.Context, spec JobSpec, _ *obs.Probe) (Result, error) {
+func blockingRun(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec, ExecOptions) (Result, error) {
+	return func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
 		if started != nil {
 			started <- spec.Name
 		}
@@ -314,7 +313,7 @@ func TestPanicRecoveryFailsOnlyTheJob(t *testing.T) {
 	var calls int32
 	m := NewManager(ManagerConfig{
 		Workers: 1, QueueDepth: 4,
-		runFn: func(ctx context.Context, spec JobSpec, _ *obs.Probe) (Result, error) {
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
 			if spec.Name == "bomb" {
 				panic("boom")
 			}

@@ -1,0 +1,51 @@
+package stats
+
+import "fmt"
+
+// HistogramState is the serializable contents of a Histogram, used by the
+// host driver's checkpoint machinery to carry partially accumulated
+// latency and occupancy distributions across a suspend/resume boundary.
+type HistogramState struct {
+	// Buckets holds the 65 power-of-two bucket counts; omitted (nil) when
+	// the histogram is empty.
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Min     uint64   `json:"min,omitempty"`
+	Max     uint64   `json:"max,omitempty"`
+}
+
+// State exports a copy of the histogram's contents.
+func (h *Histogram) State() HistogramState {
+	if h.count == 0 {
+		return HistogramState{}
+	}
+	s := HistogramState{
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	copy(s.Buckets, h.buckets[:])
+	return s
+}
+
+// Restore replaces the histogram's contents with a previously exported
+// state.
+func (h *Histogram) Restore(s HistogramState) error {
+	if s.Count == 0 {
+		*h = Histogram{}
+		return nil
+	}
+	if len(s.Buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: histogram state has %d buckets, want %d", len(s.Buckets), len(h.buckets))
+	}
+	var sum uint64
+	for _, c := range s.Buckets {
+		sum += c
+	}
+	if sum != s.Count {
+		return fmt.Errorf("stats: histogram state count %d does not match bucket total %d", s.Count, sum)
+	}
+	*h = Histogram{count: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	copy(h.buckets[:], s.Buckets)
+	return nil
+}

@@ -1,0 +1,348 @@
+// Package store implements the simulation service's durability layer: an
+// append-only write-ahead journal of job lifecycle records plus a small
+// blob store for finished results and resumable checkpoints.
+//
+// The journal is a text file of CRC-framed JSON lines. Every record is
+// fsynced before the append returns, so a record the service has
+// acknowledged survives a crash of the process or the machine. Torn tails
+// — a partial line from a crash mid-write, or trailing corruption — are
+// detected by the per-line CRC on replay and truncated away: the journal
+// recovers to the longest verifiable prefix rather than refusing to open
+// (DESIGN.md §12).
+//
+// Results and checkpoints are whole files written via temp-and-rename, so
+// a reader only ever observes a complete blob or none at all.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record types, in lifecycle order. A job's journal history is the
+// sequence of its records; replaying the histories of all jobs
+// reconstructs the service state at the crash point.
+const (
+	// RecSubmitted carries the job's spec and optional idempotency key.
+	// It is written — and synced — before the submission is acknowledged.
+	RecSubmitted = "submitted"
+	// RecStarted marks an execution attempt claiming the job.
+	RecStarted = "started"
+	// RecCheckpoint marks a persisted resumable checkpoint at Cycles.
+	RecCheckpoint = "checkpoint"
+	// RecDone marks successful completion; the result blob is persisted
+	// before this record is written, so a replayed RecDone implies the
+	// result is loadable.
+	RecDone = "done"
+	// RecFailed marks a failed attempt. Transient distinguishes a
+	// retryable failure (the job may requeue under its attempt budget)
+	// from a permanent one.
+	RecFailed = "failed"
+	// RecCancelled marks a user cancellation.
+	RecCancelled = "cancelled"
+)
+
+// Record is one journal entry.
+type Record struct {
+	Type string    `json:"type"`
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+	// Key is the submission's idempotency key (RecSubmitted only).
+	Key string `json:"key,omitempty"`
+	// Spec is the submitted job specification, verbatim (RecSubmitted).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Attempt numbers the execution attempt (RecStarted, RecFailed).
+	Attempt int `json:"attempt,omitempty"`
+	// Cycles is the simulated clock of a persisted checkpoint
+	// (RecCheckpoint).
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Error and Transient describe a failure (RecFailed).
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+const (
+	journalName    = "journal.log"
+	resultsDir     = "results"
+	checkpointsDir = "checkpoints"
+)
+
+// Store is the on-disk state of one service instance. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File
+	records   []Record
+	truncated int64
+}
+
+// Open opens (creating if necessary) the durability directory and
+// replays the journal. A torn or corrupt journal tail is truncated away;
+// TruncatedBytes reports how much was discarded.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, resultsDir), filepath.Join(dir, checkpointsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{dir: dir}
+	path := filepath.Join(dir, journalName)
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// replay loads the verifiable prefix of the journal and truncates the
+// file to it.
+func (s *Store) replay(path string) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := int64(0)
+	rest := b
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn final line
+		}
+		rec, ok := parseLine(rest[:nl])
+		if !ok {
+			break // CRC or framing failure: stop at the last good record
+		}
+		s.records = append(s.records, rec)
+		good += int64(nl) + 1
+		rest = rest[nl+1:]
+	}
+	if tail := int64(len(b)) - good; tail > 0 {
+		s.truncated = tail
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// frameLine renders payload as a CRC-framed journal line.
+func frameLine(payload []byte) []byte {
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	return append(line, '\n')
+}
+
+// parseLine validates one framed line (without the trailing newline).
+func parseLine(line []byte) (Record, bool) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Append journals one record and syncs it to stable storage before
+// returning. A nil return means the record survives a crash.
+func (s *Store) Append(rec Record) error {
+	if err := checkJob(rec.Job); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.f.Write(frameLine(payload)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Records returns the replayed-plus-appended journal history, oldest
+// first. The slice is a copy.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// TruncatedBytes reports how many bytes of torn or corrupt journal tail
+// Open discarded.
+func (s *Store) TruncatedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncated
+}
+
+// Dir returns the durability directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes the journal. Further Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// checkJob guards blob paths and journal records against job IDs that
+// would escape the durability directory.
+func checkJob(job string) error {
+	if job == "" || strings.ContainsAny(job, "/\\") || strings.Contains(job, "..") {
+		return fmt.Errorf("store: invalid job id %q", job)
+	}
+	return nil
+}
+
+// writeBlob atomically persists data at path via temp-and-rename,
+// syncing the blob before the rename so the name never points at a
+// partial file.
+func writeBlob(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// SaveResult persists a finished job's result blob. Call it before
+// journaling RecDone, so a replayed RecDone always finds the blob.
+func (s *Store) SaveResult(job string, v any) error {
+	if err := checkJob(job); err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeBlob(filepath.Join(s.dir, resultsDir, job+".json"), data)
+}
+
+// LoadResult loads a finished job's result blob into v.
+func (s *Store) LoadResult(job string, v any) error {
+	if err := checkJob(job); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, resultsDir, job+".json"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("store: result for %s: %w", job, err)
+	}
+	return nil
+}
+
+// SaveCheckpoint persists a job's latest resumable checkpoint,
+// CRC-framed like a journal line so bit rot surfaces on load instead of
+// as a diverged resume. Each save replaces the previous checkpoint.
+func (s *Store) SaveCheckpoint(job string, v any) error {
+	if err := checkJob(job); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeBlob(filepath.Join(s.dir, checkpointsDir, job+".ckpt"), frameLine(payload))
+}
+
+// LoadCheckpoint loads a job's persisted checkpoint into v. It reports
+// os.ErrNotExist (wrapped) when none exists and a validation error when
+// the blob's CRC does not match.
+func (s *Store) LoadCheckpoint(job string, v any) error {
+	if err := checkJob(job); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, checkpointsDir, job+".ckpt"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line, ok := bytes.CutSuffix(data, []byte{'\n'})
+	if !ok || len(line) < 10 || line[8] != ' ' {
+		return fmt.Errorf("store: checkpoint for %s is torn", job)
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return fmt.Errorf("store: checkpoint for %s is torn", job)
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return fmt.Errorf("store: checkpoint for %s fails CRC validation", job)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("store: checkpoint for %s: %w", job, err)
+	}
+	return nil
+}
+
+// RemoveCheckpoint deletes a job's persisted checkpoint, if any.
+func (s *Store) RemoveCheckpoint(job string) {
+	if checkJob(job) == nil {
+		os.Remove(filepath.Join(s.dir, checkpointsDir, job+".ckpt"))
+	}
+}
+
+// HasCheckpoint reports whether a persisted checkpoint exists for job.
+func (s *Store) HasCheckpoint(job string) bool {
+	if checkJob(job) != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir, checkpointsDir, job+".ckpt"))
+	return err == nil
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	recs := []Record{
+		{Type: RecSubmitted, Job: "job-000001", Key: "k1", Spec: []byte(`{"n":100}`), Time: time.Unix(1, 0).UTC()},
+		{Type: RecStarted, Job: "job-000001", Attempt: 1},
+		{Type: RecCheckpoint, Job: "job-000001", Cycles: 4096},
+		{Type: RecDone, Job: "job-000001"},
+		{Type: RecFailed, Job: "job-000002", Attempt: 1, Error: "boom", Transient: true},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	got := s2.Records()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Type != recs[i].Type || got[i].Job != recs[i].Job ||
+			got[i].Attempt != recs[i].Attempt || got[i].Cycles != recs[i].Cycles ||
+			got[i].Error != recs[i].Error || got[i].Transient != recs[i].Transient ||
+			got[i].Key != recs[i].Key || !bytes.Equal(got[i].Spec, recs[i].Spec) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if s2.TruncatedBytes() != 0 {
+		t.Errorf("clean journal reported %d truncated bytes", s2.TruncatedBytes())
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(Record{Type: RecStarted, Job: fmt.Sprintf("job-%06d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, journalName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		tail []byte
+	}{
+		{"partial line", []byte(`0badc0de {"type":"sta`)},
+		{"bad crc", append([]byte(`00000000 {"type":"started","job":"job-000009","time":"0001-01-01T00:00:00Z"}`), '\n')},
+		{"not json", append([]byte(fmt.Sprintf("%08x %s", 0x8c736521, "notjson")), '\n')},
+		{"binary garbage", []byte{0xff, 0x00, 0x41, 0x0a, 0x99}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte(nil), whole...), tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openStore(t, dir)
+			if got := s2.Records(); len(got) != 3 {
+				t.Fatalf("replayed %d records, want the 3 intact ones", len(got))
+			}
+			if s2.TruncatedBytes() == 0 {
+				t.Error("torn tail not reported")
+			}
+			// The file itself was repaired: a further append and reopen
+			// must produce exactly 4 records.
+			if err := s2.Append(Record{Type: RecDone, Job: "job-000002"}); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			s3 := openStore(t, dir)
+			if got := s3.Records(); len(got) != 4 || got[3].Type != RecDone {
+				t.Fatalf("after repair+append: %d records", len(got))
+			}
+			s3.Close()
+		})
+	}
+}
+
+func TestJournalCorruptionMidFileStopsReplay(t *testing.T) {
+	// Corruption in the middle discards everything after it: the journal
+	// is a prefix log, not a skip list — later records may depend on
+	// earlier ones.
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Record{Type: RecStarted, Job: fmt.Sprintf("job-%06d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, journalName)
+	b, _ := os.ReadFile(path)
+	lines := bytes.SplitAfter(b, []byte{'\n'})
+	lines[2][12] ^= 0x01 // flip a payload bit in the third record
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	if got := s2.Records(); len(got) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(got))
+	}
+}
+
+func TestResultBlobRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	type payload struct {
+		Digest uint64 `json:"digest"`
+		Cycles uint64 `json:"cycles"`
+	}
+	want := payload{Digest: 0xDEADBEEF, Cycles: 123456}
+	if err := s.SaveResult("job-000007", want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := s.LoadResult("job-000007", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if err := s.LoadResult("job-999999", &got); err == nil {
+		t.Error("loading a missing result succeeded")
+	}
+}
+
+func TestCheckpointBlobValidation(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	blob := map[string]uint64{"cycles": 99}
+	if err := s.SaveCheckpoint("job-000001", blob); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasCheckpoint("job-000001") {
+		t.Error("HasCheckpoint false after save")
+	}
+	var got map[string]uint64
+	if err := s.LoadCheckpoint("job-000001", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["cycles"] != 99 {
+		t.Errorf("got %v", got)
+	}
+
+	// Bit rot must surface as a CRC failure, not a silent bad resume.
+	path := filepath.Join(s.Dir(), checkpointsDir, "job-000001.ckpt")
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCheckpoint("job-000001", &got); err == nil {
+		t.Error("corrupted checkpoint loaded without error")
+	}
+
+	s.RemoveCheckpoint("job-000001")
+	if s.HasCheckpoint("job-000001") {
+		t.Error("checkpoint still present after removal")
+	}
+	if err := s.LoadCheckpoint("job-000001", &got); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing checkpoint: %v, want ErrNotExist", err)
+	}
+}
+
+func TestInvalidJobIDsRejected(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	for _, id := range []string{"", "../escape", "a/b", `a\b`, "job-..-x"} {
+		if err := s.Append(Record{Type: RecStarted, Job: id}); err == nil {
+			t.Errorf("Append accepted job id %q", id)
+		}
+		if err := s.SaveResult(id, 1); err == nil {
+			t.Errorf("SaveResult accepted job id %q", id)
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	s.Close()
+	if err := s.Append(Record{Type: RecStarted, Job: "job-000001"}); err == nil {
+		t.Error("Append after Close succeeded")
+	}
+}

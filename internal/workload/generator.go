@@ -20,6 +20,19 @@ type Generator interface {
 	Next() Access
 }
 
+// FastForward advances gen by n Next calls, discarding the results. Every
+// generator in this package is a pure function of (parameters, call
+// count), so replaying the draws reproduces the exact internal state a
+// live generator had after its n-th access — including generators whose
+// randomness source cannot be serialized directly (Zipf wraps math/rand).
+// The host driver's checkpoint records the draw count and rebuilds the
+// generator this way on resume.
+func FastForward(gen Generator, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		gen.Next()
+	}
+}
+
 // RandomAccess is the paper's random access test workload: a randomized
 // stream of mixed reads and writes of a fixed block size against a
 // specified address range, driven by the glibc linear congruential

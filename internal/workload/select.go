@@ -24,6 +24,18 @@ func (s *RoundRobin) Select(Access) int {
 	return l
 }
 
+// Pos returns the selector's rotation position (the link the next Select
+// call will return), for checkpoint serialization.
+func (s *RoundRobin) Pos() int { return s.next }
+
+// SetPos rewinds the rotation to a previously captured position.
+func (s *RoundRobin) SetPos(p int) {
+	if s.NumLinks > 0 {
+		p %= s.NumLinks
+	}
+	s.next = p
+}
+
 // Locality selects the link whose associated quad unit is physically
 // closest to the required vault, minimizing routed latency penalties.
 type Locality struct {
