@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -76,6 +76,17 @@ metrics-smoke:
 crash-smoke:
 	$(GO) test -run 'TestCrashRecovery' -v .
 	$(GO) test -run 'TestSuspendResumeDigestIdentical|TestJournalRecovery|TestIdempotentSubmit' -v ./internal/server
+
+# fabric-smoke exercises the multi-cube system-graph layer end to end:
+# the fabric conformance suite (digest + trace bit-identity across
+# worker counts, with and without fault injection), a 2x2 mesh run
+# through the offline CLI, and a topology capture round-tripped through
+# the JSON spec loader (DESIGN.md §13).
+fabric-smoke:
+	$(GO) test -run 'TestFabric' -v ./internal/fabric/... ./internal/server
+	$(GO) run ./cmd/hmcsim-fabric -requests 16384 -workers 4
+	$(GO) run ./cmd/hmcsim-topo -topo ring -devs 4 -json > $(or $(TMPDIR),/tmp)/hmcsim-ring4.json
+	$(GO) run ./cmd/hmcsim-fabric -spec $(or $(TMPDIR),/tmp)/hmcsim-ring4.json -requests 4096
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

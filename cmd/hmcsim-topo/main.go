@@ -5,12 +5,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/fabric"
 	"hmcsim/internal/host"
 	"hmcsim/internal/topo"
 	"hmcsim/internal/workload"
@@ -24,6 +26,7 @@ func main() {
 	links := flag.Int("links", 4, "links per device (4 or 8; torus requires 8)")
 	smoke := flag.Uint64("smoke", 0, "drive this many requests spread across all devices")
 	dot := flag.String("dot", "", "write a Graphviz rendering of the topology to this file")
+	jsonOut := flag.Bool("json", false, "emit the topology as a fabric system-graph spec (JSON) and exit")
 	flag.Parse()
 
 	var (
@@ -49,6 +52,19 @@ func main() {
 	}
 	if err := t.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		// The captured spec round-trips: feeding it back through the
+		// fabric layer (hmcsim-fabric -spec, or the "fabric" block of a
+		// job submission) reproduces this wiring exactly.
+		spec := fabric.FromTopology(t)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("topology: %s  (%d devices, %d links each, host ID %d)\n\n",

@@ -43,6 +43,10 @@ type Checkpoint struct {
 	Retry []RetryCheckpoint `json:"retry,omitempty"`
 	// Devices holds the per-device architectural state.
 	Devices []DeviceCheckpoint `json:"devices"`
+	// Cubes holds the per-cube traffic counters (CubeStats). The field is
+	// absent from checkpoints written before the fabric layer existed;
+	// Restore tolerates the absence by resuming with zeroed counters.
+	Cubes []CubeStats `json:"cubes,omitempty"`
 }
 
 // RetryCheckpoint is one occupied link-controller retry buffer.
@@ -127,6 +131,7 @@ func (h *HMC) Checkpoint() *Checkpoint {
 		Snap:  h.Snapshot(),
 		Seq:   append([]uint8(nil), h.seq...),
 		Fault: h.fault.State(),
+		Cubes: h.CubeStats(),
 	}
 	ck.VaultStreams = make([][]uint64, len(h.vaultFaults))
 	for dev := range h.vaultFaults {
@@ -248,7 +253,7 @@ func (h *HMC) Restore(ck *Checkpoint) error {
 	}
 	// The live routing tables derive from the restored failure set, not
 	// from whatever failLink calls sealing performed.
-	h.routes = h.topo.RoutesAvoiding(h.linkFailed)
+	h.routes = h.liveRoutes()
 
 	for i := range h.retry {
 		clear(h.retry[i])
@@ -314,6 +319,13 @@ func (h *HMC) Restore(ck *Checkpoint) error {
 	copy(h.seq, ck.Seq)
 	h.clk = ck.Snap.Cycles
 	h.stats = ck.Snap.Stats
+	clear(h.cubeStats)
+	if ck.Cubes != nil {
+		if len(ck.Cubes) != len(h.cubeStats) {
+			return fmt.Errorf("%w: per-cube counter shape mismatch", ErrCheckpoint)
+		}
+		copy(h.cubeStats, ck.Cubes)
+	}
 
 	if got := h.StateDigest(); got != ck.Snap.Digest {
 		return fmt.Errorf("%w: restored state digest %016x does not match recorded %016x",

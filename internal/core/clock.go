@@ -404,6 +404,16 @@ func (h *HMC) deliverLocal(d *device.Device, li, slot int) stageOutcome {
 	if err := pushMoved(v.RqstQ, p, h.clk); err != nil {
 		return outcomeStall
 	}
+	cs := &h.cubeStats[d.ID]
+	cs.Delivered++
+	switch {
+	case cmd.IsRead():
+		cs.Reads++
+	case cmd.IsWrite():
+		cs.Writes++
+	case cmd.IsAtomic():
+		cs.Atomics++
+	}
 	q.Remove(slot)
 	return outcomeRemoved
 }
@@ -422,6 +432,13 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 		// Deliberately misconfigured topology: respond with an error
 		// structure rather than failing the simulation.
 		return h.errorAt(d, li, slot, packet.ErrStatTopology)
+	}
+	if lat := uint64(h.cfg.LinkLatency); lat > 1 && h.clk-q.At(slot).Arrived < lat {
+		// Per-hop link latency: the packet dwells at its queue head
+		// until the modeled flight time elapses. Arrival stamps are
+		// non-decreasing along a FIFO, so stalling here never starves a
+		// younger packet that could otherwise move.
+		return outcomeStall
 	}
 	link := &d.Links[el]
 	peer := h.devs[link.DstCube]
@@ -473,6 +490,7 @@ func (h *HMC) forwardRemote(d *device.Device, li, slot int, dest int) stageOutco
 	}
 	peer.Links[link.DstLink].ReqFlits += uint64(p.Flits())
 	h.stats.RouteHops++
+	h.cubeStats[d.ID].ReqRelayed++
 	if h.mask&trace.KindRoute != 0 {
 		h.emit(trace.Event{
 			Kind: trace.KindRoute, Dev: d.ID, Link: el, Quad: trace.None,
@@ -539,6 +557,7 @@ func (h *HMC) serviceMode(d *device.Device, li, slot int) stageOutcome {
 		})
 	}
 	h.stats.Modes++
+	h.cubeStats[d.ID].Modes++
 	if h.mask&trace.KindRqst != 0 {
 		h.emit(trace.Event{
 			Kind: trace.KindRqst, Dev: d.ID, Link: li, Quad: l.Quad,
@@ -703,6 +722,7 @@ func (h *HMC) responseStage(cube int) {
 			if err := pushMoved(lq, p, h.clk); err != nil {
 				break
 			}
+			h.cubeStats[cube].Responses++
 			if rerouted {
 				h.noteReroute(cube, out, p, uint64(p.SLID()))
 			}
@@ -734,6 +754,13 @@ func (h *HMC) responseStage(cube int) {
 				continue
 			}
 			p := s.Packet
+			if lat := uint64(h.cfg.LinkLatency); lat > 1 && h.clk-s.Arrived < lat {
+				// Per-hop link latency on the response path mirrors the
+				// request-side dwell; FIFO arrival order makes the stall
+				// safe for the whole queue.
+				i = q.Len()
+				continue
+			}
 			peer := l.DstCube
 			out, rerouted := h.responseEgress(peer, p)
 			if out < 0 {
@@ -798,6 +825,7 @@ func (h *HMC) responseStage(cube int) {
 				continue
 			}
 			l.RspFlits += uint64(p.Flits())
+			h.cubeStats[cube].RspRelayed++
 			if h.mask&trace.KindRoute != 0 {
 				h.emit(trace.Event{
 					Kind: trace.KindRoute, Dev: cube, Link: li, Quad: trace.None,

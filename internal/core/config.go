@@ -100,6 +100,16 @@ type Config struct {
 	// vault. Disabled, the crossbar queues are strict FIFOs with
 	// head-of-line blocking.
 	XbarPassing bool
+	// LinkLatency is the per-hop inter-cube link latency in clock
+	// cycles: a packet crossing a cube boundary dwells at the head of
+	// the forwarding crossbar queue until LinkLatency cycles have passed
+	// since it arrived in that queue. Zero or one preserves the legacy
+	// single-cycle hop. The knob models SerDes plus cable flight time on
+	// fabric links; intra-cube crossbar traversal is unaffected.
+	//
+	// The json tag keeps single-cube wire payloads byte-identical when
+	// the knob is unset.
+	LinkLatency int `json:",omitempty"`
 }
 
 // Table1Configs returns the four device configurations evaluated in the
@@ -187,6 +197,9 @@ func (c Config) Validate() error {
 	}
 	if c.RefreshInterval == 0 && c.RefreshDuration > 0 {
 		return fmt.Errorf("%w: refresh duration without an interval", ErrConfig)
+	}
+	if c.LinkLatency < 0 || c.LinkLatency > 1024 {
+		return fmt.Errorf("%w: link latency %d out of [0, 1024] cycles", ErrConfig, c.LinkLatency)
 	}
 	if c.Workers < 0 || c.Workers > MaxWorkers {
 		return fmt.Errorf("%w: worker count %d out of [0, %d]", ErrConfig, c.Workers, MaxWorkers)

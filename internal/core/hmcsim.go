@@ -112,7 +112,16 @@ type HMC struct {
 	// subsequent cycles.
 	retry [][]retryState
 
+	// router, when non-nil, computes the pristine routing tables instead
+	// of breadth-first search (WithRouter; the fabric layer installs
+	// dimension-order tables for grids). Degraded routing around failed
+	// links always falls back to breadth-first search.
+	router func(*topo.Topology) (*topo.Routes, error)
+
 	stats Stats
+	// cubeStats is the per-device traffic breakdown (see CubeStats);
+	// updated only from serial sub-cycle stages.
+	cubeStats []CubeStats
 }
 
 // retryState is one link controller's retry buffer: a single in-flight
@@ -165,6 +174,7 @@ func New(cfg Config) (*HMC, error) {
 		h.vaultFaults[i] = make([]fault.VaultStream, cfg.NumVaults)
 	}
 	h.resetVaultFaults()
+	h.cubeStats = make([]CubeStats, cfg.NumDevs)
 	return h, nil
 }
 
@@ -277,8 +287,33 @@ func (h *HMC) failLink(dev, link int) {
 		}
 	}
 	if h.sealed {
-		h.routes = h.topo.RoutesAvoiding(h.linkFailed)
+		h.routes = h.liveRoutes()
 	}
+}
+
+// liveRoutes computes the routing tables the engine steers by. A custom
+// router (WithRouter) supplies the pristine tables, and those stay live
+// for as long as no link has failed — otherwise every forward would be
+// miscounted as a reroute against the breadth-first baseline. Degraded
+// operation always falls back to breadth-first routing over the
+// surviving links, whatever the pristine discipline.
+func (h *HMC) liveRoutes() *topo.Routes {
+	if h.router != nil && !h.anyLinkFailed() {
+		return h.routesPristine
+	}
+	return h.topo.RoutesAvoiding(h.linkFailed)
+}
+
+// anyLinkFailed reports whether any link endpoint is permanently down.
+func (h *HMC) anyLinkFailed() bool {
+	for dev := 0; dev < h.cfg.NumDevs; dev++ {
+		for l := 0; l < h.cfg.NumLinks; l++ {
+			if h.linkFailed(dev, l) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (h *HMC) emit(e trace.Event) {
@@ -331,7 +366,15 @@ func (h *HMC) seal() error {
 	if err := h.topo.Validate(); err != nil {
 		return err
 	}
-	h.routesPristine = h.topo.Routes()
+	if h.router != nil {
+		r, err := h.router(h.topo)
+		if err != nil {
+			return err
+		}
+		h.routesPristine = r
+	} else {
+		h.routesPristine = h.topo.Routes()
+	}
 	// Apply the statically failed links of the fault configuration, now
 	// that the wiring is known, then compute the (possibly degraded)
 	// live routing tables.
@@ -339,7 +382,7 @@ func (h *HMC) seal() error {
 	for _, l := range h.fault.StaticFailedLinks() {
 		h.failLink(l.Dev, l.Link)
 	}
-	h.routes = h.topo.RoutesAvoiding(h.linkFailed)
+	h.routes = h.liveRoutes()
 	h.rootOrder = h.rootOrder[:0]
 	h.childOrder = h.childOrder[:0]
 	for cube := 0; cube < h.cfg.NumDevs; cube++ {
@@ -372,6 +415,7 @@ func (h *HMC) Free() {
 	h.sealed = false
 	h.clk = 0
 	h.stats = Stats{}
+	clear(h.cubeStats)
 	h.fault.Reset()
 	h.resetVaultFaults()
 	for i := range h.retry {

@@ -48,6 +48,22 @@ func WithTopology(t *topo.Topology) Option {
 	}
 }
 
+// WithRouter installs a custom constructor for the pristine routing
+// tables, replacing the default breadth-first shortest-path computation
+// — the hook the fabric layer uses to impose dimension-order routing on
+// grids. The constructor runs at seal time against the final topology;
+// an error fails the first Send or Clock. Degraded operation after
+// permanent link failures always falls back to breadth-first routing
+// over the surviving links, whatever tables fn produced.
+func WithRouter(fn func(*topo.Topology) (*topo.Routes, error)) Option {
+	return func(b *builder) {
+		b.post = append(b.post, func(h *HMC) error {
+			h.router = fn
+			return nil
+		})
+	}
+}
+
 // WithTrace installs a trace consumer with the given verbosity mask, as
 // SetTracer plus SetTraceMask would. A nil tracer leaves tracing
 // disabled regardless of the mask.

@@ -1,0 +1,232 @@
+// Package fabric defines the declarative system-graph specification of a
+// multi-cube simulation: N identical HMC cubes wired into a named
+// topology (or an explicit edge list), host attach points, an address
+// interleave spreading one flat host address space across the cubes, and
+// the per-hop latency of the inter-cube links.
+//
+// The package is spec-only — it serializes to JSON as part of a job
+// submission and knows how to materialize the wiring as an
+// internal/topo graph — so the API layer can embed it without pulling in
+// the simulation engine. Package fabric/engine builds and drives the
+// actual simulation from a Spec.
+package fabric
+
+import (
+	"fmt"
+
+	"hmcsim/internal/topo"
+)
+
+// Named topologies a Spec can request. "custom" (or an empty name with
+// an explicit edge list) wires the graph from Spec.Links/Spec.Hosts.
+const (
+	TopoMesh   = "mesh"
+	TopoTorus  = "torus"
+	TopoRing   = "ring"
+	TopoChain  = "chain"
+	TopoCustom = "custom"
+)
+
+// Edge is one inter-cube cable: link ALink of cube A plugged into link
+// BLink of cube B.
+type Edge struct {
+	A     int `json:"a"`
+	ALink int `json:"a_link"`
+	B     int `json:"b"`
+	BLink int `json:"b_link"`
+}
+
+// HostPort is one host attach point: link Link of cube Cube wired to the
+// host processor.
+type HostPort struct {
+	Cube int `json:"cube"`
+	Link int `json:"link"`
+}
+
+// Spec is the declarative system graph. The zero value is invalid; a
+// minimal useful spec names a topology and a cube count, e.g.
+//
+//	{"topology": "mesh", "rows": 2, "cols": 2}
+type Spec struct {
+	// Topology names the wiring: "mesh", "torus", "ring", "chain" or
+	// "custom". An empty name with a non-empty Links list selects
+	// "custom"; otherwise empty is invalid.
+	Topology string `json:"topology,omitempty"`
+	// Cubes is the cube count for "ring", "chain" and "custom". Grid
+	// topologies derive it from Rows*Cols (Cubes, when also set, must
+	// agree).
+	Cubes int `json:"cubes,omitempty"`
+	// Rows and Cols shape "mesh" and "torus" grids (row-major cube IDs,
+	// cube = row*Cols + col).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Links is the explicit edge list of a "custom" graph.
+	Links []Edge `json:"links,omitempty"`
+	// Hosts lists the host attach points of a "custom" graph. Named
+	// topologies place host links themselves (every free boundary link)
+	// and ignore this field.
+	Hosts []HostPort `json:"hosts,omitempty"`
+	// LinkLatency is the per-hop inter-cube link latency in cycles
+	// (core.Config.LinkLatency); zero or one keeps single-cycle hops.
+	LinkLatency int `json:"link_latency,omitempty"`
+	// InterleaveBytes is the block granularity of the address interleave
+	// spreading the host's flat address space across the cubes: a power
+	// of two >= 16, zero selecting 64.
+	InterleaveBytes uint64 `json:"interleave_bytes,omitempty"`
+	// InjectCube is the cube whose host links carry the injected
+	// traffic (default 0). Responses may drain at any host port.
+	InjectCube int `json:"inject_cube,omitempty"`
+}
+
+// Kind resolves the effective topology name: Topology, or "custom" when
+// the name is empty but an explicit edge list is present.
+func (s *Spec) Kind() string {
+	if s.Topology == "" && len(s.Links) > 0 {
+		return TopoCustom
+	}
+	return s.Topology
+}
+
+// NumCubes returns the cube count the spec describes (0 when invalid).
+func (s *Spec) NumCubes() int {
+	switch s.Kind() {
+	case TopoMesh, TopoTorus:
+		return s.Rows * s.Cols
+	default:
+		return s.Cubes
+	}
+}
+
+// Interleave returns the address interleave of the spec's cube set.
+func (s *Spec) Interleave() Interleave {
+	block := s.InterleaveBytes
+	if block == 0 {
+		block = 64
+	}
+	return Interleave{Ways: s.NumCubes(), Block: block}
+}
+
+// Validate checks the structural consistency of the spec. Link-count
+// feasibility against a concrete cube shape is checked by Graph.
+func (s *Spec) Validate() error {
+	switch s.Kind() {
+	case TopoMesh:
+		if s.Rows < 1 || s.Cols < 1 || s.Rows*s.Cols < 2 {
+			return fmt.Errorf("fabric: mesh needs at least 2 cubes, got %dx%d", s.Rows, s.Cols)
+		}
+	case TopoTorus:
+		if s.Rows < 3 || s.Cols < 3 {
+			return fmt.Errorf("fabric: torus needs at least 3x3 cubes, got %dx%d", s.Rows, s.Cols)
+		}
+	case TopoRing:
+		if s.Cubes < 3 {
+			return fmt.Errorf("fabric: ring needs at least 3 cubes, got %d", s.Cubes)
+		}
+	case TopoChain:
+		if s.Cubes < 1 {
+			return fmt.Errorf("fabric: chain needs at least 1 cube, got %d", s.Cubes)
+		}
+	case TopoCustom:
+		if s.Cubes < 1 {
+			return fmt.Errorf("fabric: custom graph needs an explicit cube count, got %d", s.Cubes)
+		}
+		if len(s.Hosts) == 0 {
+			return fmt.Errorf("fabric: custom graph lists no host ports")
+		}
+		for _, e := range s.Links {
+			if e.A < 0 || e.A >= s.Cubes || e.B < 0 || e.B >= s.Cubes {
+				return fmt.Errorf("fabric: edge %+v outside %d cubes", e, s.Cubes)
+			}
+		}
+		for _, hp := range s.Hosts {
+			if hp.Cube < 0 || hp.Cube >= s.Cubes {
+				return fmt.Errorf("fabric: host port %+v outside %d cubes", hp, s.Cubes)
+			}
+		}
+	default:
+		return fmt.Errorf("fabric: unknown topology %q", s.Topology)
+	}
+	if n := s.NumCubes(); s.Cubes != 0 && s.Cubes != n {
+		return fmt.Errorf("fabric: cube count %d disagrees with %dx%d grid", s.Cubes, s.Rows, s.Cols)
+	}
+	if s.LinkLatency < 0 || s.LinkLatency > 1024 {
+		return fmt.Errorf("fabric: link latency %d out of [0, 1024] cycles", s.LinkLatency)
+	}
+	if iv := s.InterleaveBytes; iv != 0 && (iv&(iv-1) != 0 || iv < 16) {
+		return fmt.Errorf("fabric: interleave %d not a power of two >= 16", iv)
+	}
+	if s.InjectCube < 0 || s.InjectCube >= s.NumCubes() {
+		return fmt.Errorf("fabric: inject cube %d outside %d cubes", s.InjectCube, s.NumCubes())
+	}
+	return nil
+}
+
+// Graph materializes the wiring as a topology over cubes with numLinks
+// links each. The host ID is the cube count, matching core.Config.
+func (s *Spec) Graph(numLinks int) (*topo.Topology, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind() {
+	case TopoMesh:
+		return topo.Mesh(s.Rows, s.Cols, numLinks)
+	case TopoTorus:
+		return topo.Torus(s.Rows, s.Cols, numLinks)
+	case TopoRing:
+		return topo.Ring(s.Cubes, numLinks)
+	case TopoChain:
+		return topo.Chain(s.Cubes, numLinks)
+	}
+	t, err := topo.New(s.Cubes, numLinks, s.Cubes)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range s.Links {
+		if err := t.ConnectDevices(e.A, e.ALink, e.B, e.BLink); err != nil {
+			return nil, fmt.Errorf("fabric: edge %+v: %w", e, err)
+		}
+	}
+	for _, hp := range s.Hosts {
+		if err := t.ConnectHost(hp.Cube, hp.Link); err != nil {
+			return nil, fmt.Errorf("fabric: host port %+v: %w", hp, err)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Router returns the pristine routing-table constructor the spec's
+// topology calls for — dimension-order for grids, nil (breadth-first
+// shortest-path) otherwise. The engine installs it via core.WithRouter.
+func (s *Spec) Router() func(*topo.Topology) (*topo.Routes, error) {
+	switch s.Kind() {
+	case TopoMesh, TopoTorus:
+		rows, cols := s.Rows, s.Cols
+		return func(t *topo.Topology) (*topo.Routes, error) {
+			return t.DimensionOrderRoutes(rows, cols)
+		}
+	}
+	return nil
+}
+
+// FromTopology captures an already-wired topology as a "custom" spec:
+// the explicit edge list (each cable once, lower cube first) plus every
+// host port. The round trip FromTopology(t).Graph(n) reproduces t's
+// wiring exactly.
+func FromTopology(t *topo.Topology) Spec {
+	s := Spec{Topology: TopoCustom, Cubes: t.NumDevs()}
+	for dev := 0; dev < t.NumDevs(); dev++ {
+		for l := 0; l < t.NumLinks(); l++ {
+			p := t.Peer(dev, l)
+			switch {
+			case p.Cube == t.HostID():
+				s.Hosts = append(s.Hosts, HostPort{Cube: dev, Link: l})
+			case p.Cube >= 0 && (p.Cube > dev || (p.Cube == dev && p.Link > l)):
+				s.Links = append(s.Links, Edge{A: dev, ALink: l, B: p.Cube, BLink: p.Link})
+			}
+		}
+	}
+	return s
+}

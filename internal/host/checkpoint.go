@@ -38,6 +38,11 @@ type DriverState struct {
 	// links that are not host links are empty.
 	Pending  [][]int64  `json:"pending"`
 	FreeTags [][]uint16 `json:"free_tags"`
+	// Remote marks outstanding off-cube requests (see Driver.remote).
+	// Absent from checkpoints written before the fabric layer existed;
+	// Resume tolerates the absence (RemoteLatency then undercounts only
+	// the requests in flight across the restore boundary).
+	Remote [][]bool `json:"remote,omitempty"`
 	// Queued/HasQueued carry an access that stalled and awaits re-injection.
 	Queued    workload.Access `json:"queued"`
 	HasQueued bool            `json:"has_queued,omitempty"`
@@ -57,9 +62,10 @@ type DriverState struct {
 	BaseCycles uint64     `json:"base_cycles,omitempty"`
 	BaseStats  core.Stats `json:"base_stats,omitempty"`
 	// Accumulated distributions.
-	Latency  stats.HistogramState `json:"latency,omitempty"`
-	VaultOcc stats.HistogramState `json:"vault_occ,omitempty"`
-	XbarOcc  stats.HistogramState `json:"xbar_occ,omitempty"`
+	Latency   stats.HistogramState `json:"latency,omitempty"`
+	RemoteLat stats.HistogramState `json:"remote_lat,omitempty"`
+	VaultOcc  stats.HistogramState `json:"vault_occ,omitempty"`
+	XbarOcc   stats.HistogramState `json:"xbar_occ,omitempty"`
 }
 
 // checkpoint captures the driver run state at an inter-cycle boundary.
@@ -70,6 +76,7 @@ func (d *Driver) checkpoint(res *Result, st runState) (*Checkpoint, error) {
 	ds := DriverState{
 		Pending:   make([][]int64, len(d.pending)),
 		FreeTags:  make([][]uint16, len(d.freeTags)),
+		Remote:    make([][]bool, len(d.remote)),
 		Queued:    d.queued,
 		HasQueued: d.hasQueued,
 		Drawn:     d.drawn,
@@ -79,6 +86,7 @@ func (d *Driver) checkpoint(res *Result, st runState) (*Checkpoint, error) {
 		BaseCycles:  st.baseCycles,
 		BaseStats:   st.baseStats,
 		Latency:     res.Latency.State(),
+		RemoteLat:   res.RemoteLatency.State(),
 		VaultOcc:    res.VaultOccupancy.State(),
 		XbarOcc:     res.XbarOccupancy.State(),
 	}
@@ -93,6 +101,7 @@ func (d *Driver) checkpoint(res *Result, st runState) (*Checkpoint, error) {
 	for l := range d.pending {
 		ds.Pending[l] = append([]int64(nil), d.pending[l]...)
 		ds.FreeTags[l] = append([]uint16(nil), d.freeTags[l]...)
+		ds.Remote[l] = append([]bool(nil), d.remote[l]...)
 	}
 	return &Checkpoint{Core: d.h.Checkpoint(), Driver: ds}, nil
 }
@@ -121,6 +130,12 @@ func (d *Driver) Resume(gen workload.Generator, n uint64, ck *Checkpoint) (Resul
 		}
 		copy(d.pending[l], ds.Pending[l])
 		d.freeTags[l] = append(d.freeTags[l][:0], ds.FreeTags[l]...)
+		if d.remote[l] != nil {
+			clear(d.remote[l])
+			if l < len(ds.Remote) && len(ds.Remote[l]) == len(d.remote[l]) {
+				copy(d.remote[l], ds.Remote[l])
+			}
+		}
 	}
 	d.queued = ds.Queued
 	d.hasQueued = ds.HasQueued
@@ -133,6 +148,9 @@ func (d *Driver) Resume(gen workload.Generator, n uint64, ck *Checkpoint) (Resul
 	var res Result
 	res.Sent, res.Completed, res.Errors = ds.Sent, ds.Completed, ds.Errors
 	if err := res.Latency.Restore(ds.Latency); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrRestore, err)
+	}
+	if err := res.RemoteLatency.Restore(ds.RemoteLat); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrRestore, err)
 	}
 	if err := res.VaultOccupancy.Restore(ds.VaultOcc); err != nil {

@@ -36,6 +36,12 @@ type Options struct {
 	// DestCube maps an access to a destination cube ID; nil sends
 	// everything to Dev (the directly attached device).
 	DestCube func(workload.Access) int
+	// Route, when non-nil, maps an access to both a destination cube and
+	// the cube-local address the request carries — the fabric layer's
+	// address-interleave hook. It takes precedence over DestCube. The
+	// function must be pure: a resumed run replays it against the
+	// regenerated access stream.
+	Route func(a workload.Access) (cube int, addr uint64)
 	// Posted issues writes as posted requests (no responses).
 	Posted bool
 	// MaxCycles aborts the run when the clock passes this bound; zero
@@ -95,6 +101,11 @@ type Result struct {
 	// Latency is the distribution of request round-trip latencies in
 	// cycles, measured from Send to Recv for non-posted requests.
 	Latency stats.Histogram
+	// RemoteLatency is the round-trip latency distribution restricted to
+	// requests whose destination cube was not the injection device —
+	// traffic that crossed at least one inter-cube link each way. Empty
+	// unless a DestCube/Route hook steered traffic off-cube.
+	RemoteLatency stats.Histogram
 	// VaultOccupancy and XbarOccupancy are per-cycle queue censuses
 	// (request direction), recorded when Options.SampleOccupancy is set.
 	VaultOccupancy stats.Histogram
@@ -127,6 +138,10 @@ type Driver struct {
 	pending [][]int64
 	// freeTags[link] is a stack of unallocated tags.
 	freeTags [][]uint16
+	// remote[link][tag] marks an outstanding request whose destination
+	// cube differs from the injection device, so its response lands in
+	// RemoteLatency as well as Latency.
+	remote [][]bool
 
 	// queued holds the access awaiting a free slot after a stall;
 	// hasQueued reports whether it is occupied. A value plus flag (rather
@@ -168,7 +183,9 @@ func NewDriver(h *core.HMC, opts Options) (*Driver, error) {
 	nl := h.Config().NumLinks
 	d.pending = make([][]int64, nl)
 	d.freeTags = make([][]uint16, nl)
+	d.remote = make([][]bool, nl)
 	for _, l := range d.hostLinks {
+		d.remote[l] = make([]bool, packet.MaxTag+1)
 		d.pending[l] = make([]int64, packet.MaxTag+1)
 		for i := range d.pending[l] {
 			d.pending[l][i] = -1
@@ -214,7 +231,7 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 	probe := d.opts.Progress
 	for {
 		// Drain every candidate response first so tags recycle.
-		got, errs, err := d.drain(&res.Latency)
+		got, errs, err := d.drain(&res)
 		if err != nil {
 			return res, err
 		}
@@ -239,6 +256,7 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 			st.baseCycles = d.h.Clk()
 			st.baseStats = d.h.Stats()
 			res.Latency = stats.Histogram{}
+			res.RemoteLatency = stats.Histogram{}
 			res.VaultOccupancy = stats.Histogram{}
 			res.XbarOccupancy = stats.Histogram{}
 		}
@@ -331,8 +349,10 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 		tag := d.takeTag(link)
 		posted := d.opts.Posted && a.Write
 
-		cube := d.opts.Dev
-		if d.opts.DestCube != nil {
+		cube, addr := d.opts.Dev, a.Addr
+		if d.opts.Route != nil {
+			cube, addr = d.opts.Route(*a)
+		} else if d.opts.DestCube != nil {
 			cube = d.opts.DestCube(*a)
 		}
 
@@ -362,7 +382,7 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 		// SendRequest encodes straight into a simulation-owned pooled
 		// buffer: one CRC computation and no per-request allocation.
 		err = d.h.SendRequest(d.opts.Dev, link, packet.Request{
-			CUB: uint8(cube), Addr: a.Addr, Tag: tag, Cmd: cmd, Data: data,
+			CUB: uint8(cube), Addr: addr, Tag: tag, Cmd: cmd, Data: data,
 		})
 		if errors.Is(err, core.ErrStall) {
 			d.putTag(link, tag)
@@ -385,6 +405,7 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 			d.putTag(link, tag)
 		} else {
 			d.pending[link][tag] = int64(d.h.Clk())
+			d.remote[link][tag] = cube != d.opts.Dev
 			outstanding++
 		}
 	}
@@ -393,7 +414,7 @@ func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, 
 
 // drain receives every waiting response on every host link, recording
 // latencies and counting error responses.
-func (d *Driver) drain(lat *stats.Histogram) (completed, errs uint64, err error) {
+func (d *Driver) drain(res *Result) (completed, errs uint64, err error) {
 	for _, port := range d.drainPorts {
 		if d.h.LinkFailed(port[0], port[1]) {
 			// Responses re-route to surviving host ports; the failed port
@@ -424,7 +445,11 @@ func (d *Driver) drain(lat *stats.Histogram) (completed, errs uint64, err error)
 			if issue < 0 {
 				return completed, errs, fmt.Errorf("host: response on link %d with unknown tag %d", link, rsp.Tag)
 			}
-			lat.Observe(d.h.Clk() - uint64(issue))
+			lat := d.h.Clk() - uint64(issue)
+			res.Latency.Observe(lat)
+			if d.remote[link][rsp.Tag] {
+				res.RemoteLatency.Observe(lat)
+			}
 			d.putTag(link, rsp.Tag)
 			completed++
 			if rsp.Cmd == packet.CmdError {
@@ -448,6 +473,7 @@ func (d *Driver) takeTag(link int) uint16 {
 func (d *Driver) putTag(link int, tag uint16) {
 	if d.pending[link][tag] >= 0 {
 		d.pending[link][tag] = -1
+		d.remote[link][tag] = false
 		d.freeTags[link] = append(d.freeTags[link], tag)
 	}
 }

@@ -7,17 +7,27 @@
 // contain more than one HMC-Sim object in order to simulate architectural
 // characteristics such as non-uniform memory access".
 //
-// Because the objects share no state, the package runs each channel's
-// driver in its own goroutine: the simulation parallelizes across host
-// cores exactly as the architecture parallelizes across channels.
+// The package is now a thin compatibility shim over the fabric layer,
+// which owns every multi-cube code path: construction and detached
+// execution delegate to fabric/engine, and the channel interleave
+// delegates to fabric.Interleave (bit-identical for the power-of-two
+// channel counts this package accepts). New multi-cube work — routed
+// inter-cube traffic, lockstep fabrics, per-cube stats — should target
+// internal/fabric directly.
+//
+// Deprecated: use internal/fabric (system-graph specs, lockstep fabric
+// engine) or fabric/engine.BuildChannels/RunDetached (detached channel
+// execution) for new code. The entry points here remain stable for
+// existing callers.
 package numa
 
 import (
 	"fmt"
 	"math/bits"
-	"sync"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/fabric"
+	"hmcsim/internal/fabric/engine"
 	"hmcsim/internal/host"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/workload"
@@ -58,31 +68,26 @@ func (c Config) interleave() uint64 {
 // System is a set of independent HMC objects attached to one host.
 type System struct {
 	cfg   Config
+	iv    fabric.Interleave
 	chans []*core.HMC
 }
 
 // New builds the system: Channels identical HMC objects, each with every
-// link of every device wired to the host.
+// link of every device wired to the host. Construction delegates to
+// fabric/engine.BuildChannels, the single owner of multi-cube wiring.
 func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg}
-	for i := 0; i < cfg.Channels; i++ {
-		h, err := core.New(cfg.Object)
-		if err != nil {
-			return nil, err
-		}
-		for d := 0; d < cfg.Object.NumDevs; d++ {
-			for l := 0; l < cfg.Object.NumLinks; l++ {
-				if err := h.ConnectHost(d, l); err != nil {
-					return nil, err
-				}
-			}
-		}
-		s.chans = append(s.chans, h)
+	chans, err := engine.BuildChannels(cfg.Channels, cfg.Object)
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &System{
+		cfg:   cfg,
+		iv:    fabric.Interleave{Ways: cfg.Channels, Block: cfg.interleave()},
+		chans: chans,
+	}, nil
 }
 
 // Channels returns the channel count.
@@ -98,23 +103,16 @@ func (s *System) Channel(i int) *core.HMC {
 
 // Shard maps a flat system address to its channel and channel-local
 // address under block interleave: the channel bits are removed so each
-// channel sees a dense local space.
+// channel sees a dense local space. It is fabric.Interleave.Shard, which
+// reduces to the classic bit-slice form for the power-of-two channel
+// counts this package accepts.
 func (s *System) Shard(addr uint64) (channel int, local uint64) {
-	iv := s.cfg.interleave()
-	ivBits := uint(bits.TrailingZeros64(iv))
-	chBits := uint(bits.TrailingZeros(uint(s.cfg.Channels)))
-	channel = int(addr >> ivBits & uint64(s.cfg.Channels-1))
-	local = addr>>(ivBits+chBits)<<ivBits | addr&(iv-1)
-	return channel, local
+	return s.iv.Shard(addr)
 }
 
 // Unshard is the inverse of Shard.
 func (s *System) Unshard(channel int, local uint64) uint64 {
-	iv := s.cfg.interleave()
-	ivBits := uint(bits.TrailingZeros64(iv))
-	chBits := uint(bits.TrailingZeros(uint(s.cfg.Channels)))
-	high := local >> ivBits
-	return high<<(ivBits+chBits) | uint64(channel)<<ivBits | local&(iv-1)
+	return s.iv.Unshard(channel, local)
 }
 
 // Result aggregates a multi-channel run.
@@ -141,30 +139,16 @@ func (r Result) Throughput() float64 {
 // Run drives every channel concurrently: channel i executes nPerChannel
 // accesses from mkGen(i) under its own clock domain and host driver. The
 // channels share nothing; goroutine parallelism mirrors the hardware
-// parallelism.
+// parallelism. Execution delegates to fabric/engine.RunDetached;
+// per-channel results remain bit-identical to running each channel
+// alone.
 func (s *System) Run(mkGen func(channel int) workload.Generator, nPerChannel uint64, opts host.Options) (Result, error) {
-	results := make([]host.Result, len(s.chans))
-	errs := make([]error, len(s.chans))
-	var wg sync.WaitGroup
-	for i := range s.chans {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			d, err := host.NewDriver(s.chans[i], opts)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = d.Run(mkGen(i), nPerChannel)
-		}(i)
-	}
-	wg.Wait()
-
+	results, err := engine.RunDetached(s.chans, mkGen, nPerChannel, opts)
 	var res Result
+	if err != nil {
+		return res, fmt.Errorf("numa: %w", err)
+	}
 	for i := range results {
-		if errs[i] != nil {
-			return res, fmt.Errorf("numa: channel %d: %w", i, errs[i])
-		}
 		res.PerChannel = append(res.PerChannel, results[i])
 		if results[i].Cycles > res.Cycles {
 			res.Cycles = results[i].Cycles

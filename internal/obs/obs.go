@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -189,7 +190,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4). Counter names gain the conventional _total
-// suffix; histogram observations render as cumulative
+// suffix (unless registered with one); histogram observations render as cumulative
 // _bucket{le="..."} series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	b := make([]byte, 0, 2048)
@@ -200,7 +201,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch m.kind {
 		case kindCounter:
-			name += "_total"
+			// Idempotent: counters registered with a _total name
+			// already follow the convention and keep it unchanged.
+			if !strings.HasSuffix(name, "_total") {
+				name += "_total"
+			}
 			b = appendPromHeader(b, name, m.help, "counter")
 			b = append(b, name...)
 			b = append(b, ' ')

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/fabric"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/workload"
 )
@@ -81,6 +82,12 @@ type SubmitRequest struct {
 	// this sampling interval (in cycles) and includes the per-interval
 	// series in the result payload.
 	Fig5Interval uint64 `json:"fig5_interval,omitempty"`
+	// Fabric, when non-nil, runs the job as a multi-cube fabric: Config
+	// describes one cube (its NumDevs is ignored) and Fabric wires
+	// NumCubes of them into the named system graph. The result then
+	// carries a Fabric block with the per-cube breakdown. See
+	// fabric.Spec.
+	Fabric *fabric.Spec `json:"fabric,omitempty"`
 	// IdempotencyKey deduplicates submissions: two submissions carrying
 	// the same non-empty key return the same job. Clients that retry a
 	// submission after a connection failure set a key so an ambiguous
@@ -109,6 +116,11 @@ func (s SubmitRequest) Validate() error {
 	}
 	if err := s.Config.Validate(); err != nil {
 		return err
+	}
+	if s.Fabric != nil {
+		if err := s.Fabric.Validate(); err != nil {
+			return err
+		}
 	}
 	return s.Workload.Validate()
 }
@@ -149,6 +161,65 @@ type Result struct {
 	// Fig5 is the optional per-interval series
 	// (SubmitRequest.Fig5Interval).
 	Fig5 []stats.Sample `json:"fig5,omitempty"`
+	// Fabric is the multi-cube breakdown of a fabric job
+	// (SubmitRequest.Fabric); absent for single-cube jobs.
+	Fabric *FabricResult `json:"fabric,omitempty"`
+}
+
+// FabricResult is the fabric block of a multi-cube job's result: system
+// totals, the remote-traffic latency moments and the per-cube and
+// per-link breakdowns.
+type FabricResult struct {
+	// Topology is the effective system-graph kind ("mesh", "torus",
+	// "ring", "chain" or "custom").
+	Topology string `json:"topology"`
+	// Cubes is the cube count.
+	Cubes int `json:"cubes"`
+	// Hops counts inter-cube link crossings: request forwards plus
+	// response relays.
+	Hops uint64 `json:"hops"`
+	// IntercubePackets counts request packets serviced by a cube other
+	// than the injection cube.
+	IntercubePackets uint64 `json:"intercube_packets"`
+	// RemoteCompleted and the RemoteLatency moments summarize the
+	// round-trip distribution of requests that targeted a remote cube,
+	// in cycles.
+	RemoteCompleted   uint64  `json:"remote_completed"`
+	RemoteLatencyMean float64 `json:"remote_latency_mean"`
+	RemoteLatencyP95  uint64  `json:"remote_latency_p95"`
+	RemoteLatencyMax  uint64  `json:"remote_latency_max"`
+	// PerCube is the per-cube traffic breakdown, indexed by cube ID.
+	PerCube []CubeResult `json:"per_cube"`
+	// Links is the per-cable FLIT census, each cable once.
+	Links []FabricLink `json:"links,omitempty"`
+	// FabricDigest is the fabric-wide traffic digest (fixed-width hex),
+	// bit-identical for every worker count and across checkpoint/resume.
+	FabricDigest string `json:"fabric_digest"`
+}
+
+// CubeResult is one cube's traffic counters (core.CubeStats plus the
+// cube ID).
+type CubeResult struct {
+	Cube       int    `json:"cube"`
+	Delivered  uint64 `json:"delivered"`
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	Atomics    uint64 `json:"atomics,omitempty"`
+	Modes      uint64 `json:"modes,omitempty"`
+	Responses  uint64 `json:"responses"`
+	ReqRelayed uint64 `json:"req_relayed"`
+	RspRelayed uint64 `json:"rsp_relayed"`
+}
+
+// FabricLink is one inter-cube cable's FLIT census. FlitsAB counts FLITs
+// flowing from cube A toward cube B.
+type FabricLink struct {
+	A       int    `json:"a"`
+	ALink   int    `json:"a_link"`
+	B       int    `json:"b"`
+	BLink   int    `json:"b_link"`
+	FlitsAB uint64 `json:"flits_ab"`
+	FlitsBA uint64 `json:"flits_ba"`
 }
 
 // Progress is the live view of a running job, sampled from the lock-free

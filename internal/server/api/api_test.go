@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/fabric"
 	"hmcsim/internal/fault"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/workload"
@@ -69,6 +70,55 @@ func fixtureResult() Result {
 	}
 }
 
+// fixtureFabricSubmit is fixtureSubmit carrying a system graph: the
+// same single-cube config replicated across a 2x2 mesh.
+func fixtureFabricSubmit() SubmitRequest {
+	s := fixtureSubmit()
+	s.Name = "golden-fabric"
+	s.Fig5Interval = 0
+	s.Fabric = &fabric.Spec{
+		Topology:        fabric.TopoMesh,
+		Rows:            2,
+		Cols:            2,
+		LinkLatency:     4,
+		InterleaveBytes: 128,
+		InjectCube:      0,
+	}
+	return s
+}
+
+// fixtureFabricResult pins the per-cube breakdown of a fabric job: the
+// base result plus the fabric block with cube counters, link census and
+// traffic digest.
+func fixtureFabricResult() Result {
+	r := fixtureResult()
+	r.Fig5 = nil
+	r.Fabric = &FabricResult{
+		Topology:          fabric.TopoMesh,
+		Cubes:             4,
+		Hops:              5120,
+		IntercubePackets:  3072,
+		RemoteCompleted:   3072,
+		RemoteLatencyMean: 38.5,
+		RemoteLatencyP95:  61,
+		RemoteLatencyMax:  92,
+		PerCube: []CubeResult{
+			{Cube: 0, Delivered: 1024, Reads: 512, Writes: 512, Responses: 4096},
+			{Cube: 1, Delivered: 1024, Reads: 512, Writes: 512, ReqRelayed: 512, RspRelayed: 256},
+			{Cube: 2, Delivered: 1024, Reads: 512, Writes: 512},
+			{Cube: 3, Delivered: 1024, Reads: 512, Writes: 512},
+		},
+		Links: []FabricLink{
+			{A: 0, ALink: 0, B: 1, BLink: 1, FlitsAB: 9216, FlitsBA: 6144},
+			{A: 0, ALink: 2, B: 2, BLink: 3, FlitsAB: 9216, FlitsBA: 6144},
+			{A: 1, ALink: 2, B: 3, BLink: 3, FlitsAB: 4608, FlitsBA: 3072},
+			{A: 2, ALink: 0, B: 3, BLink: 1, FlitsAB: 0, FlitsBA: 0},
+		},
+		FabricDigest: "0f0e0d0c0b0a0908",
+	}
+	return r
+}
+
 // fixtureRunningStatus pins the wire shape of a job mid-run: no result
 // yet, but a live progress block sampled from the engine's probe.
 func fixtureRunningStatus() JobStatus {
@@ -124,6 +174,8 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"job_status", fixtureStatus(), func() any { return &JobStatus{} }},
 		{"job_status_running", fixtureRunningStatus(), func() any { return &JobStatus{} }},
 		{"result", fixtureResult(), func() any { return &Result{} }},
+		{"submit_request_fabric", fixtureFabricSubmit(), func() any { return &SubmitRequest{} }},
+		{"result_fabric", fixtureFabricResult(), func() any { return &Result{} }},
 		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},
 	}
 	for _, c := range cases {

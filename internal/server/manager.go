@@ -142,17 +142,30 @@ type Manager struct {
 	resumed       *obs.Counter // runs continued from a persisted checkpoint
 	retries       *obs.Counter // transient failures requeued with backoff
 	checkpoints   *obs.Counter // persisted checkpoints
+	fabricCubes   *obs.Counter // cubes simulated, completed fabric jobs
+	fabricHops    *obs.Counter // inter-cube link crossings, completed fabric jobs
+	fabricPackets *obs.Counter // requests serviced off their injection cube
 	activeWorkers atomic.Int64
 
 	// service and queueWait are the per-job wall-clock distributions:
 	// run duration of every settled job, and time spent queued before a
 	// worker picked it up. service also feeds the Retry-After estimate.
 	// checkpointH times checkpoint persistence (serialize + fsync).
+	// fabricLat distributes the mean remote-request round trip of each
+	// completed fabric job, in simulated cycles.
 	service     *obs.Histogram
 	queueWait   *obs.Histogram
 	checkpointH *obs.Histogram
+	fabricLat   *obs.Histogram
 
 	reg *obs.Registry
+}
+
+// fabricLatBuckets is the bucket layout for inter-cube round-trip
+// latencies in simulated cycles: tens of cycles (local-ish) through
+// thousands (deep fabrics under heavy link latency).
+var fabricLatBuckets = []float64{
+	16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
 }
 
 // NewManager starts a manager and its worker pool. With a store
@@ -209,6 +222,9 @@ func (m *Manager) initMetrics() {
 	m.resumed = r.Counter("jobs_resumed", "Runs continued from a persisted checkpoint.")
 	m.retries = r.Counter("job_retries", "Transient job failures requeued with backoff.")
 	m.checkpoints = r.Counter("checkpoints_taken", "Checkpoints persisted to the store.")
+	m.fabricCubes = r.Counter("fabric_cubes", "Cubes simulated across completed fabric jobs.")
+	m.fabricHops = r.Counter("fabric_hops_total", "Inter-cube link crossings across completed fabric jobs.")
+	m.fabricPackets = r.Counter("fabric_intercube_packets_total", "Request packets serviced off their injection cube across completed fabric jobs.")
 	r.GaugeInt("workers", "Worker pool size.", func() int64 { return int64(m.cfg.Workers) })
 	r.GaugeInt("active_workers", "Workers currently running a job.", m.activeWorkers.Load)
 	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(m.queue)) })
@@ -229,6 +245,8 @@ func (m *Manager) initMetrics() {
 		"Time jobs spent queued before a worker picked them up.", obs.DefBuckets)
 	m.checkpointH = r.Histogram("job_checkpoint_seconds",
 		"Wall-clock cost of persisting one checkpoint (serialize + sync).", obs.DefBuckets)
+	m.fabricLat = r.Histogram("fabric_intercube_latency_cycles",
+		"Mean remote-request round trip per completed fabric job, in simulated cycles.", fabricLatBuckets)
 }
 
 // Metrics returns the manager's metric registry, the payload of
@@ -532,6 +550,14 @@ func (m *Manager) settle(j *job, res Result, err error) {
 		m.completed.Add(1)
 		m.cycles.Add(res.Cycles)
 		m.requests.Add(res.Sent)
+		if f := res.Fabric; f != nil {
+			m.fabricCubes.Add(uint64(f.Cubes))
+			m.fabricHops.Add(f.Hops)
+			m.fabricPackets.Add(f.IntercubePackets)
+			if f.RemoteCompleted > 0 {
+				m.fabricLat.Observe(f.RemoteLatencyMean)
+			}
+		}
 	case j.cancelled && errors.Is(err, context.Canceled):
 		j.state.phase = StateCancelled
 		j.state.err = err

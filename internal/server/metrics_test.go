@@ -55,13 +55,17 @@ func TestMetricsJSONShape(t *testing.T) {
 		"jobs_rejected", "job_panics", "queue_depth", "queue_capacity",
 		"workers", "active_workers", "cycles_simulated",
 		"requests_simulated", "uptime_seconds", "cycles_per_second",
+		"fabric_cubes", "fabric_hops_total", "fabric_intercube_packets_total",
 	} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("metrics missing legacy key %q", key)
 		}
 	}
 	// The histograms are nested snapshot objects with cumulative buckets.
-	for _, key := range []string{"job_service_seconds", "job_queue_wait_seconds"} {
+	for _, key := range []string{
+		"job_service_seconds", "job_queue_wait_seconds",
+		"fabric_intercube_latency_cycles",
+	} {
 		h, ok := vars[key].(map[string]any)
 		if !ok {
 			t.Fatalf("%s is %T, want object", key, vars[key])
@@ -131,6 +135,9 @@ func TestMetricsPrometheusShape(t *testing.T) {
 		"hmcsim_jobs_submitted_total", "hmcsim_jobs_completed_total",
 		"hmcsim_workers", "hmcsim_uptime_seconds",
 		"hmcsim_job_service_seconds", "hmcsim_job_queue_wait_seconds",
+		"hmcsim_fabric_cubes_total", "hmcsim_fabric_hops_total",
+		"hmcsim_fabric_intercube_packets_total",
+		"hmcsim_fabric_intercube_latency_cycles",
 	} {
 		if !seen[name] {
 			t.Errorf("exposition missing # TYPE for %s", name)

@@ -7,8 +7,10 @@ import (
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/eval"
+	"hmcsim/internal/fabric/engine"
 	"hmcsim/internal/host"
 	"hmcsim/internal/obs"
+	"hmcsim/internal/server/api"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/trace"
 )
@@ -76,11 +78,31 @@ func ExecuteOpts(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, err
 		col = stats.NewFig5Collector(0, cfg.NumVaults, spec.Fig5Interval)
 		opts = append(opts, core.WithTrace(col, trace.MaskPerf))
 	}
-	h, err := eval.BuildSimpleWithOptions(cfg, opts...)
-	if err != nil {
-		return Result{}, err
+
+	// Build the simulator: a multi-cube fabric when the spec carries a
+	// system graph, the classic single-object wiring otherwise. The
+	// driver, run loop and checkpoint path downstream are identical —
+	// a fabric is one engine whose cubes shard like vaults.
+	var h *core.HMC
+	var sys *engine.System
+	capacity := uint64(cfg.CapacityGB) << 30
+	if spec.Fabric != nil {
+		var err error
+		sys, err = engine.Build(*spec.Fabric, cfg, opts...)
+		if err != nil {
+			return Result{}, err
+		}
+		h = sys.Engine()
+		cfg = sys.Config()
+		capacity = sys.Capacity()
+	} else {
+		var err error
+		h, err = eval.BuildSimpleWithOptions(cfg, opts...)
+		if err != nil {
+			return Result{}, err
+		}
 	}
-	gen, err := spec.Workload.Build(uint64(cfg.CapacityGB) << 30)
+	gen, err := spec.Workload.Build(capacity)
 	if err != nil {
 		return Result{}, err
 	}
@@ -104,7 +126,12 @@ func ExecuteOpts(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, err
 		hopts.CheckpointEvery = eo.CheckpointEvery
 		hopts.Checkpoint = eo.Checkpoint
 	}
-	d, err := host.NewDriver(h, hopts)
+	var d *host.Driver
+	if sys != nil {
+		d, err = sys.NewDriver(hopts)
+	} else {
+		d, err = host.NewDriver(h, hopts)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -125,5 +152,42 @@ func ExecuteOpts(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, err
 		col.Flush()
 		fig5 = col.Samples
 	}
-	return NewResult(cfg, spec, res, h.Snapshot(), fig5), nil
+	out := NewResult(cfg, spec, res, h.Snapshot(), fig5)
+	if sys != nil {
+		out.Fabric = newFabricResult(sys, res)
+	}
+	return out, nil
+}
+
+// newFabricResult assembles the per-cube breakdown of a fabric job.
+func newFabricResult(sys *engine.System, res host.Result) *api.FabricResult {
+	t := sys.Totals()
+	spec := sys.Spec()
+	fr := &api.FabricResult{
+		Topology:          spec.Kind(),
+		Cubes:             len(t.Cubes),
+		Hops:              t.Hops,
+		IntercubePackets:  t.IntercubePackets,
+		RemoteCompleted:   res.RemoteLatency.Count(),
+		RemoteLatencyMean: res.RemoteLatency.Mean(),
+		RemoteLatencyP95:  res.RemoteLatency.Percentile(95),
+		RemoteLatencyMax:  res.RemoteLatency.Max(),
+		FabricDigest:      fmt.Sprintf("%016x", t.Digest()),
+	}
+	for c, cs := range t.Cubes {
+		fr.PerCube = append(fr.PerCube, api.CubeResult{
+			Cube: c, Delivered: cs.Delivered, Reads: cs.Reads,
+			Writes: cs.Writes, Atomics: cs.Atomics, Modes: cs.Modes,
+			Responses: cs.Responses, ReqRelayed: cs.ReqRelayed,
+			RspRelayed: cs.RspRelayed,
+		})
+	}
+	for _, lu := range t.Links {
+		fr.Links = append(fr.Links, api.FabricLink{
+			A: lu.Edge.A, ALink: lu.Edge.ALink,
+			B: lu.Edge.B, BLink: lu.Edge.BLink,
+			FlitsAB: lu.FlitsAB, FlitsBA: lu.FlitsBA,
+		})
+	}
+	return fr
 }

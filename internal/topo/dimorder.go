@@ -1,0 +1,93 @@
+package topo
+
+import "fmt"
+
+// This file implements dimension-order (X-then-Y) routing for grid
+// topologies, the deterministic routing discipline the fabric layer
+// installs on meshes and tori. Dimension-order routing is minimal and
+// deadlock-free on meshes, and — unlike the breadth-first shortest-path
+// tables of Routes — its hop sequence is a pure function of the
+// (source, destination) coordinates, independent of the order in which
+// the topology's links were wired.
+
+// linkTo returns the lowest-numbered link of dev wired directly to peer
+// device dst, or Unconnected when the devices are not adjacent.
+func (t *Topology) linkTo(dev, dst int) int {
+	for l, p := range t.peers[dev] {
+		if p.Cube == dst {
+			return l
+		}
+	}
+	return Unconnected
+}
+
+// dimStep returns the neighbour a dimension-order route visits next on a
+// rows x cols grid: correct the column (X) first, then the row (Y). On a
+// torus the shorter wrap direction is preferred, ties broken toward
+// increasing coordinate; wrap == false restricts movement to the mesh
+// interior.
+func dimStep(src, dst, rows, cols int, wrap bool) int {
+	sr, sc := src/cols, src%cols
+	dr, dc := dst/cols, dst%cols
+	step := func(cur, want, n int) int {
+		if !wrap {
+			if want > cur {
+				return cur + 1
+			}
+			return cur - 1
+		}
+		fwd := (want - cur + n) % n
+		back := (cur - want + n) % n
+		if fwd <= back {
+			return (cur + 1) % n
+		}
+		return (cur - 1 + n) % n
+	}
+	if sc != dc {
+		return sr*cols + step(sc, dc, cols)
+	}
+	return step(sr, dr, rows)*cols + sc
+}
+
+// DimensionOrderRoutes computes next-hop tables under dimension-order
+// routing for a rows x cols grid whose device IDs follow the Mesh/Torus
+// builders' row-major layout (device = row*cols + col). Wrap-around
+// links are used when present (torus) and the shorter ring direction is
+// preferred, ties toward increasing coordinate. The host-direction
+// tables (ToHost, HostHops) keep their breadth-first values: responses
+// exit at the nearest host port regardless of the request discipline.
+//
+// The returned tables describe the pristine fabric. Degraded operation
+// after permanent link failures always falls back to breadth-first
+// routing over the surviving links (RoutesAvoiding) — dimension-order
+// routing offers no alternative paths, so the fallback is part of the
+// fabric's documented determinism contract rather than an optimization.
+func (t *Topology) DimensionOrderRoutes(rows, cols int) (*Routes, error) {
+	if rows < 1 || cols < 1 || rows*cols != t.numDevs {
+		return nil, fmt.Errorf("topo: %dx%d grid does not cover %d devices", rows, cols, t.numDevs)
+	}
+	r := t.routes(nil)
+	for src := 0; src < t.numDevs; src++ {
+		for dst := 0; dst < t.numDevs; dst++ {
+			if src == dst || r.next[src][dst] == Unconnected {
+				// Unreachable pairs keep their BFS verdict: traffic to
+				// them elicits error responses at simulation time.
+				continue
+			}
+			next := dimStep(src, dst, rows, cols, true)
+			l := t.linkTo(src, next)
+			if l == Unconnected {
+				// No wrap link in that direction: a mesh. Step through
+				// the grid interior instead.
+				next = dimStep(src, dst, rows, cols, false)
+				l = t.linkTo(src, next)
+			}
+			if l == Unconnected {
+				return nil, fmt.Errorf("topo: devices %d and %d are not grid neighbours (%dx%d row-major layout required)",
+					src, next, rows, cols)
+			}
+			r.next[src][dst] = l
+		}
+	}
+	return r, nil
+}
