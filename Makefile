@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke skip-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -30,21 +30,23 @@ bench:
 
 # bench-core measures the engine hot path — the four Table I
 # configurations (cycles/sec), the saturated clock loop (allocs/op) with
-# its worker sweep, and the isolated vault-stage dispatch — and commits
-# the parsed record to BENCH_core.json, including the speedup against
-# the pre-optimization baseline.
+# its worker sweep, the isolated vault-stage dispatch, and the sparse
+# gap-paced pairs whose wheel-vs-walk ratio is the event-wheel idle-skip
+# speedup — and commits the parsed record to BENCH_core.json, including
+# the speedup against the pre-optimization baseline.
 bench-core:
-	( $(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated' -benchmem . && \
+	( $(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated|BenchmarkSparse_' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkVaultStage' -benchmem ./internal/core ) \
 		| $(GO) run ./cmd/hmcsim-benchcore -out BENCH_core.json
 
 # bench-compare is the perf regression gate: it re-runs the serial-path
-# benchmarks and fails if any regresses more than 10% against the
-# committed BENCH_core.json — the guard that the sharded vault pipeline
-# never slows the Workers=1 rows. Each benchmark runs three times and
-# the comparison takes the minimum, filtering shared-machine noise.
+# benchmarks — including the sparse idle-skip rows, so the wheel path is
+# held to the same >10%-regression bar as the walked path — and fails if
+# any regresses more than 10% against the committed BENCH_core.json.
+# Each benchmark runs three times and the comparison takes the minimum,
+# filtering shared-machine noise.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated$$' -benchmem -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated$$|BenchmarkSparse_' -benchmem -count 3 . \
 		| $(GO) run ./cmd/hmcsim-benchcore -compare BENCH_core.json
 
 # bench-serve pushes a fixed 16-job batch (the four Table I configs,
@@ -87,6 +89,17 @@ fabric-smoke:
 	$(GO) run ./cmd/hmcsim-fabric -requests 16384 -workers 4
 	$(GO) run ./cmd/hmcsim-topo -topo ring -devs 4 -json > $(or $(TMPDIR),/tmp)/hmcsim-ring4.json
 	$(GO) run ./cmd/hmcsim-fabric -spec $(or $(TMPDIR),/tmp)/hmcsim-ring4.json -requests 4096
+
+# skip-smoke exercises the event-wheel idle-skip layer end to end: the
+# randomized wheel-vs-walk equivalence property (digest + trace stream
+# bit-identity, with and without fault injection, across a mid-skip
+# suspend/resume and a multi-cube fabric), the wheel unit tests, and one
+# skip-heavy workload with the wheel force-disabled so the walk fallback
+# path stays exercised in CI (DESIGN.md §14).
+skip-smoke:
+	$(GO) test -run 'TestIdleSkip' -v ./internal/eval
+	$(GO) test -run 'TestAdvanceIdle|TestTimedLinkFailure|TestCheckpointCarriesSkipStats' -v ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkSparse_ChaseGap500Walk' -benchtime 1x .
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

@@ -113,6 +113,70 @@ func BenchmarkFigure5Trace(b *testing.B) {
 	b.ReportMetric(float64(len(run.Collector.Samples)), "samples")
 }
 
+// --- Sparse traffic / event-wheel idle skip --------------------------------
+
+// sparseRequests is the per-iteration request count of the gap-paced
+// benchmarks. The gap multiplies the simulated cycle count (gap 200 →
+// ~200k cycles per run), so the sparse rows use a smaller request count
+// than benchRequests to keep the walk-forced variants affordable.
+const sparseRequests = 1 << 10
+
+// benchSparse runs a gap-paced workload — one access released every gap
+// cycles, the dead time between them pure idle — with the event wheel
+// either active (the default) or forced off. The paired rows are the
+// committed evidence for the wheel's speedup: identical simulations
+// (digests are pinned by TestIdleSkipEquivalenceProperty), wall clock
+// apart.
+func benchSparse(b *testing.B, spec workload.Spec, gap uint64, forceWalk bool) {
+	b.Helper()
+	cfg := core.Table1Configs()[0]
+	var last host.Result
+	for i := 0; i < b.N; i++ {
+		h, err := eval.BuildSimple(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := spec.Build(uint64(cfg.CapacityGB) << 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := host.NewDriver(h, host.Options{GapCycles: gap, DisableIdleSkip: forceWalk})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = d.Run(gen, sparseRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRun(b, last)
+	b.ReportMetric(float64(last.IdleCyclesSkipped)/float64(last.Cycles), "skip_frac")
+}
+
+func sparseRandomSpec() workload.Spec {
+	return workload.Spec{Kind: "random", Seed: 1, Size: 64, WritePercent: 50}
+}
+
+func sparseChaseSpec() workload.Spec {
+	return workload.Spec{Kind: "chase", Seed: 1, Size: 64}
+}
+
+func BenchmarkSparse_RandomGap200(b *testing.B) {
+	benchSparse(b, sparseRandomSpec(), 200, false)
+}
+
+func BenchmarkSparse_RandomGap200Walk(b *testing.B) {
+	benchSparse(b, sparseRandomSpec(), 200, true)
+}
+
+func BenchmarkSparse_ChaseGap500(b *testing.B) {
+	benchSparse(b, sparseChaseSpec(), 500, false)
+}
+
+func BenchmarkSparse_ChaseGap500Walk(b *testing.B) {
+	benchSparse(b, sparseChaseSpec(), 500, true)
+}
+
 // --- Figure 1 topologies ---------------------------------------------------
 
 func benchTopology(b *testing.B, t *topo.Topology) {

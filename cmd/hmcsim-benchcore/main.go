@@ -72,7 +72,10 @@ func main() {
 			"The ClockSaturatedWorkers/VaultStage w>1 rows measure the worker " +
 			"pool's dispatch overhead; on a single-core CI box they cannot beat " +
 			"the serial row — results are bit-identical either way, only wall " +
-			"clock differs on multi-core hosts.",
+			"clock differs on multi-core hosts. The Sparse_* pairs measure the " +
+			"event-wheel idle skip: each wheel row's speedup is derived from " +
+			"its Walk twin (same simulation forced to walk every cycle) in the " +
+			"same run, and the contract is >=5x.",
 		BaselineNsPerOp: baselines,
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,6 +100,7 @@ func main() {
 	if len(rec.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
+	deriveWalkSpeedups(rec.Benchmarks)
 	if *compare != "" {
 		if err := compareRecord(*compare, rec.Benchmarks, *tolerance); err != nil {
 			fatal(err)
@@ -111,6 +115,27 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("hmcsim-benchcore: %d benchmarks -> %s\n", len(rec.Benchmarks), *out)
+}
+
+// deriveWalkSpeedups fills the speedup column of each benchmark whose
+// "<name>Walk" twin appears in the same run: the twin forces the exact
+// cycle-by-cycle walk over the identical simulation, so walk/wheel is
+// the idle-skip speedup on this very machine — no committed baseline
+// needed, and the pair can never drift apart the way a hardcoded
+// constant would.
+func deriveWalkSpeedups(entries []entry) {
+	ns := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		ns[e.Name] = e.NsPerOp
+	}
+	for i := range entries {
+		if entries[i].SpeedupX != 0 {
+			continue
+		}
+		if walk, ok := ns[entries[i].Name+"Walk"]; ok && entries[i].NsPerOp > 0 {
+			entries[i].SpeedupX = round2(walk / entries[i].NsPerOp)
+		}
+	}
 }
 
 // compareRecord diffs fresh benchmark results against the committed

@@ -49,6 +49,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job wall-clock timeout")
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown drain budget for queued and running jobs")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes stacks and heap)")
+	legacyPaths := flag.Bool("legacy-paths", true, "serve the deprecated pre-versioning path aliases (/api/v1/jobs, /metrics, /healthz); turn off to preview their removal")
 	dataDir := flag.String("data", "", "durable data directory (journal, results, checkpoints); empty runs in-memory with no crash recovery")
 	ckEvery := flag.Uint64("checkpoint-cycles", 0, "checkpoint interval in simulated cycles with -data (0 selects the default)")
 	retries := flag.Int("retries", 0, "max execution attempts per job, transient failures retrying with backoff (0 selects the default)")
@@ -80,10 +81,10 @@ func main() {
 	if mgr.Recovering() {
 		log.Printf("recovering: requeueing interrupted jobs from the journal")
 	}
-	handler := server.NewHandler(mgr)
-	if *pprofOn {
-		handler = server.NewHandlerWithPprof(mgr)
-	}
+	handler := server.NewHandlerWithOptions(mgr, server.HandlerOptions{
+		LegacyPaths: *legacyPaths,
+		Pprof:       *pprofOn,
+	})
 	srv := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -96,6 +97,11 @@ func main() {
 	log.Printf("%d workers, queue depth %d, default timeout %v", *workers, *queue, *timeout)
 	if *pprofOn {
 		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	if *legacyPaths {
+		log.Printf("deprecated pre-versioning path aliases enabled (sunset %s); preview their removal with -legacy-paths=false", server.LegacySunset)
+	} else {
+		log.Printf("legacy path aliases disabled; only the /v1 surface is mounted")
 	}
 
 	errc := make(chan error, 1)

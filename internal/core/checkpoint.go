@@ -47,6 +47,14 @@ type Checkpoint struct {
 	// absent from checkpoints written before the fabric layer existed;
 	// Restore tolerates the absence by resuming with zeroed counters.
 	Cubes []CubeStats `json:"cubes,omitempty"`
+	// Skip carries the idle-skip counters (outside Stats and outside the
+	// state digest) so a resumed run reports honest totals. Absent from
+	// checkpoints written before the event wheel existed and from runs
+	// that never skipped; Restore tolerates the absence with zeroed
+	// counters. The wheel itself needs no serialized state: wakeups are
+	// derived on demand from the restored queues, and the applied prefix
+	// of the timed-failure schedule is a pure function of the clock.
+	Skip *SkipStats `json:"skip,omitempty"`
 }
 
 // RetryCheckpoint is one occupied link-controller retry buffer.
@@ -132,6 +140,10 @@ func (h *HMC) Checkpoint() *Checkpoint {
 		Seq:   append([]uint8(nil), h.seq...),
 		Fault: h.fault.State(),
 		Cubes: h.CubeStats(),
+	}
+	if h.skip != (SkipStats{}) {
+		s := h.skip
+		ck.Skip = &s
 	}
 	ck.VaultStreams = make([][]uint64, len(h.vaultFaults))
 	for dev := range h.vaultFaults {
@@ -319,6 +331,17 @@ func (h *HMC) Restore(ck *Checkpoint) error {
 	copy(h.seq, ck.Seq)
 	h.clk = ck.Snap.Cycles
 	h.stats = ck.Snap.Stats
+	h.skip = SkipStats{}
+	if ck.Skip != nil {
+		h.skip = *ck.Skip
+	}
+	// The applied prefix of the timed-failure schedule at a cycle
+	// boundary is a pure function of the clock: every entry before clk
+	// fired at the top of its own cycle's Clock call.
+	h.timedIdx = 0
+	for h.timedIdx < len(h.timedFaults) && h.timedFaults[h.timedIdx].Cycle < h.clk {
+		h.timedIdx++
+	}
 	clear(h.cubeStats)
 	if ck.Cubes != nil {
 		if len(ck.Cubes) != len(h.cubeStats) {

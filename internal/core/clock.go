@@ -32,6 +32,12 @@ func (h *HMC) Clock() error {
 	if err := h.seal(); err != nil {
 		return err
 	}
+	if h.timedIdx < len(h.timedFaults) {
+		// Scheduled link failures apply before the stages (and before
+		// the idle fast path: a failure during dead time still fires on
+		// its exact cycle).
+		h.applyTimedFaults()
+	}
 	if h.idle() {
 		// Idle fast path: with no packet queued anywhere and no retry
 		// buffer occupied, every sub-cycle stage is a no-op. Only the
@@ -87,20 +93,21 @@ func (h *HMC) Clock() error {
 	return nil
 }
 
-// ClockN runs n clock cycles. When the simulation goes idle mid-run —
-// nothing in flight and no register edge pending — the remaining cycles
-// are applied as a bulk clock advance, making dead time between bursts
-// O(1) instead of O(cycles).
+// ClockN runs n clock cycles. After each walked cycle it consults the
+// idle-skip wheel (AdvanceIdle): when no queued packet can make
+// progress, the remaining provably inert cycles are applied as a bulk
+// clock advance — dead time between bursts is O(1) instead of
+// O(cycles), and link-latency dwell windows collapse to one walked
+// cycle per wakeup. The walk resumes the moment work is pending, so
+// digests and trace streams are bit-identical to a cycle-by-cycle run.
 func (h *HMC) ClockN(n int) error {
-	for i := 0; i < n; i++ {
+	for done := 0; done < n; {
 		if err := h.Clock(); err != nil {
 			return err
 		}
-		if h.idle() && h.regsClean() {
-			// Every remaining cycle would take the idle fast path with
-			// no pending RWS write to clear: only the clock moves.
-			h.clk += uint64(n - i - 1)
-			return nil
+		done++
+		if done < n {
+			done += int(h.AdvanceIdle(h.clk + uint64(n-done)))
 		}
 	}
 	return nil

@@ -182,6 +182,12 @@ func (c Config) Validate() error {
 				ErrConfig, l, c.NumDevs, c.NumLinks)
 		}
 	}
+	for _, t := range c.Fault.FailAt {
+		if t.Dev < 0 || t.Dev >= c.NumDevs || t.Link < 0 || t.Link >= c.NumLinks {
+			return fmt.Errorf("%w: timed link failure %v outside %d devices x %d links",
+				ErrConfig, t, c.NumDevs, c.NumLinks)
+		}
+	}
 	for _, v := range c.Fault.FailedVaults {
 		if v.Dev < 0 || v.Dev >= c.NumDevs || v.Vault < 0 || v.Vault >= c.NumVaults {
 			return fmt.Errorf("%w: failed vault %v outside %d devices x %d vaults",

@@ -122,6 +122,20 @@ type HMC struct {
 	// cubeStats is the per-device traffic breakdown (see CubeStats);
 	// updated only from serial sub-cycle stages.
 	cubeStats []CubeStats
+
+	// skip counts the idle cycles AdvanceIdle elided and the wakeups it
+	// took. It lives outside Stats and outside StateDigest deliberately:
+	// whether cycles were walked or skipped is an execution detail, and
+	// the pinned digests must not depend on it (DESIGN.md §14).
+	skip SkipStats
+
+	// timedFaults is the sorted schedule of cycle-triggered link
+	// failures (fault.Config.FailAt), cached at seal; timedIdx is the
+	// count of entries already applied. The applied set at any clock
+	// boundary is a pure function of clk, so checkpoints do not carry
+	// the index — Restore recomputes it.
+	timedFaults []fault.TimedLinkFailure
+	timedIdx    int
 }
 
 // retryState is one link controller's retry buffer: a single in-flight
@@ -199,6 +213,12 @@ func (h *HMC) Clk() uint64 { return h.clk }
 
 // Stats returns a snapshot of the engine counters.
 func (h *HMC) Stats() Stats { return h.stats }
+
+// SkipStats returns the idle-skip counters: cycles elided by
+// AdvanceIdle and the number of bulk advances taken. The counters are
+// observability only — they are outside Stats and outside StateDigest,
+// so walked and skipped runs stay digest-identical.
+func (h *HMC) SkipStats() SkipStats { return h.skip }
 
 // Device returns device cube. It is exposed for analysis and tests;
 // mutating a device mid-simulation is not supported.
@@ -382,6 +402,8 @@ func (h *HMC) seal() error {
 	for _, l := range h.fault.StaticFailedLinks() {
 		h.failLink(l.Dev, l.Link)
 	}
+	h.timedFaults = h.fault.TimedFailures()
+	h.timedIdx = 0
 	h.routes = h.liveRoutes()
 	h.rootOrder = h.rootOrder[:0]
 	h.childOrder = h.childOrder[:0]
@@ -415,6 +437,9 @@ func (h *HMC) Free() {
 	h.sealed = false
 	h.clk = 0
 	h.stats = Stats{}
+	h.skip = SkipStats{}
+	h.timedFaults = nil
+	h.timedIdx = 0
 	clear(h.cubeStats)
 	h.fault.Reset()
 	h.resetVaultFaults()

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"hmcsim/internal/fault"
+	"hmcsim/internal/packet"
+)
+
+// TestAdvanceIdleQuiescent pins the basic contract of the event wheel:
+// on a sealed, fully drained engine the skip is exact — the clock lands
+// on the target, the counters record the jump, and the architectural
+// digest matches a twin that walked every cycle.
+func TestAdvanceIdleQuiescent(t *testing.T) {
+	cfg := testConfig()
+	hA := newSimple(t, cfg)
+	hB := newSimple(t, cfg)
+
+	// Identical warmup traffic, drained to quiescence on both.
+	var seqA, seqB uint64
+	pumpRequests(t, hA, 10, &seqA)
+	pumpRequests(t, hB, 10, &seqB)
+	for i := 0; i < 2000 && !hA.Quiescent(); i++ {
+		drainAll(t, hA)
+		drainAll(t, hB)
+		_ = hA.Clock()
+		_ = hB.Clock()
+	}
+	drainAll(t, hA)
+	drainAll(t, hB)
+	if !hA.Quiescent() || !hB.Quiescent() {
+		t.Fatal("engines did not quiesce")
+	}
+
+	target := hA.Clk() + 5000
+	skipped := hA.AdvanceIdle(target)
+	if hA.Clk() != target {
+		t.Fatalf("AdvanceIdle left clock at %d, want %d", hA.Clk(), target)
+	}
+	if want := target - hB.Clk(); skipped != want {
+		t.Fatalf("skipped %d cycles, want %d", skipped, want)
+	}
+	sk := hA.SkipStats()
+	if sk.IdleCyclesSkipped != skipped || sk.Wakeups != 1 {
+		t.Fatalf("SkipStats = %+v, want {%d 1}", sk, skipped)
+	}
+
+	for hB.Clk() < target {
+		if err := hB.Clock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if da, db := hA.StateDigest(), hB.StateDigest(); da != db {
+		t.Fatalf("skipped digest %016x != walked digest %016x", da, db)
+	}
+	if hA.Stats() != hB.Stats() {
+		t.Fatalf("stats diverged:\n wheel %+v\n walk  %+v", hA.Stats(), hB.Stats())
+	}
+
+	// Both engines stay live: identical traffic after the jump keeps
+	// the digest streams aligned.
+	seqB = seqA
+	pumpRequests(t, hA, 5, &seqA)
+	pumpRequests(t, hB, 5, &seqB)
+	if hA.StateDigest() != hB.StateDigest() {
+		t.Fatal("digest diverged after post-skip traffic")
+	}
+}
+
+// TestAdvanceIdleRefusesPendingWork pins the conservative side: with a
+// request sitting anywhere in the engine, AdvanceIdle must decline and
+// leave the clock alone.
+func TestAdvanceIdleRefusesPendingWork(t *testing.T) {
+	h := newSimple(t, testConfig())
+	_ = h.Clock() // seal
+	sendReq(t, h, 0, 0, packet.Request{CUB: 0, Addr: addrFor(2, 3, 1), Tag: 1, Cmd: packet.CmdRD16})
+	before := h.Clk()
+	if n := h.AdvanceIdle(before + 100); n != 0 {
+		t.Fatalf("AdvanceIdle skipped %d cycles over a pending request", n)
+	}
+	if h.Clk() != before {
+		t.Fatalf("clock moved from %d to %d without Clock()", before, h.Clk())
+	}
+	if sk := h.SkipStats(); sk != (SkipStats{}) {
+		t.Fatalf("refused skip still counted: %+v", sk)
+	}
+}
+
+// TestAdvanceIdleUnsealed pins that the wheel never runs before the
+// first Clock() seals the configuration.
+func TestAdvanceIdleUnsealed(t *testing.T) {
+	h := newSimple(t, testConfig())
+	if n := h.AdvanceIdle(100); n != 0 {
+		t.Fatalf("AdvanceIdle skipped %d cycles on an unsealed engine", n)
+	}
+}
+
+// TestTimedLinkFailureExactCycle pins the timed-fault interaction: a
+// scheduled link failure lands on its exact cycle whether the engine
+// walked there or bulk-skipped over the dead time, and the two paths
+// stay digest-identical.
+func TestTimedLinkFailureExactCycle(t *testing.T) {
+	cfg := testConfig()
+	const failCycle = 200
+	cfg.Fault.FailAt = []fault.TimedLinkFailure{{Cycle: failCycle, Dev: 0, Link: 1}}
+
+	hA := newSimple(t, cfg) // wheel path
+	hB := newSimple(t, cfg) // walked path
+
+	var seqA, seqB uint64
+	pumpRequests(t, hA, 8, &seqA)
+	pumpRequests(t, hB, 8, &seqB)
+	for i := 0; i < 2000 && !hA.Quiescent(); i++ {
+		drainAll(t, hA)
+		drainAll(t, hB)
+		_ = hA.Clock()
+		_ = hB.Clock()
+	}
+	drainAll(t, hA)
+	drainAll(t, hB)
+	if hA.Clk() >= failCycle {
+		t.Fatalf("warmup overran the scheduled failure (clk %d)", hA.Clk())
+	}
+	if hA.LinkFailed(0, 1) {
+		t.Fatal("link failed before its scheduled cycle")
+	}
+
+	// Wheel path: ClockN bulk-advances the dead stretch but must still
+	// apply the failure at cycle 200, not at the wakeup target.
+	n := int(failCycle + 50 - hA.Clk())
+	if err := hA.ClockN(n); err != nil {
+		t.Fatal(err)
+	}
+	for hB.Clk() < hA.Clk() {
+		if err := hB.Clock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hA.LinkFailed(0, 1) || !hB.LinkFailed(0, 1) {
+		t.Fatalf("scheduled failure missing: wheel=%v walk=%v",
+			hA.LinkFailed(0, 1), hB.LinkFailed(0, 1))
+	}
+	if hA.SkipStats().IdleCyclesSkipped == 0 {
+		t.Fatal("wheel path never skipped; test lost its point")
+	}
+	if da, db := hA.StateDigest(), hB.StateDigest(); da != db {
+		t.Fatalf("digest diverged across the timed failure: %016x vs %016x", da, db)
+	}
+	if hA.Stats() != hB.Stats() {
+		t.Fatalf("stats diverged:\n wheel %+v\n walk  %+v", hA.Stats(), hB.Stats())
+	}
+	if err := hA.Send(0, 1, []uint64{0}); !errors.Is(err, ErrLinkFailed) {
+		t.Errorf("Send on the failed link = %v, want ErrLinkFailed", err)
+	}
+}
+
+// TestTimedFaultValidation pins the submission-time guard: a schedule
+// naming an endpoint outside the device/link shape is a config error.
+func TestTimedFaultValidation(t *testing.T) {
+	for name, tf := range map[string]fault.TimedLinkFailure{
+		"dev out of range":  {Cycle: 10, Dev: 9, Link: 0},
+		"link out of range": {Cycle: 10, Dev: 0, Link: 99},
+	} {
+		cfg := testConfig()
+		cfg.Fault.FailAt = []fault.TimedLinkFailure{tf}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted %+v", name, tf)
+		}
+	}
+	cfg := testConfig()
+	cfg.Fault.FailAt = []fault.TimedLinkFailure{{Cycle: 10, Dev: 0, Link: 0}}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("in-range timed failure rejected: %v", err)
+	}
+}
+
+// TestCheckpointCarriesSkipStats pins the wheel's checkpoint format:
+// the skip counters survive the JSON round trip, the restored engine
+// re-derives the applied timed-fault prefix from the clock alone, and a
+// restore into the pre-skip world keeps the walked twin's digest.
+func TestCheckpointCarriesSkipStats(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault.FailAt = []fault.TimedLinkFailure{{Cycle: 150, Dev: 0, Link: 2}}
+	h := newSimple(t, cfg)
+
+	var seq uint64
+	pumpRequests(t, h, 6, &seq)
+	for i := 0; i < 2000 && !h.Quiescent(); i++ {
+		drainAll(t, h)
+		_ = h.Clock()
+	}
+	drainAll(t, h)
+	if err := h.ClockN(int(400 - h.Clk())); err != nil {
+		t.Fatal(err)
+	}
+	want := h.SkipStats()
+	if want.IdleCyclesSkipped == 0 {
+		t.Fatal("run never skipped; test lost its point")
+	}
+
+	ck := h.Checkpoint()
+	b, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := new(Checkpoint)
+	if err := json.Unmarshal(b, wire); err != nil {
+		t.Fatal(err)
+	}
+	h2 := newSimple(t, cfg)
+	if err := h2.Restore(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.SkipStats(); got != want {
+		t.Fatalf("restored SkipStats = %+v, want %+v", got, want)
+	}
+	if h2.StateDigest() != h.StateDigest() {
+		t.Fatal("restored digest differs")
+	}
+	// The cycle-150 failure is before the restore point, so it must be
+	// in effect without replaying the schedule.
+	if !h2.LinkFailed(0, 2) {
+		t.Fatal("restored engine lost the already-applied timed failure")
+	}
+}

@@ -22,7 +22,10 @@
 // — the property the fault-campaign driver relies on.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // DefaultMaxRetries is the bounded retransmission budget per transfer
 // when Config.MaxRetries is zero.
@@ -51,6 +54,25 @@ type VaultID struct {
 
 // String renders the vault as dev:vault.
 func (v VaultID) String() string { return fmt.Sprintf("%d:%d", v.Dev, v.Vault) }
+
+// TimedLinkFailure schedules a permanent failure of one link endpoint at
+// an absolute clock cycle: the link carries traffic normally before
+// Cycle and is hard-failed from Cycle onward, exactly as if
+// Engine.LinkFailure had fired on a transfer that cycle. The schedule is
+// part of the configuration (not the random stream), so it is
+// bit-reproducible by construction and the idle-skip wheel can treat
+// each entry as a wakeup event.
+type TimedLinkFailure struct {
+	// Cycle is the absolute clock cycle at which the failure applies.
+	Cycle uint64
+	// Dev and Link name the failing endpoint, as in LinkID.
+	Dev, Link int
+}
+
+// String renders the event as dev:link@cycle.
+func (t TimedLinkFailure) String() string {
+	return fmt.Sprintf("%d:%d@%d", t.Dev, t.Link, t.Cycle)
+}
 
 // Config carries the per-component fault rates and the static failure
 // sets. The zero value disables every fault class.
@@ -85,12 +107,17 @@ type Config struct {
 	// FailedVaults lists vaults that are failed from reset: every
 	// request targeting them elicits an ERROR response.
 	FailedVaults []VaultID
+	// FailAt schedules permanent link failures at absolute clock
+	// cycles — the deterministic, cycle-triggered variant of
+	// FailedLinks. The json tag keeps pre-existing wire payloads
+	// byte-identical when the schedule is empty.
+	FailAt []TimedLinkFailure `json:",omitempty"`
 }
 
 // Enabled reports whether any fault class can fire.
 func (c Config) Enabled() bool {
 	return c.TransientPPM > 0 || c.LinkFailPPM > 0 || c.VaultPPM > 0 ||
-		len(c.FailedLinks) > 0 || len(c.FailedVaults) > 0
+		len(c.FailedLinks) > 0 || len(c.FailedVaults) > 0 || len(c.FailAt) > 0
 }
 
 // Validate checks the rates and the retry budget. Static failure sets
@@ -111,6 +138,11 @@ func (c Config) Validate() error {
 	if c.MaxRetries < 0 || c.MaxRetries > maxRetryBound {
 		return fmt.Errorf("fault: retry budget %d out of [0, %d]", c.MaxRetries, maxRetryBound)
 	}
+	for _, t := range c.FailAt {
+		if t.Dev < 0 || t.Link < 0 {
+			return fmt.Errorf("fault: timed link failure %v has a negative endpoint", t)
+		}
+	}
 	return nil
 }
 
@@ -123,6 +155,11 @@ type Engine struct {
 
 	failedLinks  map[LinkID]bool
 	failedVaults map[VaultID]bool
+
+	// timed is cfg.FailAt sorted by (Cycle, Dev, Link): the canonical
+	// application order the simulation core walks, and the event list
+	// the idle-skip wheel consults through NextEventCycle.
+	timed []TimedLinkFailure
 }
 
 // NewEngine returns an engine for cfg. Statically failed vaults are
@@ -144,6 +181,17 @@ func (e *Engine) Reset() {
 	for _, v := range e.cfg.FailedVaults {
 		e.failedVaults[v] = true
 	}
+	e.timed = append(e.timed[:0], e.cfg.FailAt...)
+	sort.SliceStable(e.timed, func(i, j int) bool {
+		a, b := e.timed[i], e.timed[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Dev != b.Dev {
+			return a.Dev < b.Dev
+		}
+		return a.Link < b.Link
+	})
 }
 
 // Config returns the engine's configuration.
@@ -159,6 +207,22 @@ func (e *Engine) MaxRetries() int {
 
 // StaticFailedLinks returns the configured from-reset link failures.
 func (e *Engine) StaticFailedLinks() []LinkID { return e.cfg.FailedLinks }
+
+// TimedFailures returns the scheduled link failures sorted by
+// (cycle, dev, link) — the canonical application order. The returned
+// slice is owned by the engine and must not be mutated.
+func (e *Engine) TimedFailures() []TimedLinkFailure { return e.timed }
+
+// NextEventCycle returns the cycle of the earliest scheduled failure at
+// or after clk. The second result is false when no scheduled event
+// remains.
+func (e *Engine) NextEventCycle(clk uint64) (uint64, bool) {
+	i := sort.Search(len(e.timed), func(i int) bool { return e.timed[i].Cycle >= clk })
+	if i == len(e.timed) {
+		return 0, false
+	}
+	return e.timed[i].Cycle, true
+}
 
 // splitRoll advances one splitmix64 state and reports whether an event
 // with the given parts-per-million rate fires.

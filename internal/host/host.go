@@ -53,6 +53,18 @@ type Options struct {
 	// SampleOccupancy records per-cycle queue occupancy histograms in the
 	// result, for queue-depth tuning studies.
 	SampleOccupancy bool
+	// GapCycles paces the injection: access k is not injected before
+	// cycle k*GapCycles, modeling a sparse traffic source (a compute
+	// phase between memory bursts). It is a workload parameter — it
+	// changes what is simulated, so digests differ from an unpaced run —
+	// and the prime beneficiary of the idle-skip wheel: the dead cycles
+	// between due times collapse to bulk advances. Zero disables pacing.
+	GapCycles uint64
+	// DisableIdleSkip forces the exact cycle-by-cycle walk even through
+	// provably inert cycles. Results are bit-identical either way (the
+	// wheel's contract, DESIGN.md §14); the knob exists for equivalence
+	// tests and walk-path benchmarks.
+	DisableIdleSkip bool
 	// Warmup excludes the first Warmup injected requests from the
 	// measured cycles, latency distribution and engine counters — the
 	// standard simulator methodology of discarding the cold-start
@@ -112,6 +124,12 @@ type Result struct {
 	XbarOccupancy  stats.Histogram
 	// Engine is the simulator's own counter snapshot at completion.
 	Engine core.Stats
+	// IdleCyclesSkipped and Wakeups report the idle-skip wheel's work
+	// over the whole run (warm-up included; resumed runs accumulate
+	// across suspensions). They are observability only — excluded from
+	// eval.ResultDigest, so walked and skipped runs digest identically.
+	IdleCyclesSkipped uint64
+	Wakeups           uint64
 }
 
 // Throughput returns completed requests per cycle.
@@ -219,11 +237,25 @@ func (d *Driver) endCycle(res *Result, probe *obs.Probe) {
 	}
 }
 
+// finish stamps the measured cycles, counter deltas and idle-skip
+// totals into res. Every exit path of run goes through it.
+func (d *Driver) finish(res *Result, st runState) {
+	res.Cycles = d.h.Clk() - st.baseCycles
+	res.Engine = d.h.Stats().Sub(st.baseStats)
+	sk := d.h.SkipStats()
+	res.IdleCyclesSkipped = sk.IdleCyclesSkipped
+	res.Wakeups = sk.Wakeups
+}
+
 // run is the shared clock loop of Run and Resume.
 func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) (Result, error) {
 	maxCycles := d.opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 1000*n + 100000
+		if gap := d.opts.GapCycles; gap > 0 {
+			// Paced injection stretches the run by design.
+			maxCycles += n * gap
+		}
 	}
 
 	// Hoisted once: the nil check and the probe pointer stay out of the
@@ -244,8 +276,7 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 		if err != nil {
 			// Terminal outcomes (e.g. every host link failed) still report
 			// the cycles and counters accumulated up to this point.
-			res.Cycles = d.h.Clk() - st.baseCycles
-			res.Engine = d.h.Stats().Sub(st.baseStats)
+			d.finish(&res, st)
 			return res, err
 		}
 		st.outstanding += injected
@@ -282,8 +313,7 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 						ierr = cerr
 					}
 				}
-				res.Cycles = d.h.Clk() - st.baseCycles
-				res.Engine = d.h.Stats().Sub(st.baseStats)
+				d.finish(&res, st)
 				return res, ierr
 			}
 		}
@@ -297,19 +327,96 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 				return res, err
 			}
 			if err := d.opts.Checkpoint(ck); err != nil {
-				res.Cycles = d.h.Clk() - st.baseCycles
-				res.Engine = d.h.Stats().Sub(st.baseStats)
+				d.finish(&res, st)
 				return res, err
 			}
+		}
+		if !d.opts.DisableIdleSkip {
+			d.trySkip(n, &res, st, probe, maxCycles)
 		}
 		if d.h.Clk() > maxCycles {
 			return res, fmt.Errorf("host: run exceeded %d cycles with %d outstanding (%d/%d sent)",
 				maxCycles, st.outstanding, res.Sent, n)
 		}
 	}
-	res.Cycles = d.h.Clk() - st.baseCycles
-	res.Engine = d.h.Stats().Sub(st.baseStats)
+	d.finish(&res, st)
 	return res, nil
+}
+
+// trySkip asks the engine's idle-skip wheel to bulk-advance past
+// provably inert cycles. The driver contributes the external bound: the
+// engine may not advance past the next injection due time (paced
+// workloads), the next periodic-checkpoint boundary, or the run's cycle
+// budget — everything between is dead time the walk would spend
+// clearing six no-op stages per cycle.
+//
+// The skip window opens only when this iteration would make zero
+// injection attempts (all requests sent, or the pacer's next due time
+// is in the future): an attempted injection draws generator, selector
+// and sequence state even when it stalls, and those draws are part of
+// the deterministic schedule the walk defines.
+func (d *Driver) trySkip(n uint64, res *Result, st runState, probe *obs.Probe, maxCycles uint64) {
+	var target uint64
+	switch {
+	case res.Sent >= n:
+		if st.outstanding == 0 && d.h.Quiescent() {
+			// The loop terminates on its next iteration; advancing the
+			// clock now would overshoot the walk's final cycle.
+			return
+		}
+		// Drain tail: only in-flight traffic remains. maxCycles+1 lets
+		// a wedged run reach its abort bound in one hop.
+		target = maxCycles + 1
+	case d.opts.GapCycles > 0:
+		due := d.nextDue()
+		if due <= d.h.Clk() {
+			return
+		}
+		target = due
+	default:
+		return
+	}
+	if target > maxCycles+1 {
+		// Land exactly where the walk would trip the cycle-budget abort.
+		target = maxCycles + 1
+	}
+	if every := d.opts.CheckpointEvery; every > 0 && d.opts.Checkpoint != nil {
+		// Stop one cycle short of the next periodic-checkpoint boundary:
+		// the boundary cycle must be reached by a real Clock call for
+		// the post-edge capture to fire.
+		if bound := (d.h.Clk()/every+1)*every - 1; bound < target {
+			target = bound
+		}
+	}
+	skipped := d.h.AdvanceIdle(target)
+	if skipped == 0 {
+		return
+	}
+	sk := d.h.SkipStats()
+	if probe != nil {
+		probe.Set(d.h.Clk(), res.Sent, res.Completed)
+		probe.SetSkip(sk.IdleCyclesSkipped, sk.Wakeups)
+	}
+	if d.opts.SampleOccupancy {
+		// Queue occupancy is constant across inert cycles, so one O(1)
+		// bulk observation reproduces the walk's per-cycle samples
+		// bit-for-bit.
+		o := d.h.Occupancy()
+		res.VaultOccupancy.ObserveN(uint64(o.VaultRqst), skipped)
+		res.XbarOccupancy.ObserveN(uint64(o.XbarRqst), skipped)
+	}
+}
+
+// nextDue returns the cycle at which the pacer releases the next
+// access: access k is due at k*GapCycles. The index derives from the
+// draw count (an access drawn but still queued behind a stall is the
+// one currently due), so resumed runs need no extra state.
+func (d *Driver) nextDue() uint64 {
+	k := d.drawn
+	if d.hasQueued {
+		k = d.drawn - 1
+	}
+	return k * d.opts.GapCycles
 }
 
 // inject sends accesses until n have been sent, a queue stalls, or tags
@@ -318,6 +425,14 @@ func (d *Driver) run(gen workload.Generator, n uint64, res Result, st runState) 
 func (d *Driver) inject(gen workload.Generator, n uint64, res *Result) (uint64, bool, error) {
 	var outstanding uint64
 	for res.Sent < n {
+		// Paced injection: the next access is released only at its due
+		// cycle. The gate sits before every draw (generator, selector,
+		// tag, sequence counter), so a gated cycle consumes no
+		// deterministic state — the property that lets the idle-skip
+		// wheel jump the dead cycles without perturbing the schedule.
+		if d.opts.GapCycles > 0 && d.nextDue() > d.h.Clk() {
+			return outstanding, false, nil
+		}
 		if !d.hasQueued {
 			d.queued = gen.Next()
 			d.drawn++

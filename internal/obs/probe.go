@@ -20,6 +20,8 @@ type Probe struct {
 	cycles    atomic.Uint64
 	sent      atomic.Uint64
 	completed atomic.Uint64
+	skipped   atomic.Uint64
+	wakeups   atomic.Uint64
 }
 
 // Begin arms the probe for a run injecting target requests, stamping
@@ -30,6 +32,8 @@ func (p *Probe) Begin(target uint64, now time.Time) {
 	p.cycles.Store(0)
 	p.sent.Store(0)
 	p.completed.Store(0)
+	p.skipped.Store(0)
+	p.wakeups.Store(0)
 }
 
 // Set publishes the driver's live counters. It is the per-cycle hot
@@ -38,6 +42,14 @@ func (p *Probe) Set(cycles, sent, completed uint64) {
 	p.cycles.Store(cycles)
 	p.sent.Store(sent)
 	p.completed.Store(completed)
+}
+
+// SetSkip publishes the idle-skip totals. The driver calls it only when
+// a bulk advance actually happened, keeping the walked hot path at
+// exactly the three stores of Set.
+func (p *Probe) SetSkip(skipped, wakeups uint64) {
+	p.skipped.Store(skipped)
+	p.wakeups.Store(wakeups)
 }
 
 // ProbeSnapshot is a point-in-time reader view of a probe, with the
@@ -49,6 +61,11 @@ type ProbeSnapshot struct {
 	// responses.
 	Sent      uint64
 	Completed uint64
+	// IdleCyclesSkipped and Wakeups mirror the engine's idle-skip
+	// counters (core.SkipStats): cycles bulk-advanced past and the
+	// number of bulk advances taken. Zero on walked runs.
+	IdleCyclesSkipped uint64
+	Wakeups           uint64
 	// Target is the job's total request count.
 	Target uint64
 	// Elapsed is the wall-clock time since Begin.
@@ -66,10 +83,12 @@ type ProbeSnapshot struct {
 // the caller's wall clock.
 func (p *Probe) Snapshot(now time.Time) ProbeSnapshot {
 	s := ProbeSnapshot{
-		Cycles:    p.cycles.Load(),
-		Sent:      p.sent.Load(),
-		Completed: p.completed.Load(),
-		Target:    p.target.Load(),
+		Cycles:            p.cycles.Load(),
+		Sent:              p.sent.Load(),
+		Completed:         p.completed.Load(),
+		Target:            p.target.Load(),
+		IdleCyclesSkipped: p.skipped.Load(),
+		Wakeups:           p.wakeups.Load(),
 	}
 	start := p.start.Load()
 	if start != 0 {

@@ -17,10 +17,13 @@
 //	GET    /v1/healthz    liveness/drain         -> 200 ok | 503 draining
 //
 // Within v1, fields are only ever added (with omitempty), never renamed,
-// retyped or removed; incompatible changes require a /v2/ prefix. The
-// pre-versioning paths (/api/v1/jobs, /metrics, /healthz) remain as
-// aliases that serve identical payloads with a "Deprecation: true"
-// response header.
+// retyped or removed; incompatible changes require a /v2/ prefix.
+// Submissions are decoded strictly: a field outside this schema is
+// rejected with the "unknown_field" error code rather than silently
+// ignored. The pre-versioning paths (/api/v1/jobs, /metrics, /healthz)
+// remain as aliases that serve identical payloads with "Deprecation:
+// true" and "Sunset" response headers announcing their removal date
+// (server.LegacySunset); hmcsim-serve -legacy-paths=false unmounts them.
 package api
 
 import (
@@ -158,6 +161,14 @@ type Result struct {
 	// StateDigest is core.StateDigest over the final architectural
 	// state of the job's simulator instance.
 	StateDigest string `json:"state_digest"`
+	// IdleCyclesSkipped and Wakeups report the event-wheel idle-skip
+	// activity of the run: cycles bulk-advanced past because no packet
+	// could progress, and the number of bulk advances taken. They are
+	// observability counters, deliberately excluded from ResultDigest:
+	// a walked run and a skipping run of the same spec differ only
+	// here. Zero (and omitted) on fully walked runs.
+	IdleCyclesSkipped uint64 `json:"idle_cycles_skipped,omitempty"`
+	Wakeups           uint64 `json:"wakeups,omitempty"`
 	// Fig5 is the optional per-interval series
 	// (SubmitRequest.Fig5Interval).
 	Fig5 []stats.Sample `json:"fig5,omitempty"`
@@ -246,6 +257,11 @@ type Progress struct {
 	// ETASeconds estimates the remaining wall-clock runtime from the
 	// observed injection rate; zero while no rate is observable.
 	ETASeconds float64 `json:"eta_seconds"`
+	// IdleCyclesSkipped and Wakeups mirror the engine's idle-skip
+	// counters so far; zero (and omitted) while the run is walking
+	// every cycle.
+	IdleCyclesSkipped uint64 `json:"idle_cycles_skipped,omitempty"`
+	Wakeups           uint64 `json:"wakeups,omitempty"`
 }
 
 // JobStatus is the externally visible view of a job, returned by the
@@ -273,6 +289,12 @@ const (
 	// CodeInvalidSpec rejects a malformed body or invalid SubmitRequest
 	// (HTTP 400).
 	CodeInvalidSpec = "invalid_spec"
+	// CodeUnknownField rejects a submission whose JSON body carries a
+	// field the v1 schema does not define (HTTP 400). Distinguished
+	// from CodeInvalidSpec so clients can tell a typo'd field name —
+	// which older, lenient servers would have silently ignored — from a
+	// value that failed validation.
+	CodeUnknownField = "unknown_field"
 	// CodeUnknownJob reports a job ID with no record (HTTP 404).
 	CodeUnknownJob = "unknown_job"
 	// CodeJobFinished rejects cancellation of a job already in a

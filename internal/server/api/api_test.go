@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,6 +120,19 @@ func fixtureFabricResult() Result {
 	return r
 }
 
+// fixtureSkipResult pins the wire shape of a result whose run took the
+// event-wheel idle-skip path: the base result plus the (omitempty) skip
+// counters. The spec side pairs it with a gap-paced workload.
+func fixtureSkipResult() Result {
+	r := fixtureResult()
+	r.Fig5 = nil
+	r.Cycles = 131072
+	r.ReqsPerCycle = 0.03
+	r.IdleCyclesSkipped = 118000
+	r.Wakeups = 4096
+	return r
+}
+
 // fixtureRunningStatus pins the wire shape of a job mid-run: no result
 // yet, but a live progress block sampled from the engine's probe.
 func fixtureRunningStatus() JobStatus {
@@ -141,6 +155,23 @@ func fixtureRunningStatus() JobStatus {
 			ETASeconds:      1.5,
 		},
 	}
+}
+
+// fixtureSkipRunningStatus pins the running view of a gap-paced job on
+// the idle-skip path: the spec carries the gap_cycles workload field and
+// the progress block the live skip counters.
+func fixtureSkipRunningStatus() JobStatus {
+	s := fixtureRunningStatus()
+	s.ID = "job-000003"
+	s.Name = "golden-running-skip"
+	s.Spec.Name = "golden-skip"
+	s.Spec.Fig5Interval = 0
+	s.Spec.Workload.GapCycles = 64
+	s.Progress.Cycles = 131072
+	s.Progress.CyclesPerSecond = 87381.33333333333
+	s.Progress.IdleCyclesSkipped = 118000
+	s.Progress.Wakeups = 2048
+	return s
 }
 
 func fixtureStatus() JobStatus {
@@ -173,10 +204,13 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"submit_request", fixtureSubmit(), func() any { return &SubmitRequest{} }},
 		{"job_status", fixtureStatus(), func() any { return &JobStatus{} }},
 		{"job_status_running", fixtureRunningStatus(), func() any { return &JobStatus{} }},
+		{"job_status_running_skip", fixtureSkipRunningStatus(), func() any { return &JobStatus{} }},
 		{"result", fixtureResult(), func() any { return &Result{} }},
+		{"result_idle_skip", fixtureSkipResult(), func() any { return &Result{} }},
 		{"submit_request_fabric", fixtureFabricSubmit(), func() any { return &SubmitRequest{} }},
 		{"result_fabric", fixtureFabricResult(), func() any { return &Result{} }},
 		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},
+		{"error_unknown_field", Error{Code: CodeUnknownField, Message: `json: unknown field "requets"`}, func() any { return &Error{} }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -213,14 +247,30 @@ func TestGoldenWireFormat(t *testing.T) {
 }
 
 // TestGoldenDecodeUnknownField pins the decode strictness the server
-// relies on: submissions are parsed with DisallowUnknownFields, so a
-// misspelled field is a 400, not a silent default.
+// relies on: submissions are parsed with DisallowUnknownFields, which
+// recurses into the nested workload and fabric specs, so a misspelled
+// field at any depth is a 400 with the "unknown field" message the
+// server classifies as CodeUnknownField — not a silent default.
 func TestGoldenDecodeUnknownField(t *testing.T) {
-	dec := json.NewDecoder(bytes.NewReader([]byte(`{"requets": 5}`)))
-	dec.DisallowUnknownFields()
-	var s SubmitRequest
-	if err := dec.Decode(&s); err == nil {
-		t.Error("decoder accepted an unknown field")
+	for name, body := range map[string]string{
+		"top level":      `{"requets": 5}`,
+		"workload typo":  `{"requests": 5, "workload": {"gap_cycle": 64}}`,
+		"fabric typo":    `{"requests": 5, "fabric": {"topolgy": "mesh"}}`,
+		"config typo":    `{"requests": 5, "config": {"num_link": 4}}`,
+		"nested in hint": `{"requests": 5, "workload": {"no_idle_skip": true, "idle_skip": false}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			dec := json.NewDecoder(bytes.NewReader([]byte(body)))
+			dec.DisallowUnknownFields()
+			var s SubmitRequest
+			err := dec.Decode(&s)
+			if err == nil {
+				t.Fatal("decoder accepted an unknown field")
+			}
+			if !strings.Contains(err.Error(), "unknown field") {
+				t.Errorf("rejection %q lacks the \"unknown field\" marker the server's code mapping keys on", err)
+			}
+		})
 	}
 }
 
@@ -247,6 +297,10 @@ func TestSubmitRequestValidate(t *testing.T) {
 		"bad config":     func(s *SubmitRequest) { s.Config.NumLinks = 3 },
 		"bad workload":   func(s *SubmitRequest) { s.Workload.Kind = "nope" },
 		"bad fault rate": func(s *SubmitRequest) { s.Config.Fault.TransientPPM = 2000000 },
+		"oversized gap":  func(s *SubmitRequest) { s.Workload.GapCycles = 1<<20 + 1 },
+		"bad timed fault": func(s *SubmitRequest) {
+			s.Config.Fault.FailAt = []fault.TimedLinkFailure{{Cycle: 100, Dev: 0, Link: 99}}
+		},
 	} {
 		bad := fixtureSubmit()
 		mut(&bad)

@@ -15,6 +15,28 @@ import (
 // maxBodyBytes bounds a submission body; specs are small.
 const maxBodyBytes = 1 << 20
 
+// LegacySunset is the removal date of the pre-versioning path aliases
+// (/api/v1/jobs, /metrics, /healthz), served on alias responses as an
+// RFC 8594 Sunset header. Until then the aliases serve payloads
+// identical to their /v1 counterparts; after it a release may drop them
+// (hmcsim-serve -legacy-paths=false previews that world today).
+const LegacySunset = "Sun, 01 Aug 2027 00:00:00 GMT"
+
+// HandlerOptions selects the optional parts of the HTTP surface.
+type HandlerOptions struct {
+	// LegacyPaths keeps the deprecated pre-versioning aliases mounted.
+	// NewHandler defaults it on; hmcsim-serve exposes it as
+	// -legacy-paths so operators can turn the old surface off ahead of
+	// the LegacySunset removal date and find lagging clients by their
+	// 404s.
+	LegacyPaths bool
+	// Pprof mounts net/http/pprof under /debug/pprof/. Profiling
+	// exposes goroutine stacks and heap contents, so it is opt-in
+	// (cmd/hmcsim-serve -pprof) rather than part of the default
+	// surface.
+	Pprof bool
+}
+
 // NewHandler mounts the JSON API for m under the canonical /v1/ prefix:
 //
 //	POST   /v1/jobs       submit a JobSpec   -> 202 Status
@@ -30,10 +52,18 @@ const maxBodyBytes = 1 << 20
 // responses carry a "Deprecation: true" header so clients can detect
 // they are on the legacy surface.
 //
-// Error mapping: invalid spec 400, unknown job 404, cancel-after-finish
-// 409, queue full 429 (with Retry-After), shutting down 503. Error
-// bodies are the api.Error envelope: {"code": "...", "error": "..."}.
+// Error mapping: invalid spec 400 (code "unknown_field" when the body
+// carries a field outside the v1 schema, "invalid_spec" otherwise),
+// unknown job 404, cancel-after-finish 409, queue full 429 (with
+// Retry-After), shutting down 503. Error bodies are the api.Error
+// envelope: {"code": "...", "error": "..."}.
 func NewHandler(m *Manager) http.Handler {
+	return NewHandlerWithOptions(m, HandlerOptions{LegacyPaths: true})
+}
+
+// NewHandlerWithOptions is NewHandler with the optional surface made
+// explicit; see HandlerOptions.
+func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	handlers := map[string]http.HandlerFunc{
@@ -43,7 +73,7 @@ func NewHandler(m *Manager) http.Handler {
 			dec := json.NewDecoder(body)
 			dec.DisallowUnknownFields()
 			if err := dec.Decode(&spec); err != nil {
-				writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, err)
+				writeError(w, http.StatusBadRequest, decodeCode(err), err)
 				return
 			}
 			if spec.IdempotencyKey == "" {
@@ -134,10 +164,31 @@ func NewHandler(m *Manager) http.Handler {
 	for pattern, h := range handlers {
 		mux.HandleFunc(pattern, h)
 	}
-	for pattern, canonical := range legacyAliases {
-		mux.HandleFunc(pattern, deprecated(handlers[canonical]))
+	if o.LegacyPaths {
+		for pattern, canonical := range legacyAliases {
+			mux.HandleFunc(pattern, deprecated(handlers[canonical]))
+		}
+	}
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// decodeCode classifies a submission-decode failure: an unknown-field
+// rejection (from DisallowUnknownFields) gets its own code so clients
+// can distinguish a typo'd field name from a value error. encoding/json
+// gives the rejection no typed error, only the message "json: unknown
+// field %q", so classification is by substring.
+func decodeCode(err error) string {
+	if strings.Contains(err.Error(), "unknown field") {
+		return api.CodeUnknownField
+	}
+	return api.CodeInvalidSpec
 }
 
 // wantsPrometheus decides the exposition format of /v1/metrics from the
@@ -159,26 +210,19 @@ func wantsPrometheus(accept string) bool {
 }
 
 // NewHandlerWithPprof is NewHandler plus the net/http/pprof profiling
-// endpoints mounted under /debug/pprof/. Profiling exposes goroutine
-// stacks and heap contents, so it is opt-in (cmd/hmcsim-serve -pprof)
-// rather than part of the default surface.
+// endpoints; kept for callers predating HandlerOptions.
 func NewHandlerWithPprof(m *Manager) http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle("/", NewHandler(m))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return NewHandlerWithOptions(m, HandlerOptions{LegacyPaths: true, Pprof: true})
 }
 
 // deprecated wraps a canonical handler for serving on a legacy path: the
-// payload is identical, plus a Deprecation header (RFC 9745 style) so
-// clients and proxies can flag the old surface.
+// payload is identical, plus a Deprecation header (RFC 9745 style) and
+// the RFC 8594 Sunset date so clients and proxies can flag the old
+// surface and see its removal schedule.
 func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", LegacySunset)
 		h(w, r)
 	}
 }

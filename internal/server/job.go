@@ -58,22 +58,24 @@ type Status = api.JobStatus
 // not need.
 func NewResult(cfg core.Config, spec JobSpec, r host.Result, snap core.Snapshot, fig5 []stats.Sample) Result {
 	return Result{
-		Config:       cfg.String(),
-		Requests:     spec.Requests,
-		Cycles:       r.Cycles,
-		Sent:         r.Sent,
-		Completed:    r.Completed,
-		Errors:       r.Errors,
-		ReqsPerCycle: r.Throughput(),
-		LatencyMean:  r.Latency.Mean(),
-		LatencyP50:   r.Latency.Percentile(50),
-		LatencyP95:   r.Latency.Percentile(95),
-		LatencyP99:   r.Latency.Percentile(99),
-		LatencyMax:   r.Latency.Max(),
-		Engine:       r.Engine,
-		ResultDigest: fmt.Sprintf("%016x", eval.ResultDigest(r)),
-		StateDigest:  fmt.Sprintf("%016x", snap.Digest),
-		Fig5:         fig5,
+		Config:            cfg.String(),
+		Requests:          spec.Requests,
+		Cycles:            r.Cycles,
+		Sent:              r.Sent,
+		Completed:         r.Completed,
+		Errors:            r.Errors,
+		ReqsPerCycle:      r.Throughput(),
+		LatencyMean:       r.Latency.Mean(),
+		LatencyP50:        r.Latency.Percentile(50),
+		LatencyP95:        r.Latency.Percentile(95),
+		LatencyP99:        r.Latency.Percentile(99),
+		LatencyMax:        r.Latency.Max(),
+		Engine:            r.Engine,
+		IdleCyclesSkipped: r.IdleCyclesSkipped,
+		Wakeups:           r.Wakeups,
+		ResultDigest:      fmt.Sprintf("%016x", eval.ResultDigest(r)),
+		StateDigest:       fmt.Sprintf("%016x", snap.Digest),
+		Fig5:              fig5,
 	}
 }
 
@@ -124,6 +126,9 @@ func (j *job) status() Status {
 			ElapsedSeconds:  ps.Elapsed.Seconds(),
 			CyclesPerSecond: ps.CyclesPerSec,
 			ETASeconds:      ps.ETA.Seconds(),
+
+			IdleCyclesSkipped: ps.IdleCyclesSkipped,
+			Wakeups:           ps.Wakeups,
 		}
 	}
 	if j.state.err != nil {

@@ -138,6 +138,7 @@ type Manager struct {
 	panics        *obs.Counter
 	cycles        *obs.Counter // simulated cycles, completed jobs
 	requests      *obs.Counter // injected requests, completed jobs
+	idleSkipped   *obs.Counter // idle cycles bulk-skipped, completed jobs
 	recovered     *obs.Counter // jobs requeued from the journal at startup
 	resumed       *obs.Counter // runs continued from a persisted checkpoint
 	retries       *obs.Counter // transient failures requeued with backoff
@@ -218,6 +219,7 @@ func (m *Manager) initMetrics() {
 	m.panics = r.Counter("job_panics", "Jobs that panicked and were settled as failed.")
 	m.cycles = r.Counter("cycles_simulated", "Simulated clock cycles across completed jobs.")
 	m.requests = r.Counter("requests_simulated", "Injected requests across completed jobs.")
+	m.idleSkipped = r.Counter("idle_cycles_skipped_total", "Idle cycles bulk-advanced past by the event wheel across completed jobs.")
 	m.recovered = r.Counter("jobs_recovered", "Jobs requeued from the journal at startup.")
 	m.resumed = r.Counter("jobs_resumed", "Runs continued from a persisted checkpoint.")
 	m.retries = r.Counter("job_retries", "Transient job failures requeued with backoff.")
@@ -550,6 +552,7 @@ func (m *Manager) settle(j *job, res Result, err error) {
 		m.completed.Add(1)
 		m.cycles.Add(res.Cycles)
 		m.requests.Add(res.Sent)
+		m.idleSkipped.Add(res.IdleCyclesSkipped)
 		if f := res.Fabric; f != nil {
 			m.fabricCubes.Add(uint64(f.Cubes))
 			m.fabricHops.Add(f.Hops)

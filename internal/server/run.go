@@ -116,10 +116,12 @@ func ExecuteOpts(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, err
 		}
 	}
 	hopts := host.Options{
-		Posted:    spec.Posted,
-		Warmup:    spec.Warmup,
-		Interrupt: interrupt,
-		Progress:  eo.Probe,
+		Posted:          spec.Posted,
+		Warmup:          spec.Warmup,
+		Interrupt:       interrupt,
+		Progress:        eo.Probe,
+		GapCycles:       spec.Workload.GapCycles,
+		DisableIdleSkip: spec.Workload.NoIdleSkip,
 	}
 	resumable := spec.Fig5Interval == 0
 	if resumable {

@@ -53,6 +53,12 @@ func TestV1AndLegacyPaths(t *testing.T) {
 	if legacy.header.Get("Deprecation") != "true" {
 		t.Errorf("GET /api/v1/jobs/{id} Deprecation = %q, want \"true\"", legacy.header.Get("Deprecation"))
 	}
+	if legacy.header.Get("Sunset") != LegacySunset {
+		t.Errorf("GET /api/v1/jobs/{id} Sunset = %q, want %q", legacy.header.Get("Sunset"), LegacySunset)
+	}
+	if canonical.header.Get("Sunset") != "" {
+		t.Error("canonical path carries a Sunset header")
+	}
 	if !bytes.Equal(canonical.body, legacy.body) {
 		t.Error("legacy alias served a different payload than /v1")
 	}
@@ -74,6 +80,30 @@ func TestV1AndLegacyPaths(t *testing.T) {
 		if lr.header.Get("Deprecation") != "true" {
 			t.Errorf("%s missing Deprecation header", c.legacy)
 		}
+		if lr.header.Get("Sunset") != LegacySunset {
+			t.Errorf("%s Sunset = %q, want %q", c.legacy, lr.header.Get("Sunset"), LegacySunset)
+		}
+	}
+}
+
+// TestLegacyPathsDisabled previews the post-sunset world: with
+// HandlerOptions.LegacyPaths off, the aliases 404 while the /v1 surface
+// is untouched.
+func TestLegacyPathsDisabled(t *testing.T) {
+	m := NewManager(ManagerConfig{Workers: 1, QueueDepth: 2})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandlerWithOptions(m, HandlerOptions{LegacyPaths: false}))
+	defer srv.Close()
+
+	for _, path := range []string{"/api/v1/jobs", "/metrics", "/healthz"} {
+		if r := get(t, srv.URL+path); r.status != http.StatusNotFound {
+			t.Errorf("GET %s with legacy paths disabled: %d, want 404", path, r.status)
+		}
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/metrics", "/v1/healthz"} {
+		if r := get(t, srv.URL+path); r.status != http.StatusOK {
+			t.Errorf("GET %s: %d, want 200", path, r.status)
+		}
 	}
 }
 
@@ -91,6 +121,20 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkEnvelope(t, rsp, http.StatusBadRequest, api.CodeInvalidSpec)
+
+	// A field outside the v1 schema -> 400 unknown_field, at any
+	// nesting depth.
+	for _, body := range []string{
+		`{"requets": 5}`,
+		`{"requests": 5, "workload": {"gap_cycle": 64}}`,
+		`{"requests": 5, "fabric": {"topolgy": "mesh"}}`,
+	} {
+		rsp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEnvelope(t, rsp, http.StatusBadRequest, api.CodeUnknownField)
+	}
 
 	// Unknown job -> 404 unknown_job.
 	rsp, err = http.Get(srv.URL + "/v1/jobs/nope")

@@ -34,6 +34,20 @@ type Spec struct {
 	// the engine's limit.
 	Workers int `json:"workers,omitempty"`
 
+	// GapCycles paces the injection: access k is not released before
+	// simulated cycle k*GapCycles, modeling a sparse traffic source
+	// with compute time between memory accesses. It is a workload
+	// parameter — a paced run simulates different traffic than an
+	// unpaced one — unlike NoIdleSkip below.
+	GapCycles uint64 `json:"gap_cycles,omitempty"`
+
+	// NoIdleSkip is an execution hint, not a workload parameter: it
+	// forces the exact cycle-by-cycle walk instead of the event-wheel
+	// idle skip. Results are bit-identical either way (the wheel's
+	// contract); the hint exists for equivalence testing and walk-path
+	// benchmarking.
+	NoIdleSkip bool `json:"no_idle_skip,omitempty"`
+
 	// StartAddr and StrideBytes parameterize "stride".
 	StartAddr   uint64 `json:"start_addr,omitempty"`
 	StrideBytes uint64 `json:"stride_bytes,omitempty"`
@@ -84,6 +98,9 @@ func (s Spec) Build(capacityBytes uint64) (Generator, error) {
 func (s Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("workload: negative worker hint %d", s.Workers)
+	}
+	if s.GapCycles > 1<<20 {
+		return fmt.Errorf("workload: gap_cycles %d exceeds the %d-cycle pacing limit", s.GapCycles, 1<<20)
 	}
 	_, err := s.Build(1 << 30)
 	return err
