@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke skip-smoke table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke skip-smoke cache-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -49,10 +49,14 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableI_|BenchmarkClockSaturated$$|BenchmarkSparse_' -benchmem -count 3 . \
 		| $(GO) run ./cmd/hmcsim-benchcore -compare BENCH_core.json
 
-# bench-serve pushes a fixed 16-job batch (the four Table I configs,
-# four replicas each) through an in-process simulation service over real
-# HTTP and records jobs/sec and cycles/sec — the serving-path perf
-# baseline.
+# bench-serve pushes three 16-job batches (unique-seed Table I configs)
+# through an in-process cache-enabled simulation service over real HTTP:
+# a cold batch, a hot resubmission served from the result cache and a
+# coalesced batch of identical concurrent submissions. The record lands
+# in BENCH_serve.json with per-row throughput and the hot speedup; the
+# run is its own gate — it fails on a >10% cold-row regression against
+# the committed record or a hot row below the 5x cache contract
+# (DESIGN.md §15).
 bench-serve:
 	$(GO) run ./cmd/hmcsim-submit -bench BENCH_serve.json -bench-jobs 16 -requests 65536
 
@@ -100,6 +104,15 @@ skip-smoke:
 	$(GO) test -run 'TestIdleSkip' -v ./internal/eval
 	$(GO) test -run 'TestAdvanceIdle|TestTimedLinkFailure|TestCheckpointCarriesSkipStats' -v ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkSparse_ChaseGap500Walk' -benchtime 1x .
+
+# cache-smoke exercises the content-addressed result cache end to end:
+# spec-key canonicalization (field order, defaults, execution hints),
+# hit/coalesce provenance and digest identity over real HTTP, verify
+# sampling across worker counts, follower cancellation, and the cache
+# index rebuild from the journal after a crash (DESIGN.md §15).
+cache-smoke:
+	$(GO) test -run 'TestJobKey|TestHashJSON' -v ./internal/server/cache ./internal/ckey
+	$(GO) test -run 'TestCache|TestCancelFollower|TestLeaderFailure' -v ./internal/server
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

@@ -17,6 +17,14 @@
 // jobs resume from their last checkpoint. See README "Crash recovery"
 // and DESIGN.md §12.
 //
+// The daemon keeps a content-addressed result cache (-cache-bytes,
+// default 256 MiB): a submission whose canonical spec matches a finished
+// job is served the cached result immediately with cache:"hit"
+// provenance, and identical concurrent submissions coalesce onto one
+// simulation. -cache-verify re-executes a sampled fraction of hits and
+// fails loudly on digest mismatch. See README "Result cache" and
+// DESIGN.md §15.
+//
 // See the README's "Serving mode" and "Observability" sections for the
 // endpoint reference and an example curl session. On SIGINT/SIGTERM the
 // daemon stops accepting work and exits within the -drain budget: with
@@ -53,6 +61,8 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (journal, results, checkpoints); empty runs in-memory with no crash recovery")
 	ckEvery := flag.Uint64("checkpoint-cycles", 0, "checkpoint interval in simulated cycles with -data (0 selects the default)")
 	retries := flag.Int("retries", 0, "max execution attempts per job, transient failures retrying with backoff (0 selects the default)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "byte budget of the content-addressed result cache; identical submissions are served from it or coalesced onto an in-flight run (0 disables)")
+	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits re-executed to revalidate determinism; a digest mismatch evicts the entry and fails the sampled job (0 never, 1 every hit)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -77,6 +87,8 @@ func main() {
 		Store:           st,
 		CheckpointEvery: *ckEvery,
 		MaxAttempts:     *retries,
+		CacheBytes:      *cacheBytes,
+		CacheVerify:     *cacheVerify,
 	})
 	if mgr.Recovering() {
 		log.Printf("recovering: requeueing interrupted jobs from the journal")
@@ -95,6 +107,15 @@ func main() {
 	// can discover an ephemeral port.
 	fmt.Printf("listening on %s\n", ln.Addr())
 	log.Printf("%d workers, queue depth %d, default timeout %v", *workers, *queue, *timeout)
+	if *cacheBytes > 0 {
+		if *cacheVerify > 0 {
+			log.Printf("result cache: %d MiB budget, verifying %.0f%% of hits", *cacheBytes>>20, 100**cacheVerify)
+		} else {
+			log.Printf("result cache: %d MiB budget", *cacheBytes>>20)
+		}
+	} else {
+		log.Printf("result cache disabled; every submission simulates")
+	}
 	if *pprofOn {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}

@@ -15,11 +15,22 @@
 // sends one, and every submission carries an idempotency key so an
 // ambiguous retry can never double-run a job.
 //
+// The result table prints each job's cache provenance — "cold" for a
+// real simulation, "hit" for a submission served from the service's
+// content-addressed result cache, "coalesced" for one that attached to
+// an identical in-flight job, "verified" for a sampled hit the server
+// re-executed (README "Result cache").
+//
 // With -bench FILE the command is self-contained: it starts an
-// in-process service on an ephemeral port, pushes a fixed 16-job batch
-// (the four configurations, four replicas each) through the full HTTP
-// path and writes a JSON benchmark record (jobs/sec, cycles/sec) to
-// FILE — the `make bench-serve` baseline.
+// in-process cache-enabled service on an ephemeral port and pushes
+// three batches through the full HTTP path: a cold batch of unique
+// specs, a hot resubmission of the same batch (served entirely from the
+// cache) and a coalesced batch of identical concurrent copies of one
+// fresh spec. The JSON record written to FILE carries one row per batch
+// plus the run-derived hot speedup; unless -gate=false, the run fails
+// if the hot row is below 5x the cold row, if any hot digest diverges
+// from its cold counterpart, or if the cold row regressed more than 10%
+// against the record previously at FILE — the `make bench-serve` gate.
 package main
 
 import (
@@ -51,13 +62,14 @@ func main() {
 	seed := flag.Uint("seed", 1, "workload seed")
 	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
 	timeout := flag.Duration("timeout", 10*time.Minute, "client-side wait budget per batch")
-	bench := flag.String("bench", "", "run the 16-job in-process benchmark and write its JSON record to this file")
-	benchJobs := flag.Int("bench-jobs", 16, "benchmark batch size (replicated Table I configs)")
+	bench := flag.String("bench", "", "run the cold/hot/coalesced in-process benchmark and write its JSON record to this file")
+	benchJobs := flag.Int("bench-jobs", 16, "benchmark batch size per row (unique-seed Table I configs)")
+	gate := flag.Bool("gate", true, "with -bench, fail on a >10%% cold-row regression against the existing record or a hot row below the 5x cache contract")
 	progress := flag.Bool("progress", false, "print each job's live progress to stderr while polling")
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runBench(*bench, *benchJobs, *requests, uint32(*seed), *poll, *timeout); err != nil {
+		if err := runBench(*bench, *benchJobs, *requests, uint32(*seed), *poll, *timeout, *gate); err != nil {
 			fmt.Fprintln(os.Stderr, "hmcsim-submit:", err)
 			os.Exit(1)
 		}
@@ -71,7 +83,10 @@ func main() {
 	printTable(results)
 }
 
-// specs builds replicas copies of the four Table I job specs.
+// specs builds replicas copies of the four Table I job specs. Each
+// replica gets its own workload seed: against a cache-enabled service,
+// same-seed replicas would be one simulation and replicas-1 cache
+// hits, which is not what a replicated batch means.
 func specs(replicas int, requests uint64, seed uint32) []api.SubmitRequest {
 	var out []api.SubmitRequest
 	for r := 0; r < replicas; r++ {
@@ -79,7 +94,7 @@ func specs(replicas int, requests uint64, seed uint32) []api.SubmitRequest {
 			out = append(out, api.SubmitRequest{
 				Name:     fmt.Sprintf("%v #%d", cfg, r),
 				Config:   cfg,
-				Workload: workload.TableISpec(seed),
+				Workload: workload.TableISpec(seed + uint32(r)),
 				Requests: requests,
 			})
 		}
@@ -212,6 +227,14 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		}
 		break
 	}
+	if st.State.Terminal() {
+		// Served straight from the result cache (or coalesced onto a job
+		// that finished before the response was written): no polling.
+		if st.State != api.StateDone {
+			return st, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		return st, nil
+	}
 	backoff = backoffBase
 	for {
 		if time.Now().After(deadline) {
@@ -261,34 +284,102 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 }
 
 // printTable renders the batch the way hmcsim-table1 does, with the
-// service's determinism digests attached.
+// service's determinism digests and cache provenance attached.
 func printTable(results []api.JobStatus) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Job\tDevice Configuration\tCycles\tReq/Cycle\tResult Digest")
+	fmt.Fprintln(tw, "Job\tDevice Configuration\tCycles\tReq/Cycle\tCache\tResult Digest")
 	for _, st := range results {
 		r := st.Result
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\n", st.ID, r.Config, r.Cycles, r.ReqsPerCycle, r.ResultDigest)
+		prov := r.Cache
+		if prov == "" {
+			prov = "cold"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\t%s\n", st.ID, r.Config, r.Cycles, r.ReqsPerCycle, prov, r.ResultDigest)
 	}
 	tw.Flush()
 }
 
-// benchRecord is the BENCH_serve.json schema.
-type benchRecord struct {
+// benchRow is one batch of the BENCH_serve.json record.
+type benchRow struct {
 	Jobs        int     `json:"jobs"`
-	Workers     int     `json:"workers"`
-	RequestsJob uint64  `json:"requests_per_job"`
 	WallSeconds float64 `json:"wall_seconds"`
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 	Cycles      uint64  `json:"cycles_total"`
 	CyclesSec   float64 `json:"cycles_per_sec"`
 	ReqsSec     float64 `json:"requests_per_sec"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	Coalesced   int     `json:"coalesced,omitempty"`
 }
 
-// runBench drives a fixed batch through an in-process service over real
-// HTTP and records throughput.
-func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout time.Duration) error {
+// benchRecord is the BENCH_serve.json schema: one row per batch —
+// cold (unique specs, every job simulates), hot (the same batch
+// resubmitted, served from the result cache) and coalesced (identical
+// concurrent copies of one fresh spec, served by one simulation) —
+// plus the run-derived hot/cold throughput ratio.
+type benchRecord struct {
+	Workers     int      `json:"workers"`
+	RequestsJob uint64   `json:"requests_per_job"`
+	Cold        benchRow `json:"cold"`
+	Hot         benchRow `json:"hot"`
+	Coalesced   benchRow `json:"coalesced"`
+	HotSpeedup  float64  `json:"hot_speedup"`
+}
+
+// benchBatch times one batch through the HTTP path and censuses the
+// provenance of its results.
+func benchBatch(base string, batch []api.SubmitRequest, requests uint64, poll, timeout time.Duration) (benchRow, []api.JobStatus, error) {
+	start := time.Now()
+	results, err := runBatch(base, batch, poll, timeout, false)
+	if err != nil {
+		return benchRow{}, nil, err
+	}
+	wall := time.Since(start).Seconds()
+	row := benchRow{
+		Jobs: len(batch), WallSeconds: wall,
+		JobsPerSec: float64(len(batch)) / wall,
+	}
+	for _, st := range results {
+		row.Cycles += st.Result.Cycles
+		switch st.Result.Cache {
+		case api.CacheHit, api.CacheVerified:
+			row.CacheHits++
+		case api.CacheCoalesced:
+			row.Coalesced++
+		}
+	}
+	row.CyclesSec = float64(row.Cycles) / wall
+	row.ReqsSec = float64(uint64(len(batch))*requests) / wall
+	return row, results, nil
+}
+
+// hotContract is the minimum hot/cold throughput ratio the cache must
+// deliver, and coldRegression the cold-row slowdown tolerated against
+// the record previously on disk.
+const (
+	hotContract    = 5.0
+	coldRegression = 0.10
+)
+
+// runBench drives the cold, hot and coalesced batches through an
+// in-process cache-enabled service over real HTTP, records per-row
+// throughput and enforces the performance gates.
+func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout time.Duration, gate bool) error {
+	// Read any previous record before overwriting it: the cold row gates
+	// against it. A missing or old-schema file skips the comparison —
+	// that is how the first record under a new schema bootstraps.
+	var prev benchRecord
+	havePrev := false
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &prev); err == nil && prev.Cold.Jobs > 0 {
+			havePrev = true
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
-	mgr := server.NewManager(server.ManagerConfig{Workers: workers, QueueDepth: jobs})
+	mgr := server.NewManager(server.ManagerConfig{
+		Workers: workers, QueueDepth: jobs + workers,
+		CacheBytes: 256 << 20,
+	})
 	srv := &http.Server{Handler: server.NewHandler(mgr)}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -300,21 +391,54 @@ func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout
 
 	replicas := (jobs + 3) / 4
 	batch := specs(replicas, requests, seed)[:jobs]
-	start := time.Now()
-	results, err := runBatch(base, batch, poll, timeout, false)
-	if err != nil {
-		return err
+	rec := benchRecord{Workers: workers, RequestsJob: requests}
+
+	var coldResults, hotResults []api.JobStatus
+	if rec.Cold, coldResults, err = benchBatch(base, batch, requests, poll, timeout); err != nil {
+		return fmt.Errorf("cold batch: %w", err)
 	}
-	wall := time.Since(start).Seconds()
-	rec := benchRecord{
-		Jobs: jobs, Workers: workers, RequestsJob: requests,
-		WallSeconds: wall, JobsPerSec: float64(jobs) / wall,
+	if rec.Cold.CacheHits+rec.Cold.Coalesced != 0 {
+		return fmt.Errorf("cold batch not unique: %d hits, %d coalesced", rec.Cold.CacheHits, rec.Cold.Coalesced)
 	}
-	for _, st := range results {
-		rec.Cycles += st.Result.Cycles
+	if rec.Hot, hotResults, err = benchBatch(base, batch, requests, poll, timeout); err != nil {
+		return fmt.Errorf("hot batch: %w", err)
 	}
-	rec.CyclesSec = float64(rec.Cycles) / wall
-	rec.ReqsSec = float64(uint64(jobs)*requests) / wall
+	// The hot row must be pure cache service, digest-identical to cold.
+	if rec.Hot.CacheHits != jobs {
+		return fmt.Errorf("hot batch leaked past the cache: %d/%d hits", rec.Hot.CacheHits, jobs)
+	}
+	for i := range hotResults {
+		if hotResults[i].Result.ResultDigest != coldResults[i].Result.ResultDigest {
+			return fmt.Errorf("hot job %s digest %s != cold %s — cache served the wrong result",
+				hotResults[i].ID, hotResults[i].Result.ResultDigest, coldResults[i].Result.ResultDigest)
+		}
+	}
+	// Coalesced row: identical concurrent copies of one spec no batch
+	// has run yet; the service simulates once.
+	co := make([]api.SubmitRequest, jobs)
+	for i := range co {
+		co[i] = specs(1, requests, seed+uint32(replicas))[0]
+		co[i].Name = fmt.Sprintf("%s copy-%d", co[i].Name, i)
+	}
+	if rec.Coalesced, _, err = benchBatch(base, co, requests, poll, timeout); err != nil {
+		return fmt.Errorf("coalesced batch: %w", err)
+	}
+	rec.HotSpeedup = rec.Hot.JobsPerSec / rec.Cold.JobsPerSec
+
+	if gate {
+		if rec.HotSpeedup < hotContract {
+			return fmt.Errorf("cache contract broken: hot row %.2f jobs/s is only %.1fx cold %.2f jobs/s (want >= %.0fx)",
+				rec.Hot.JobsPerSec, rec.HotSpeedup, rec.Cold.JobsPerSec, hotContract)
+		}
+		if havePrev && prev.Workers == workers && prev.RequestsJob == requests && prev.Cold.Jobs == jobs {
+			floor := prev.Cold.JobsPerSec * (1 - coldRegression)
+			if rec.Cold.JobsPerSec < floor {
+				return fmt.Errorf("cold row regressed: %.2f jobs/s vs recorded %.2f (floor %.2f)",
+					rec.Cold.JobsPerSec, prev.Cold.JobsPerSec, floor)
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -322,7 +446,7 @@ func runBench(path string, jobs int, requests uint64, seed uint32, poll, timeout
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench-serve: %d jobs on %d workers in %.2fs (%.2f jobs/s, %.0f cycles/s) -> %s\n",
-		jobs, workers, wall, rec.JobsPerSec, rec.CyclesSec, path)
+	fmt.Printf("bench-serve: cold %.2f jobs/s, hot %.2f jobs/s (%.1fx), coalesced %.2f jobs/s on %d workers -> %s\n",
+		rec.Cold.JobsPerSec, rec.Hot.JobsPerSec, rec.HotSpeedup, rec.Coalesced.JobsPerSec, workers, path)
 	return nil
 }

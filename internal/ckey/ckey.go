@@ -1,0 +1,84 @@
+// Package ckey implements the content keys of the result cache: stable
+// 128-bit identifiers derived from canonicalized specification values.
+//
+// A key is computed by hashing the JSON encoding of a canonical Go value
+// (FNV-1a 128). Hashing the decoded value rather than the wire bytes is
+// what makes JSON field order, whitespace and formatting irrelevant: two
+// submissions that decode to the same canonical struct collide on the
+// same key by construction. The caller is responsible for canonicalizing
+// first — materializing defaults and zeroing execution-only hints — so
+// that spellings of the same semantic spec (an omitted default versus an
+// explicit one) also collide. See workload.SpecKey, fabric.SpecKey and
+// cache.JobKey for the canonicalization rules of each layer.
+package ckey
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Key is a 128-bit content key.
+type Key [16]byte
+
+// IsZero reports whether k is the zero key. The zero key is reserved as
+// "no key" — HashJSON never returns it.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// String renders the key as 32 lowercase hex digits.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Parse decodes the 32-hex-digit rendering produced by String.
+func Parse(s string) (Key, error) {
+	var k Key
+	if len(s) != 32 {
+		return k, fmt.Errorf("ckey: key %q is not 32 hex digits", s)
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("ckey: %w", err)
+	}
+	if k.IsZero() {
+		return k, fmt.Errorf("ckey: zero key is reserved")
+	}
+	return k, nil
+}
+
+// HashJSON hashes the JSON encodings of the given parts, in order, into
+// one key. Each part is framed with a domain label and a length prefix
+// so distinct part sequences cannot collide by concatenation. The
+// result is never the zero key.
+func HashJSON(domain string, parts ...any) (Key, error) {
+	h := fnv.New128a()
+	h.Write([]byte(domain))
+	var lenbuf [8]byte
+	for _, p := range parts {
+		data, err := json.Marshal(p)
+		if err != nil {
+			return Key{}, fmt.Errorf("ckey: %w", err)
+		}
+		binary.LittleEndian.PutUint64(lenbuf[:], uint64(len(data)))
+		h.Write(lenbuf[:])
+		h.Write(data)
+	}
+	var k Key
+	h.Sum(k[:0])
+	if k.IsZero() {
+		// Vanishingly unlikely, but the zero key means "no key" to
+		// every consumer; remap it.
+		k[0] = 1
+	}
+	return k, nil
+}
+
+// MustHashJSON is HashJSON for values that cannot fail to marshal (the
+// spec structs of this repository). It panics on a marshal error, which
+// would indicate a programming error in a spec type, not bad input.
+func MustHashJSON(domain string, parts ...any) Key {
+	k, err := HashJSON(domain, parts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,54 @@
+package ckey
+
+import "testing"
+
+func TestHashJSONStable(t *testing.T) {
+	type spec struct {
+		A int    `json:"a"`
+		B string `json:"b,omitempty"`
+	}
+	k1 := MustHashJSON("test/v1", spec{A: 1, B: "x"})
+	k2 := MustHashJSON("test/v1", spec{A: 1, B: "x"})
+	if k1 != k2 {
+		t.Fatalf("equal values hash differently: %s vs %s", k1, k2)
+	}
+	if k1.IsZero() {
+		t.Fatal("hash returned the reserved zero key")
+	}
+	if k3 := MustHashJSON("test/v1", spec{A: 2, B: "x"}); k3 == k1 {
+		t.Error("distinct values collide")
+	}
+	if k4 := MustHashJSON("test/v2", spec{A: 1, B: "x"}); k4 == k1 {
+		t.Error("distinct domains collide")
+	}
+}
+
+func TestHashJSONPartFraming(t *testing.T) {
+	// Two parts must not collide with one part holding their
+	// concatenated encoding.
+	a := MustHashJSON("d", "xy", "z")
+	b := MustHashJSON("d", "x", "yz")
+	if a == b {
+		t.Error("part boundaries are not framed: [xy z] == [x yz]")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	k := MustHashJSON("roundtrip", 42)
+	got, err := Parse(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("Parse(%s) = %s", k, got)
+	}
+	if _, err := Parse("short"); err == nil {
+		t.Error("Parse accepted a short string")
+	}
+	if _, err := Parse("00000000000000000000000000000000"); err == nil {
+		t.Error("Parse accepted the reserved zero key")
+	}
+	if _, err := Parse("zz000000000000000000000000000000"); err == nil {
+		t.Error("Parse accepted non-hex input")
+	}
+}

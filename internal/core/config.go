@@ -237,6 +237,44 @@ func (c Config) deviceConfig() device.Config {
 	}
 }
 
+// Canonical returns the configuration with every default materialized
+// and every execution-only hint cleared, the form hashed into a content
+// key (ckey/cache). Two configurations with equal Canonical() values
+// build engines that produce bit-identical results:
+//
+//   - Workers is zeroed: the sharded clock engine is digest-identical
+//     for every worker count (DESIGN.md §10), so the hint only trades
+//     wall-clock time.
+//   - The deprecated FaultPPM/FaultSeed knobs fold into Fault
+//     (effectiveFault) and are cleared; a fault config in which no fault
+//     class can fire is normalized to the zero value, since its seed and
+//     retry budget are never consulted; an enabled one materializes the
+//     MaxRetries default.
+//   - BlockSize 0 becomes the 64-byte default, ConflictWindow 0 becomes
+//     the full queue depth, and LinkLatency 0 becomes the equivalent
+//     single-cycle hop value 1.
+func (c Config) Canonical() Config {
+	out := c
+	out.Workers = 0
+	out.Fault = c.effectiveFault()
+	out.FaultPPM, out.FaultSeed = 0, 0
+	if !out.Fault.Enabled() {
+		out.Fault = fault.Config{}
+	} else if out.Fault.MaxRetries == 0 {
+		out.Fault.MaxRetries = fault.DefaultMaxRetries
+	}
+	if out.BlockSize == 0 {
+		out.BlockSize = 64
+	}
+	if out.ConflictWindow == 0 {
+		out.ConflictWindow = c.QueueDepth
+	}
+	if out.LinkLatency == 0 {
+		out.LinkLatency = 1
+	}
+	return out
+}
+
 // HostID returns the cube ID representing the host processor.
 func (c Config) HostID() int { return c.NumDevs }
 

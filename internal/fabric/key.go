@@ -1,0 +1,43 @@
+package fabric
+
+import "hmcsim/internal/ckey"
+
+// Canonical returns the system-graph spec with defaults materialized and
+// fields the effective topology never reads zeroed, the form hashed into
+// a content key. Two specs with equal Canonical() values wire identical
+// fabrics:
+//
+//   - Topology is resolved through Kind (an empty name with an edge list
+//     becomes "custom") and Cubes through NumCubes, so a mesh spelled
+//     only as Rows×Cols collides with one that also states the product.
+//   - Named topologies zero Links and Hosts (they place their own
+//     wiring); grid-free topologies zero Rows and Cols.
+//   - InterleaveBytes 0 becomes the 64-byte default and LinkLatency 0
+//     becomes the equivalent single-cycle value 1.
+func (s Spec) Canonical() Spec {
+	c := s
+	c.Topology = s.Kind()
+	c.Cubes = s.NumCubes()
+	if c.InterleaveBytes == 0 {
+		c.InterleaveBytes = 64
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 1
+	}
+	if c.Topology != TopoCustom {
+		c.Links, c.Hosts = nil, nil
+	}
+	if c.Topology != TopoMesh && c.Topology != TopoTorus {
+		c.Rows, c.Cols = 0, 0
+	}
+	return c
+}
+
+// SpecKey is the 128-bit content key of the canonicalized fabric spec —
+// the system-graph counterpart of workload.SpecKey. JSON field order,
+// whitespace and explicit defaults do not change the key; any semantic
+// field flip (topology, shape, edge list, interleave, link latency,
+// injection cube) does.
+func SpecKey(s Spec) ckey.Key {
+	return ckey.MustHashJSON("hmcsim/fabric/v1", s.Canonical())
+}

@@ -99,6 +99,20 @@ type SubmitRequest struct {
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
+// Result.Cache provenance values. A cold simulation carries no
+// provenance (empty string, omitted on the wire).
+const (
+	// CacheHit marks a result served from the content-addressed cache
+	// without running a simulation.
+	CacheHit = "hit"
+	// CacheCoalesced marks a result shared from an identical in-flight
+	// job the submission attached to as a singleflight follower.
+	CacheCoalesced = "coalesced"
+	// CacheVerified marks a cache hit that -cache-verify sampling chose
+	// to re-execute; the fresh digests matched the cached entry.
+	CacheVerified = "verified"
+)
+
 // MaxRequestsPerJob bounds a single job's request count, keeping one
 // submission from monopolizing a worker for hours. The paper-scale
 // experiment (1<<25 requests) fits with headroom.
@@ -169,6 +183,23 @@ type Result struct {
 	// here. Zero (and omitted) on fully walked runs.
 	IdleCyclesSkipped uint64 `json:"idle_cycles_skipped,omitempty"`
 	Wakeups           uint64 `json:"wakeups,omitempty"`
+	// SpecKey is the 128-bit content key of the job's canonicalized
+	// spec (32 hex digits): the identity the result cache indexes by.
+	// Present when the serving manager runs with a result cache; absent
+	// from offline executions (hmcsim-table1 -json) and cache-disabled
+	// services, keeping their payloads byte-identical to earlier
+	// releases.
+	SpecKey string `json:"spec_key,omitempty"`
+	// Cache is the result's provenance: "" for a cold simulation,
+	// "hit" when the result was served from the content-addressed
+	// cache without simulating, "coalesced" when this job attached as a
+	// singleflight follower to an identical in-flight job and shares
+	// its result, and "verified" when the submission hit the cache but
+	// was re-executed by -cache-verify sampling (and its digests
+	// matched the cached entry). Digest fields are byte-identical
+	// across all four provenances for one spec — that is the cache's
+	// contract.
+	Cache string `json:"cache,omitempty"`
 	// Fig5 is the optional per-interval series
 	// (SubmitRequest.Fig5Interval).
 	Fig5 []stats.Sample `json:"fig5,omitempty"`

@@ -133,6 +133,17 @@ func fixtureSkipResult() Result {
 	return r
 }
 
+// fixtureCacheHitResult pins the wire shape of a result served from the
+// content-addressed cache: the base result plus the (omitempty)
+// provenance fields — the 32-hex spec key and the "hit" marker.
+func fixtureCacheHitResult() Result {
+	r := fixtureResult()
+	r.Fig5 = nil
+	r.SpecKey = "0123456789abcdef0123456789abcdef"
+	r.Cache = CacheHit
+	return r
+}
+
 // fixtureRunningStatus pins the wire shape of a job mid-run: no result
 // yet, but a live progress block sampled from the engine's probe.
 func fixtureRunningStatus() JobStatus {
@@ -207,6 +218,7 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"job_status_running_skip", fixtureSkipRunningStatus(), func() any { return &JobStatus{} }},
 		{"result", fixtureResult(), func() any { return &Result{} }},
 		{"result_idle_skip", fixtureSkipResult(), func() any { return &Result{} }},
+		{"result_cache_hit", fixtureCacheHitResult(), func() any { return &Result{} }},
 		{"submit_request_fabric", fixtureFabricSubmit(), func() any { return &SubmitRequest{} }},
 		{"result_fabric", fixtureFabricResult(), func() any { return &Result{} }},
 		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},

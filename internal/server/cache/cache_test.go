@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"hmcsim/internal/ckey"
+	"hmcsim/internal/server/api"
+)
+
+func testKey(i int) Key {
+	return ckey.MustHashJSON("cache-test", i)
+}
+
+func testResult(i int) *api.Result {
+	return &api.Result{Config: fmt.Sprintf("cfg-%d", i), Cycles: uint64(i)}
+}
+
+func TestLRUBudgetEviction(t *testing.T) {
+	c := NewLRU(250)
+	for i := 0; i < 3; i++ {
+		if ev := c.Put(testKey(i), testResult(i), 100); (i < 2) != (ev == 0) {
+			t.Errorf("Put #%d evicted %d entries", i, ev)
+		}
+	}
+	// Budget 250 holds two 100-byte entries; the third insert evicts the
+	// oldest (key 0).
+	if c.Len() != 2 || c.Bytes() != 200 {
+		t.Fatalf("len=%d bytes=%d, want 2 entries / 200 bytes", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get(testKey(0)); ok {
+		t.Error("oldest entry survived past the budget")
+	}
+	if _, ok := c.Get(testKey(2)); !ok {
+		t.Error("newest entry missing")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(250)
+	c.Put(testKey(0), testResult(0), 100)
+	c.Put(testKey(1), testResult(1), 100)
+	// Touch 0 so 1 becomes the eviction victim.
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.Put(testKey(2), testResult(2), 100)
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestLRUOversizedAndRefresh(t *testing.T) {
+	c := NewLRU(100)
+	if ev := c.Put(testKey(0), testResult(0), 500); ev != 0 || c.Len() != 0 {
+		t.Errorf("oversized insert cached: evicted=%d len=%d", ev, c.Len())
+	}
+	c.Put(testKey(1), testResult(1), 40)
+	c.Put(testKey(1), testResult(2), 60) // refresh resizes in place
+	if c.Len() != 1 || c.Bytes() != 60 {
+		t.Errorf("refresh: len=%d bytes=%d, want 1/60", c.Len(), c.Bytes())
+	}
+	r, ok := c.Get(testKey(1))
+	if !ok || r.Cycles != 2 {
+		t.Errorf("refresh did not replace the value: %+v", r)
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU(1000)
+	c.Put(testKey(0), testResult(0), 10)
+	c.Remove(testKey(0))
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("after Remove: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if c.Evictions() != 0 {
+		t.Error("Remove counted as an eviction")
+	}
+	c.Remove(testKey(7)) // absent key is a no-op
+}
+
+func TestLRUZeroBudgetStoresNothing(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(testKey(0), testResult(0), 1)
+	if c.Len() != 0 {
+		t.Error("zero-budget cache stored an entry")
+	}
+	if _, ok := c.Get(testKey(0)); ok {
+		t.Error("zero-budget cache returned a hit")
+	}
+}
+
+func TestEncodedSizeTracksPayload(t *testing.T) {
+	small := EncodedSize(testResult(1))
+	big := EncodedSize(&api.Result{Config: "cfg", StateDigest: string(make([]byte, 4096))})
+	if small <= 0 || big <= small {
+		t.Errorf("EncodedSize not monotone with payload: small=%d big=%d", small, big)
+	}
+}

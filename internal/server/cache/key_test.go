@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/fabric"
+	"hmcsim/internal/fault"
+	"hmcsim/internal/server/api"
+	"hmcsim/internal/workload"
+)
+
+// baseSubmit is a fully populated submission touching the nested fault
+// and fabric specs, so key tests exercise every canonicalization layer.
+func baseSubmit() api.SubmitRequest {
+	cfg := core.Table1Configs()[0]
+	cfg.Fault = fault.Config{TransientPPM: 500, Seed: 9, FailedLinks: []fault.LinkID{{Dev: 0, Link: 1}}}
+	return api.SubmitRequest{
+		Name:     "base",
+		Config:   cfg,
+		Workload: workload.TableISpec(3),
+		Requests: 4096,
+		Warmup:   64,
+	}
+}
+
+func baseFabricSubmit() api.SubmitRequest {
+	s := baseSubmit()
+	s.Fabric = &fabric.Spec{Topology: fabric.TopoMesh, Rows: 2, Cols: 2, LinkLatency: 4}
+	return s
+}
+
+// TestJobKeyExcludesExecutionHints pins the exclusion set: fields that
+// cannot change the simulated outcome do not change the key.
+func TestJobKeyExcludesExecutionHints(t *testing.T) {
+	base := baseSubmit()
+	k0 := JobKey(base)
+	mutations := map[string]func(*api.SubmitRequest){
+		"name":                  func(s *api.SubmitRequest) { s.Name = "renamed" },
+		"idempotency key":       func(s *api.SubmitRequest) { s.IdempotencyKey = "abc123" },
+		"timeout":               func(s *api.SubmitRequest) { s.TimeoutMS = 99999 },
+		"workload workers hint": func(s *api.SubmitRequest) { s.Workload.Workers = 16 },
+		"config workers":        func(s *api.SubmitRequest) { s.Config.Workers = 8 },
+		"no_idle_skip":          func(s *api.SubmitRequest) { s.Workload.NoIdleSkip = true },
+	}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if JobKey(s) != k0 {
+			t.Errorf("execution hint %q changed the job key", name)
+		}
+	}
+}
+
+// TestJobKeyMaterializesDefaults pins default collapsing: an omitted
+// default and its explicit spelling collide on the same key.
+func TestJobKeyMaterializesDefaults(t *testing.T) {
+	base := baseSubmit()
+	k0 := JobKey(base)
+	spellings := map[string]func(*api.SubmitRequest){
+		"workload kind random": func(s *api.SubmitRequest) { s.Workload.Kind = "random" },
+		"workload size 64":     func(s *api.SubmitRequest) { s.Workload.Size = 64 },
+		"config block size 64": func(s *api.SubmitRequest) { s.Config.BlockSize = 64 },
+		"config link latency 1": func(s *api.SubmitRequest) {
+			s.Config.LinkLatency = 1
+		},
+		"conflict window full queue": func(s *api.SubmitRequest) {
+			s.Config.ConflictWindow = s.Config.QueueDepth
+		},
+		"fault retries default": func(s *api.SubmitRequest) {
+			s.Config.Fault.MaxRetries = fault.DefaultMaxRetries
+		},
+	}
+	for name, spell := range spellings {
+		s := base
+		spell(&s)
+		if JobKey(s) != k0 {
+			t.Errorf("explicit default %q changed the job key", name)
+		}
+	}
+	// The deprecated flat fault knobs fold onto the structured spec.
+	legacy := baseSubmit()
+	legacy.Config.Fault = fault.Config{FailedLinks: legacy.Config.Fault.FailedLinks}
+	legacy.Config.FaultPPM = 500
+	legacy.Config.FaultSeed = 9
+	if JobKey(legacy) != k0 {
+		t.Error("deprecated FaultPPM/FaultSeed spelling changed the job key")
+	}
+	// A fault config in which no class can fire is identical to no
+	// fault config at all, whatever its seed.
+	quietA, quietB := baseSubmit(), baseSubmit()
+	quietA.Config.Fault = fault.Config{}
+	quietB.Config.Fault = fault.Config{Seed: 77, MaxRetries: 3}
+	if JobKey(quietA) != JobKey(quietB) {
+		t.Error("unfireable fault configs with different seeds got different keys")
+	}
+}
+
+// TestJobKeySemanticFlips pins sensitivity: every semantic field flip —
+// including nested fault and fabric fields — changes the key.
+func TestJobKeySemanticFlips(t *testing.T) {
+	base := baseSubmit()
+	k0 := JobKey(base)
+	flips := map[string]func(*api.SubmitRequest){
+		"requests":      func(s *api.SubmitRequest) { s.Requests = 8192 },
+		"warmup":        func(s *api.SubmitRequest) { s.Warmup = 0 },
+		"posted":        func(s *api.SubmitRequest) { s.Posted = true },
+		"fig5 interval": func(s *api.SubmitRequest) { s.Fig5Interval = 128 },
+		"workload kind": func(s *api.SubmitRequest) { s.Workload.Kind = "stream" },
+		"workload seed": func(s *api.SubmitRequest) { s.Workload.Seed = 4 },
+		"workload size": func(s *api.SubmitRequest) { s.Workload.Size = 128 },
+		"write percent": func(s *api.SubmitRequest) { s.Workload.WritePercent = 10 },
+		"gap cycles":    func(s *api.SubmitRequest) { s.Workload.GapCycles = 200 },
+		"range bytes":   func(s *api.SubmitRequest) { s.Workload.RangeBytes = 1 << 20 },
+		"config banks":  func(s *api.SubmitRequest) { s.Config.NumBanks = 16 },
+		"config links":  func(s *api.SubmitRequest) { s.Config.NumLinks, s.Config.NumVaults = 8, 32 },
+		"config queue":  func(s *api.SubmitRequest) { s.Config.QueueDepth = 32 },
+		"refresh":       func(s *api.SubmitRequest) { s.Config.RefreshInterval, s.Config.RefreshDuration = 1000, 10 },
+		"xbar passing":  func(s *api.SubmitRequest) { s.Config.XbarPassing = true },
+		"fault rate":    func(s *api.SubmitRequest) { s.Config.Fault.TransientPPM = 501 },
+		"fault seed":    func(s *api.SubmitRequest) { s.Config.Fault.Seed = 10 },
+		"fault vaults":  func(s *api.SubmitRequest) { s.Config.Fault.FailedVaults = []fault.VaultID{{Dev: 0, Vault: 2}} },
+		"fault schedule": func(s *api.SubmitRequest) {
+			s.Config.Fault.FailAt = []fault.TimedLinkFailure{{Cycle: 100, Dev: 0, Link: 0}}
+		},
+		"fault links":   func(s *api.SubmitRequest) { s.Config.Fault.FailedLinks = nil },
+		"attach fabric": func(s *api.SubmitRequest) { s.Fabric = &fabric.Spec{Topology: fabric.TopoChain, Cubes: 2} },
+	}
+	for name, flip := range flips {
+		s := base
+		flip(&s)
+		if JobKey(s) == k0 {
+			t.Errorf("semantic flip %q did not change the job key", name)
+		}
+	}
+
+	fb := baseFabricSubmit()
+	fk0 := JobKey(fb)
+	fabricFlips := map[string]func(*fabric.Spec){
+		"topology":     func(f *fabric.Spec) { f.Topology = fabric.TopoTorus; f.Rows, f.Cols = 3, 3 },
+		"shape":        func(f *fabric.Spec) { f.Rows, f.Cols = 1, 4 },
+		"link latency": func(f *fabric.Spec) { f.LinkLatency = 8 },
+		"interleave":   func(f *fabric.Spec) { f.InterleaveBytes = 256 },
+		"inject cube":  func(f *fabric.Spec) { f.InjectCube = 1 },
+	}
+	for name, flip := range fabricFlips {
+		s := fb
+		f := *fb.Fabric
+		flip(&f)
+		s.Fabric = &f
+		if JobKey(s) == fk0 {
+			t.Errorf("fabric flip %q did not change the job key", name)
+		}
+	}
+}
+
+// TestJobKeyFabricDefaults pins fabric canonicalization: derived and
+// default fields collapse.
+func TestJobKeyFabricDefaults(t *testing.T) {
+	fb := baseFabricSubmit()
+	k0 := JobKey(fb)
+	explicit := *fb.Fabric
+	explicit.Cubes = 4            // mesh 2x2 stated explicitly
+	explicit.InterleaveBytes = 64 // the default spelled out
+	s := fb
+	s.Fabric = &explicit
+	if JobKey(s) != k0 {
+		t.Error("explicit fabric defaults changed the job key")
+	}
+}
+
+// TestJobKeyJSONReorderWhitespace decodes reordered, reindented and
+// default-spelling JSON bodies of one submission and requires them to
+// collide on the same key — the wire-level statement of canonicalization.
+func TestJobKeyJSONReorderWhitespace(t *testing.T) {
+	bodies := []string{
+		`{"config":{"NumDevs":1,"NumLinks":4,"NumVaults":16,"QueueDepth":64,"NumBanks":8,"NumDRAMs":20,"CapacityGB":2,"XbarDepth":128},"workload":{"kind":"random","seed":3,"size":64,"write_percent":50},"requests":4096}`,
+		"{\n  \"requests\": 4096,\n  \"workload\": {\"write_percent\": 50, \"seed\": 3, \"kind\": \"random\", \"size\": 64},\n  \"config\": {\"XbarDepth\": 128, \"CapacityGB\": 2, \"NumDRAMs\": 20, \"NumBanks\": 8, \"QueueDepth\": 64, \"NumVaults\": 16, \"NumLinks\": 4, \"NumDevs\": 1}\n}",
+		`{"config":{"NumDevs":1,"NumLinks":4,"NumVaults":16,"QueueDepth":64,"NumBanks":8,"NumDRAMs":20,"CapacityGB":2,"XbarDepth":128,"BlockSize":64,"Workers":4},"workload":{"seed":3,"write_percent":50,"workers":2},"requests":4096,"name":"spelled-differently","timeout_ms":5000}`,
+	}
+	var keys []Key
+	for i, body := range bodies {
+		var s api.SubmitRequest
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatalf("body %d: %v", i, err)
+		}
+		keys = append(keys, JobKey(s))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("body %d keyed %s, body 0 keyed %s — reorder/whitespace/defaults leaked into the key",
+				i, keys[i], keys[0])
+		}
+	}
+}
+
+// FuzzSpecKey feeds arbitrary JSON submission bodies through the keying
+// path and checks the two structural invariants for every decodable
+// input: re-encoding (which reorders fields and strips whitespace) never
+// changes the key, and flipping a semantic field (the workload seed)
+// always does, while flipping a label (Name) never does.
+func FuzzSpecKey(f *testing.F) {
+	f.Add([]byte(`{"requests":1,"workload":{"kind":"random","seed":1}}`))
+	f.Add([]byte(`{"requests":64,"config":{"NumDevs":1,"NumLinks":4},"workload":{"kind":"zipf","zipf_s":1.2,"workers":3}}`))
+	f.Add([]byte(`{"requests":64,"fabric":{"topology":"mesh","rows":2,"cols":2},"workload":{"no_idle_skip":true}}`))
+	f.Add([]byte(`{"requests":8,"config":{"Fault":{"TransientPPM":5,"Seed":1}},"timeout_ms":100}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s api.SubmitRequest
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Skip()
+		}
+		k := JobKey(s)
+		if k.IsZero() {
+			t.Fatal("JobKey returned the reserved zero key")
+		}
+		// Round-trip through JSON: indent (whitespace), re-decode
+		// (field order is irrelevant to the struct) — the key is stable.
+		wire, err := json.MarshalIndent(s, "", "   ")
+		if err != nil {
+			t.Skip()
+		}
+		var again api.SubmitRequest
+		if err := json.Unmarshal(wire, &again); err != nil {
+			t.Skip() // e.g. NaN-adjacent floats that do not round-trip
+		}
+		if JobKey(again) != k {
+			t.Errorf("key unstable across a JSON re-encode:\n%s", wire)
+		}
+		// A label flip never moves the key; a semantic flip always does.
+		relabeled := s
+		relabeled.Name = s.Name + "x"
+		relabeled.TimeoutMS = s.TimeoutMS + 1
+		if JobKey(relabeled) != k {
+			t.Error("label/timeout flip changed the key")
+		}
+		flipped := s
+		flipped.Workload.Seed = s.Workload.Seed + 1
+		if JobKey(flipped) == k {
+			t.Error("workload seed flip did not change the key")
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hmcsim/internal/core"
+	"hmcsim/internal/server/api"
 	"hmcsim/internal/store"
 )
 
@@ -411,5 +412,131 @@ func TestRecoveringRejectsSubmissions(t *testing.T) {
 	}
 	if _, err := m.Submit(spec); err != nil {
 		t.Errorf("submit after recovery: %v", err)
+	}
+}
+
+// TestCacheJournalRecovery pins the cache/journal interaction: every
+// completion — cold, coalesced, hit — is journaled with its spec key and
+// provenance, replay rebuilds both the job table and the cache index,
+// and nothing re-executes. A post-crash resubmission of the same spec is
+// served straight from the rebuilt cache.
+func TestCacheJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	started := make(chan string, 16)
+	verdicts := make(chan error, 16)
+	s := openStore(t, dir)
+	m := NewManager(ManagerConfig{
+		Workers: 2, QueueDepth: 8, Store: s, CacheBytes: cacheMB,
+		runFn: gatedRun(&calls, started, verdicts),
+	})
+
+	spec := testSpec("durable-leader", core.Table1Configs()[0], 64)
+	lead, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	fspec := spec
+	fspec.Name = "durable-follower"
+	fol, err := m.Submit(fspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fol.State != StateQueued {
+		t.Fatalf("follower state %s, want queued behind the leader", fol.State)
+	}
+	verdicts <- nil
+	leadFin := waitTerminal(t, m, lead.ID)
+	folFin := waitTerminal(t, m, fol.ID)
+	if folFin.Result == nil || folFin.Result.Cache != api.CacheCoalesced {
+		t.Fatalf("follower result %+v, want coalesced", folFin.Result)
+	}
+	hspec := spec
+	hspec.Name = "durable-hit"
+	hspec.IdempotencyKey = "durable-hit-key"
+	hit, err := m.Submit(hspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.State != StateDone || hit.Result.Cache != api.CacheHit {
+		t.Fatalf("hit submission: state=%s result=%+v", hit.State, hit.Result)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("pre-crash batch ran %d simulations, want 1", calls.Load())
+	}
+	shutdownNow(t, m)
+	s.Close()
+
+	// The journal's done records carry the spec key and the provenance of
+	// each completion.
+	s2 := openStore(t, dir)
+	done := map[string]store.Record{}
+	for _, rec := range s2.Records() {
+		if rec.Type == store.RecDone {
+			done[rec.Job] = rec
+		}
+	}
+	wantCache := map[string]string{lead.ID: "", fol.ID: api.CacheCoalesced, hit.ID: api.CacheHit}
+	if len(done) != len(wantCache) {
+		t.Fatalf("journal has %d done records, want %d", len(done), len(wantCache))
+	}
+	for id, want := range wantCache {
+		rec, ok := done[id]
+		if !ok {
+			t.Errorf("no done record for %s", id)
+			continue
+		}
+		if rec.SpecKey == "" {
+			t.Errorf("done record for %s has no spec_key", id)
+		}
+		if rec.Cache != want {
+			t.Errorf("done record for %s: cache=%q, want %q", id, rec.Cache, want)
+		}
+	}
+
+	// Replay rebuilds the table and the cache; nothing re-executes.
+	m2 := NewManager(ManagerConfig{
+		Workers: 2, QueueDepth: 8, Store: s2, CacheBytes: cacheMB,
+		runFn: gatedRun(&calls, started, verdicts),
+	})
+	defer shutdownNow(t, m2)
+	defer s2.Close()
+	for id := range wantCache {
+		st, err := m2.Get(id)
+		if err != nil {
+			t.Fatalf("recovered Get(%s): %v", id, err)
+		}
+		if st.State != StateDone || st.Result == nil {
+			t.Errorf("recovered job %s: state=%s result=%v", id, st.State, st.Result)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("recovery re-ran simulations: %d calls", calls.Load())
+	}
+
+	// Idempotency and cache metadata agree across the crash: the keyed
+	// resubmit resolves to the original hit job, not a new one.
+	again, created, err := m2.SubmitIdem(hspec)
+	if err != nil || created || again.ID != hit.ID {
+		t.Errorf("idempotent resubmit after crash: id=%s created=%v err=%v, want %s/false/nil",
+			again.ID, created, err, hit.ID)
+	}
+
+	// A fresh spelling of the same spec is served from the rebuilt cache.
+	nspec := spec
+	nspec.Name = "post-crash"
+	st, err := m2.Submit(nspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result.Cache != api.CacheHit {
+		t.Errorf("post-crash submit: state=%s cache=%q, want immediate hit", st.State, st.Result.Cache)
+	}
+	if st.Result.ResultDigest != leadFin.Result.ResultDigest {
+		t.Errorf("post-crash hit digest %s != original %s", st.Result.ResultDigest, leadFin.Result.ResultDigest)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("post-crash hit ran a simulation: %d calls", calls.Load())
 	}
 }

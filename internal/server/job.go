@@ -28,6 +28,7 @@ import (
 	"hmcsim/internal/host"
 	"hmcsim/internal/obs"
 	"hmcsim/internal/server/api"
+	"hmcsim/internal/server/cache"
 	"hmcsim/internal/stats"
 )
 
@@ -89,6 +90,12 @@ type job struct {
 	state     state
 	attempt   int  // execution attempts so far (retry budget accounting)
 	cancelled bool // cancellation requested (queued or running)
+
+	// Content-addressed cache / singleflight fields (DESIGN.md §15).
+	specKey   cache.Key // content key of the canonicalized spec
+	followers []*job    // identical submits coalesced onto this leader
+	leader    *job      // non-nil while attached to a running leader
+	verify    bool      // cache hit sampled for re-execution this run
 }
 
 // state groups the mutable lifecycle fields of a job.

@@ -13,6 +13,8 @@ import (
 
 	"hmcsim/internal/host"
 	"hmcsim/internal/obs"
+	"hmcsim/internal/server/api"
+	"hmcsim/internal/server/cache"
 	"hmcsim/internal/store"
 )
 
@@ -66,6 +68,19 @@ type ManagerConfig struct {
 	// between attempts. Zero selects 250ms and 10s.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+
+	// CacheBytes bounds the in-memory content-addressed result cache. A
+	// submission whose canonical spec key matches a cached result
+	// completes immediately with provenance "hit"; one matching a running
+	// job attaches to it and is served its result ("coalesced"). Zero
+	// disables caching and coalescing entirely — every submission runs.
+	CacheBytes int64
+	// CacheVerify is the fraction of cache hits re-executed to revalidate
+	// the determinism contract (DESIGN.md §15). Sampling is deterministic
+	// — every round(1/fraction)-th hit reruns — and a digest mismatch
+	// evicts the entry and fails the sampled job loudly. Zero never
+	// verifies; >= 1 reruns every hit.
+	CacheVerify float64
 
 	// runFn substitutes the job executor, for tests exercising panic
 	// recovery, retry and scheduling without paying for real
@@ -127,6 +142,18 @@ type Manager struct {
 	recovering bool
 	wg         sync.WaitGroup
 
+	// Content-addressed result cache and singleflight table (DESIGN.md
+	// §15). cache is always non-nil (a zero budget stores nothing);
+	// inflight maps each content key to the job currently computing it,
+	// so identical concurrent submits attach as followers instead of
+	// re-running. hitSeq counts cache hits and drives the deterministic
+	// verify sampling: every verifyEvery-th hit reruns instead of being
+	// served. All guarded by mu except cache, which locks itself.
+	cache       *cache.LRU
+	inflight    map[cache.Key]*job
+	hitSeq      uint64
+	verifyEvery int
+
 	// Counters and histograms, exposed through the obs registry on
 	// /v1/metrics. activeWorkers stays a plain atomic because it is a
 	// level, not a monotone count.
@@ -146,6 +173,11 @@ type Manager struct {
 	fabricCubes   *obs.Counter // cubes simulated, completed fabric jobs
 	fabricHops    *obs.Counter // inter-cube link crossings, completed fabric jobs
 	fabricPackets *obs.Counter // requests serviced off their injection cube
+	cacheHits     *obs.Counter // submissions served from the result cache
+	cacheMisses   *obs.Counter // cache lookups that found nothing
+	cacheEvict    *obs.Counter // results evicted under byte-budget pressure
+	coalesced     *obs.Counter // submissions served by an in-flight leader
+	verifyFails   *obs.Counter // sampled hits whose re-run digest mismatched
 	activeWorkers atomic.Int64
 
 	// service and queueWait are the per-job wall-clock distributions:
@@ -154,10 +186,13 @@ type Manager struct {
 	// checkpointH times checkpoint persistence (serialize + fsync).
 	// fabricLat distributes the mean remote-request round trip of each
 	// completed fabric job, in simulated cycles.
+	// cacheLookup times the key hash + LRU probe on the submit path —
+	// the latency the cache adds to every submission when enabled.
 	service     *obs.Histogram
 	queueWait   *obs.Histogram
 	checkpointH *obs.Histogram
 	fabricLat   *obs.Histogram
+	cacheLookup *obs.Histogram
 
 	reg *obs.Registry
 }
@@ -186,6 +221,14 @@ func NewManager(cfg ManagerConfig) *Manager {
 		jobs:       make(map[string]*job),
 		idem:       make(map[string]string),
 		queue:      make(chan *job, cfg.QueueDepth),
+		cache:      cache.NewLRU(cfg.CacheBytes),
+		inflight:   make(map[cache.Key]*job),
+	}
+	if cfg.CacheVerify > 0 {
+		m.verifyEvery = int(math.Round(1 / cfg.CacheVerify))
+		if m.verifyEvery < 1 {
+			m.verifyEvery = 1
+		}
 	}
 	m.initMetrics()
 	var pending []*job
@@ -227,6 +270,13 @@ func (m *Manager) initMetrics() {
 	m.fabricCubes = r.Counter("fabric_cubes", "Cubes simulated across completed fabric jobs.")
 	m.fabricHops = r.Counter("fabric_hops_total", "Inter-cube link crossings across completed fabric jobs.")
 	m.fabricPackets = r.Counter("fabric_intercube_packets_total", "Request packets serviced off their injection cube across completed fabric jobs.")
+	m.cacheHits = r.Counter("cache_hits", "Submissions served immediately from the content-addressed result cache.")
+	m.cacheMisses = r.Counter("cache_misses", "Result-cache lookups that found no entry.")
+	m.cacheEvict = r.Counter("cache_evictions", "Cached results evicted under byte-budget pressure.")
+	m.coalesced = r.Counter("coalesced_jobs", "Submissions served by attaching to an identical in-flight job.")
+	m.verifyFails = r.Counter("cache_verify_failures", "Sampled cache hits whose re-execution digest mismatched the cached result.")
+	r.GaugeInt("cache_bytes", "Accounted size of all cached results.", m.cache.Bytes)
+	r.GaugeInt("cache_entries", "Results held in the cache.", func() int64 { return int64(m.cache.Len()) })
 	r.GaugeInt("workers", "Worker pool size.", func() int64 { return int64(m.cfg.Workers) })
 	r.GaugeInt("active_workers", "Workers currently running a job.", m.activeWorkers.Load)
 	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(m.queue)) })
@@ -249,6 +299,8 @@ func (m *Manager) initMetrics() {
 		"Wall-clock cost of persisting one checkpoint (serialize + sync).", obs.DefBuckets)
 	m.fabricLat = r.Histogram("fabric_intercube_latency_cycles",
 		"Mean remote-request round trip per completed fabric job, in simulated cycles.", fabricLatBuckets)
+	m.cacheLookup = r.Histogram("cache_lookup_seconds",
+		"Submit-path cost of hashing the canonical spec and probing the cache.", obs.DefBuckets)
 }
 
 // Metrics returns the manager's metric registry, the payload of
@@ -319,9 +371,40 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 			return m.jobs[id].status(), false, nil
 		}
 	}
-	if len(m.queue) >= cap(m.queue) {
-		m.rejected.Add(1)
-		return Status{}, false, ErrQueueFull
+
+	// Content-addressed lookup: a cached result serves the submission
+	// without a simulation (occasionally rerun for verification); an
+	// identical in-flight job absorbs it as a follower. Neither path
+	// consumes a queue slot, so the capacity check only gates jobs that
+	// will actually run.
+	var (
+		key       cache.Key
+		cachedRes *Result
+		leader    *job
+		verify    bool
+	)
+	if m.cfg.CacheBytes > 0 {
+		t0 := time.Now()
+		key = cache.JobKey(spec)
+		if r, ok := m.cache.Get(key); ok {
+			m.cacheHits.Add(1)
+			m.hitSeq++
+			if m.verifyEvery > 0 && m.hitSeq%uint64(m.verifyEvery) == 0 {
+				verify = true
+			} else {
+				cachedRes = r
+			}
+		} else {
+			m.cacheMisses.Add(1)
+			leader = m.inflight[key]
+		}
+		m.cacheLookup.Observe(time.Since(t0).Seconds())
+	}
+	if cachedRes == nil && leader == nil {
+		if len(m.queue) >= cap(m.queue) {
+			m.rejected.Add(1)
+			return Status{}, false, ErrQueueFull
+		}
 	}
 	m.seq++
 	j := &job{
@@ -329,6 +412,8 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 		spec:      spec,
 		submitted: time.Now(),
 		state:     state{phase: StateQueued},
+		specKey:   key,
+		verify:    verify,
 	}
 	if m.store != nil {
 		// Journal — and sync — before acknowledging: an accepted job
@@ -345,9 +430,40 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 			return Status{}, false, fmt.Errorf("server: journaling submission: %w", jerr)
 		}
 	}
-	// Guaranteed not to block: insertions only happen under m.mu and the
-	// capacity check above held the lock.
-	m.queue <- j
+	switch {
+	case cachedRes != nil:
+		// Cache hit: the job is born done, carrying a provenance-stamped
+		// copy of the shared cached result. Persist the copy before
+		// journaling done so replay finds a loadable blob; if either
+		// write fails the journal stays conservative and the job reruns
+		// after a restart.
+		r := *cachedRes
+		r.SpecKey = key.String()
+		r.Cache = api.CacheHit
+		j.state.phase = StateDone
+		j.state.result = &r
+		j.state.finished = time.Now()
+		if m.store != nil {
+			if serr := m.store.SaveResult(j.id, &r); serr == nil {
+				m.journal(store.Record{Type: store.RecDone, Job: j.id, SpecKey: r.SpecKey, Cache: r.Cache})
+			}
+		}
+		m.completed.Add(1)
+	case leader != nil:
+		// Singleflight: attach to the running leader; settle delivers
+		// the shared result to every live follower.
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+	default:
+		if m.cfg.CacheBytes > 0 {
+			if _, busy := m.inflight[key]; !busy {
+				m.inflight[key] = j
+			}
+		}
+		// Guaranteed not to block: insertions only happen under m.mu and
+		// the capacity check above held the lock.
+		m.queue <- j
+	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	if spec.IdempotencyKey != "" {
@@ -398,6 +514,10 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.state.finished = time.Now()
 		m.cancelledN.Add(1)
 		m.journal(store.Record{Type: store.RecCancelled, Job: j.id})
+		// A cancelled queued leader hands its followers to a promoted
+		// one; a cancelled follower just drops out of its leader's
+		// delivery list (the phase check there skips it).
+		m.detachLocked(j)
 	case StateRunning:
 		j.cancelled = true
 		if j.state.cancel != nil {
@@ -529,21 +649,41 @@ func (m *Manager) settle(j *job, res Result, err error) {
 	if errors.Is(err, host.ErrSuspended) && m.store != nil {
 		// Graceful drain took the final checkpoint through the hook;
 		// the job stays non-terminal in the journal and resumes on the
-		// next boot.
+		// next boot. It also stays the singleflight leader.
 		j.state.phase = StateQueued
 		j.state.started = time.Time{}
 		return
+	}
+
+	if err == nil && j.verify {
+		// Sampled re-execution of a cache hit: the determinism contract
+		// says the digests must agree. A mismatch means the cached entry
+		// (or the engine) is wrong — evict it and fail this job loudly.
+		if cached, ok := m.cache.Get(j.specKey); ok && cached.ResultDigest != res.ResultDigest {
+			m.cache.Remove(j.specKey)
+			m.verifyFails.Add(1)
+			err = fmt.Errorf("server: cache verification failed for key %s: cached digest %s != re-run digest %s",
+				j.specKey, cached.ResultDigest, res.ResultDigest)
+		}
 	}
 
 	j.state.finished = time.Now()
 	m.service.Observe(j.state.finished.Sub(j.state.started).Seconds())
 	switch {
 	case err == nil:
+		if !j.specKey.IsZero() {
+			res.SpecKey = j.specKey.String()
+			if j.verify {
+				res.Cache = api.CacheVerified
+			}
+		}
 		// Persist the result before journaling done: a replayed done
-		// record implies a loadable result blob.
+		// record implies a loadable result blob. The done record carries
+		// the spec key so replay rebuilds the cache index without
+		// re-hashing specs.
 		if m.store != nil {
 			if serr := m.store.SaveResult(j.id, &res); serr == nil {
-				m.journal(store.Record{Type: store.RecDone, Job: j.id})
+				m.journal(store.Record{Type: store.RecDone, Job: j.id, SpecKey: res.SpecKey, Cache: res.Cache})
 			}
 			m.store.RemoveCheckpoint(j.id)
 		}
@@ -561,6 +701,15 @@ func (m *Manager) settle(j *job, res Result, err error) {
 				m.fabricLat.Observe(f.RemoteLatencyMean)
 			}
 		}
+		if !j.specKey.IsZero() {
+			// Cache a pristine copy — provenance fields describe one
+			// completion, not the content — then serve every follower.
+			cp := res
+			cp.Cache = ""
+			m.cacheEvict.Add(uint64(m.cache.Put(j.specKey, &cp, 0)))
+			m.deliverFollowersLocked(j, &res)
+			m.detachLocked(j)
+		}
 	case j.cancelled && errors.Is(err, context.Canceled):
 		j.state.phase = StateCancelled
 		j.state.err = err
@@ -569,6 +718,7 @@ func (m *Manager) settle(j *job, res Result, err error) {
 		if m.store != nil {
 			m.store.RemoveCheckpoint(j.id)
 		}
+		m.detachLocked(j)
 	case errors.Is(err, ErrBadCheckpoint):
 		// The persisted checkpoint would not restore. Drop it and retry
 		// from cycle zero; the attempt still counts.
@@ -588,6 +738,7 @@ func (m *Manager) settle(j *job, res Result, err error) {
 			Type: store.RecFailed, Job: j.id,
 			Attempt: j.attempt, Error: err.Error(),
 		})
+		m.detachLocked(j)
 	}
 }
 
@@ -602,6 +753,7 @@ func (m *Manager) requeueLocked(j *job, cause error) {
 			Type: store.RecFailed, Job: j.id,
 			Attempt: j.attempt, Error: cause.Error(),
 		})
+		m.detachLocked(j)
 		return
 	}
 	m.journal(store.Record{
@@ -629,6 +781,7 @@ func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 			j.state.phase = StateFailed
 			j.state.err = fmt.Errorf("%w: retry abandoned", ErrShuttingDown)
 			m.failed.Add(1)
+			m.detachLocked(j)
 		}
 		// With a store the job stays non-terminal in the journal and is
 		// requeued by the next process.
@@ -638,6 +791,101 @@ func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 	case m.queue <- j:
 	default:
 		time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
+	}
+}
+
+// deliverFollowersLocked completes every live follower of j with its own
+// provenance-stamped copy of the leader's result. Followers never touch
+// the cycles/requests counters — no simulation ran for them — and count
+// under coalesced_jobs, not jobs_completed, so the reconciliation
+// invariant submitted = completed + failed + cancelled + coalesced
+// holds. Caller holds m.mu; res is already SpecKey-annotated.
+func (m *Manager) deliverFollowersLocked(j *job, res *Result) {
+	for _, f := range j.followers {
+		if f.state.phase != StateQueued || f.cancelled {
+			continue // cancelled while attached; Cancel settled it
+		}
+		fr := *res
+		fr.Cache = api.CacheCoalesced
+		f.state.phase = StateDone
+		f.state.result = &fr
+		f.state.finished = time.Now()
+		f.leader = nil
+		m.coalesced.Add(1)
+		if m.store != nil {
+			if serr := m.store.SaveResult(f.id, &fr); serr == nil {
+				m.journal(store.Record{Type: store.RecDone, Job: f.id, SpecKey: fr.SpecKey, Cache: fr.Cache})
+			}
+		}
+	}
+	j.followers = nil
+}
+
+// detachLocked removes j from the singleflight table when it settles in
+// a terminal state. A leader that failed or was cancelled hands its
+// surviving followers to the first of them, which is promoted to a real
+// queued job (re-journaled state is unnecessary — every follower was
+// journaled at submission) — coalescing never strands a submission
+// behind a leader that produced no result. Caller holds m.mu.
+func (m *Manager) detachLocked(j *job) {
+	if j.specKey.IsZero() {
+		return
+	}
+	if j.leader != nil {
+		// j was a follower; it just drops out of the leader's delivery
+		// list (the phase check there skips settled jobs).
+		j.leader = nil
+		return
+	}
+	if m.inflight[j.specKey] != j {
+		return
+	}
+	delete(m.inflight, j.specKey)
+	var next *job
+	var rest []*job
+	for _, f := range j.followers {
+		if f.state.phase != StateQueued || f.cancelled {
+			continue
+		}
+		if next == nil {
+			next = f
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	j.followers = nil
+	if next == nil {
+		return
+	}
+	if m.closed {
+		if m.store == nil {
+			// The pool is draining and nothing persists these jobs:
+			// fail them rather than strand them forever-queued.
+			for _, f := range append([]*job{next}, rest...) {
+				f.leader = nil
+				f.state.phase = StateFailed
+				f.state.err = fmt.Errorf("%w: coalesced leader did not complete", ErrShuttingDown)
+				f.state.finished = time.Now()
+				m.failed.Add(1)
+			}
+		}
+		// Store-backed drain: they stay non-terminal in the journal and
+		// requeue as independent jobs under the next process.
+		return
+	}
+	next.leader = nil
+	next.followers = rest
+	for _, f := range rest {
+		f.leader = next
+	}
+	m.inflight[j.specKey] = next
+	select {
+	case m.queue <- next:
+	default:
+		// Queue momentarily full; retry shortly off-lock, like a
+		// backoff-expired retry would.
+		const d = 10 * time.Millisecond
+		time.AfterFunc(d, func() { m.enqueueRetry(next, d) })
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"time"
 
+	"hmcsim/internal/ckey"
+	"hmcsim/internal/server/cache"
 	"hmcsim/internal/store"
 )
 
@@ -71,6 +73,17 @@ func (m *Manager) recoverFromJournal() []*job {
 			j.state.phase = StateDone
 			j.state.result = res
 			j.state.finished = rec.Time
+			// Rebuild the result-cache index from the journaled spec key.
+			// Record order approximates recency; served copies ("hit",
+			// "coalesced") refresh the entry with identical content.
+			if m.cfg.CacheBytes > 0 && rec.SpecKey != "" {
+				if k, err := ckey.Parse(rec.SpecKey); err == nil {
+					j.specKey = k
+					cp := *res
+					cp.Cache = ""
+					m.cache.Put(k, &cp, 0)
+				}
+			}
 		case store.RecFailed:
 			if rec.Transient && j.attempt < m.cfg.MaxAttempts {
 				j.state.phase = StateQueued
@@ -88,6 +101,13 @@ func (m *Manager) recoverFromJournal() []*job {
 	}
 	for _, id := range m.order {
 		if j := m.jobs[id]; j.state.phase == StateQueued {
+			// Recovered jobs run as independent submissions — replay does
+			// not re-coalesce identical pending specs (each was separately
+			// journaled and owes its own completion record) — but they
+			// re-key here so their results land in the cache.
+			if m.cfg.CacheBytes > 0 && j.specKey.IsZero() {
+				j.specKey = cache.JobKey(j.spec)
+			}
 			pending = append(pending, j)
 		}
 	}

@@ -66,6 +66,13 @@ type Record struct {
 	// Error and Transient describe a failure (RecFailed).
 	Error     string `json:"error,omitempty"`
 	Transient bool   `json:"transient,omitempty"`
+	// SpecKey is the job's 128-bit content key in hex (RecDone). Replay
+	// uses it to rebuild the result-cache index without re-hashing specs.
+	SpecKey string `json:"spec_key,omitempty"`
+	// Cache is the completion's provenance — "", "hit", "coalesced" or
+	// "verified" (RecDone). Replay skips cache re-insertion for served
+	// copies, which share their leader's blob bytes.
+	Cache string `json:"cache,omitempty"`
 }
 
 const (

@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"hmcsim/internal/ckey"
+)
 
 // Spec is a declarative, JSON-serializable description of a workload
 // generator. It is the wire format the simulation service accepts: a job
@@ -91,6 +95,56 @@ func (s Spec) Build(capacityBytes uint64) (Generator, error) {
 	default:
 		return nil, fmt.Errorf("workload: unknown kind %q", s.Kind)
 	}
+}
+
+// Canonical returns the spec with defaults materialized, execution-only
+// hints cleared, and parameters the selected kind never reads zeroed.
+// Two specs with equal Canonical() values build generators that emit
+// identical access streams:
+//
+//   - Kind "" becomes "random" and Size 0 becomes 64 (Build's defaults).
+//   - Workers and NoIdleSkip are cleared: both are execution hints whose
+//     every value yields bit-identical digests (the shard conformance
+//     suite and the wheel-vs-walk equivalence property pin this).
+//   - Per-kind parameters the generator constructor ignores are zeroed:
+//     stride fields outside "stride", hotspot fields outside "hotspot",
+//     ZipfS outside "zipf", and WritePercent under "chase" (pointer
+//     chasing is all reads).
+//
+// RangeBytes 0 is left as-is: it means "the submitted device's full
+// capacity", which is a function of the device configuration hashed
+// alongside this spec, not of the workload.
+func (s Spec) Canonical() Spec {
+	c := s
+	if c.Kind == "" {
+		c.Kind = "random"
+	}
+	if c.Size == 0 {
+		c.Size = 64
+	}
+	c.Workers = 0
+	c.NoIdleSkip = false
+	if c.Kind != "stride" {
+		c.StartAddr, c.StrideBytes = 0, 0
+	}
+	if c.Kind != "hotspot" {
+		c.HotBytes, c.HotPercent = 0, 0
+	}
+	if c.Kind != "zipf" {
+		c.ZipfS = 0
+	}
+	if c.Kind == "chase" {
+		c.WritePercent = 0
+	}
+	return c
+}
+
+// SpecKey is the 128-bit content key of the canonicalized workload spec.
+// JSON field order, whitespace and explicitly-spelled defaults do not
+// change the key; any semantic parameter flip does. Execution hints
+// (Workers, NoIdleSkip) are excluded — they never change result digests.
+func SpecKey(s Spec) ckey.Key {
+	return ckey.MustHashJSON("hmcsim/workload/v1", s.Canonical())
 }
 
 // Validate dry-builds the spec against a nominal 1GB capacity, reporting
