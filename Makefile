@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke skip-smoke cache-smoke table1 fig5 faults examples vet fmt clean
+.PHONY: all build test test-race race bench bench-core bench-compare bench-serve serve serve-pprof metrics-smoke crash-smoke fabric-smoke skip-smoke cache-smoke sse-smoke table1 fig5 faults examples vet fmt clean
 
 all: vet test build
 
@@ -113,6 +113,14 @@ skip-smoke:
 cache-smoke:
 	$(GO) test -run 'TestJobKey|TestHashJSON' -v ./internal/server/cache ./internal/ckey
 	$(GO) test -run 'TestCache|TestCancelFollower|TestLeaderFailure' -v ./internal/server
+
+# sse-smoke exercises the multi-tenant streaming layer end to end: the
+# SSE lifecycle over real HTTP (mid-run subscribe, monotone cycles,
+# exactly one terminal event, client disconnect, drain cut), bearer
+# auth and per-tenant quotas, fair-share dispatch properties, and the
+# paging and retry-drain regression tests (DESIGN.md §16).
+sse-smoke:
+	$(GO) test -run 'TestSSE|TestFairShare|TestFairQueue|TestTenant|TestBearerAuth|TestListPaging|TestShutdownSettlesPendingRetry' -v ./internal/server
 
 table1:
 	$(GO) run ./cmd/hmcsim-table1

@@ -25,6 +25,14 @@
 // fails loudly on digest mismatch. See README "Result cache" and
 // DESIGN.md §15.
 //
+// With -tenants FILE the daemon is multi-tenant: FILE is a JSON roster
+// of API keys, per-tenant quotas (max queued, max running) and
+// fair-share scheduling weights. Authenticated submissions
+// ("Authorization: Bearer <key>") dispatch under deficit round-robin so
+// one tenant's burst cannot starve the others; requests without a key
+// keep working unchanged as the anonymous tenant. See README
+// "Multi-tenant serving & streaming" and DESIGN.md §16.
+//
 // See the README's "Serving mode" and "Observability" sections for the
 // endpoint reference and an example curl session. On SIGINT/SIGTERM the
 // daemon stops accepting work and exits within the -drain budget: with
@@ -63,6 +71,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max execution attempts per job, transient failures retrying with backoff (0 selects the default)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "byte budget of the content-addressed result cache; identical submissions are served from it or coalesced onto an in-flight run (0 disables)")
 	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits re-executed to revalidate determinism; a digest mismatch evicts the entry and fails the sampled job (0 never, 1 every hit)")
+	tenantsFile := flag.String("tenants", "", "tenant roster JSON file (API keys, per-tenant quotas, fair-share weights); empty serves every request as the anonymous tenant with no quotas")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -80,6 +89,14 @@ func main() {
 			log.Printf("store: truncated %d bytes of torn journal tail", n)
 		}
 	}
+	var tenants []server.TenantConfig
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = server.LoadTenants(*tenantsFile)
+		if err != nil {
+			log.Fatalf("loading tenants: %v", err)
+		}
+	}
 	mgr := server.NewManager(server.ManagerConfig{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -89,6 +106,7 @@ func main() {
 		MaxAttempts:     *retries,
 		CacheBytes:      *cacheBytes,
 		CacheVerify:     *cacheVerify,
+		Tenants:         tenants,
 	})
 	if mgr.Recovering() {
 		log.Printf("recovering: requeueing interrupted jobs from the journal")
@@ -115,6 +133,15 @@ func main() {
 		}
 	} else {
 		log.Printf("result cache disabled; every submission simulates")
+	}
+	if len(tenants) > 0 {
+		keyed := 0
+		for _, t := range tenants {
+			if t.Key != "" {
+				keyed++
+			}
+		}
+		log.Printf("multi-tenant: %d tenants (%d keyed) with fair-share dispatch; unauthenticated requests run as the anonymous tenant", len(tenants), keyed)
 	}
 	if *pprofOn {
 		log.Printf("pprof enabled at /debug/pprof/")

@@ -9,6 +9,15 @@
 // With -progress each poll of a running job prints its live progress
 // block (percent sent, simulated cycle, rate, ETA) to stderr.
 //
+// With -follow the client consumes each job's Server-Sent Events stream
+// (GET /v1/jobs/{id}/events) instead of polling: progress events arrive
+// at the server's cadence and the terminal result/error event ends the
+// wait. If the stream is unavailable or cut (old server, proxy,
+// restart), the client falls back to polling — -follow never loses a
+// job. -token attaches a tenant API key ("Authorization: Bearer") to
+// every request, submitting under that tenant's quotas and fair-share
+// weight.
+//
 // The client is restart-tolerant: connection failures and 502/503/504
 // responses (a draining, recovering or restarting service) are retried
 // with capped exponential backoff, honouring Retry-After when the server
@@ -34,7 +43,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -46,6 +57,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -66,6 +78,8 @@ func main() {
 	benchJobs := flag.Int("bench-jobs", 16, "benchmark batch size per row (unique-seed Table I configs)")
 	gate := flag.Bool("gate", true, "with -bench, fail on a >10%% cold-row regression against the existing record or a hot row below the 5x cache contract")
 	progress := flag.Bool("progress", false, "print each job's live progress to stderr while polling")
+	follow := flag.Bool("follow", false, "follow each job's SSE event stream (/v1/jobs/{id}/events) instead of polling; falls back to polling when streaming is unavailable")
+	token := flag.String("token", "", "tenant API key, sent on every request as \"Authorization: Bearer <key>\"")
 	flag.Parse()
 
 	if *bench != "" {
@@ -75,12 +89,33 @@ func main() {
 		}
 		return
 	}
-	results, err := runBatch(*addr, specs(1, *requests, uint32(*seed)), *poll, *timeout, *progress)
+	o := clientOpts{
+		token: *token, follow: *follow, progress: *progress,
+		poll: *poll, timeout: *timeout,
+	}
+	results, err := runBatch(*addr, specs(1, *requests, uint32(*seed)), o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmcsim-submit:", err)
 		os.Exit(1)
 	}
 	printTable(results)
+}
+
+// clientOpts bundles the per-request knobs every job's submit/wait path
+// shares: tenant credentials, follow-vs-poll, verbosity and budgets.
+type clientOpts struct {
+	token    string
+	follow   bool
+	progress bool
+	poll     time.Duration
+	timeout  time.Duration
+}
+
+// auth attaches the tenant API key, when one was given.
+func (o clientOpts) auth(req *http.Request) {
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
 }
 
 // specs builds replicas copies of the four Table I job specs. Each
@@ -102,9 +137,10 @@ func specs(replicas int, requests uint64, seed uint32) []api.SubmitRequest {
 	return out
 }
 
-// runBatch submits every spec concurrently, polls each job to a
-// terminal state and returns the final statuses in submission order.
-func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duration, progress bool) ([]api.JobStatus, error) {
+// runBatch submits every spec concurrently, waits each job to a
+// terminal state (following its event stream or polling) and returns
+// the final statuses in submission order.
+func runBatch(base string, specs []api.SubmitRequest, o clientOpts) ([]api.JobStatus, error) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	out := make([]api.JobStatus, len(specs))
 	errs := make([]error, len(specs))
@@ -113,7 +149,7 @@ func runBatch(base string, specs []api.SubmitRequest, poll, timeout time.Duratio
 		wg.Add(1)
 		go func(i int, spec api.SubmitRequest) {
 			defer wg.Done()
-			out[i], errs[i] = submitAndWait(client, base, spec, poll, timeout, progress)
+			out[i], errs[i] = submitAndWait(client, base, spec, o)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -170,11 +206,12 @@ func retriable(code int) bool {
 }
 
 // submitAndWait pushes one job through the API, retrying 429
-// backpressure, transport failures and 5xx unavailability, then polls
-// until it reaches a terminal state. With progress set, each poll of a
-// running job prints its live progress block to stderr — a coarse ticker
-// driven by the poll interval.
-func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, poll, timeout time.Duration, progress bool) (api.JobStatus, error) {
+// backpressure, transport failures and 5xx unavailability, then waits
+// for a terminal state — by consuming the job's SSE event stream with
+// -follow (falling back to polling when the stream is unavailable or
+// cut), by polling otherwise. With progress set, each progress sample
+// of a running job prints its live block to stderr.
+func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, o clientOpts) (api.JobStatus, error) {
 	if spec.IdempotencyKey == "" {
 		spec.IdempotencyKey = idemKey()
 	}
@@ -182,14 +219,20 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 	if err != nil {
 		return api.JobStatus{}, err
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(o.timeout)
 	backoff := backoffBase
 	var st api.JobStatus
 	for {
 		if time.Now().After(deadline) {
 			return api.JobStatus{}, fmt.Errorf("submit %q: retrying past the deadline", spec.Name)
 		}
-		rsp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		req, rerr := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if rerr != nil {
+			return api.JobStatus{}, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		o.auth(req)
+		rsp, err := client.Do(req)
 		if err != nil {
 			// Transport failure: connection refused or reset, typically
 			// a service restart. The idempotency key makes the repeat
@@ -206,9 +249,9 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 			return api.JobStatus{}, err
 		}
 		if code == http.StatusTooManyRequests {
-			// Explicit backpressure: the bounded queue is full. Back
-			// off and retry until the drain frees a slot.
-			time.Sleep(poll)
+			// Explicit backpressure: the service queue, or this tenant's
+			// quota, is full. Back off and retry until a slot frees up.
+			time.Sleep(o.poll)
 			continue
 		}
 		if retriable(code) {
@@ -235,12 +278,27 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 		}
 		return st, nil
 	}
+	if o.follow {
+		if fst, ok := followJob(base, st.ID, spec.Name, o, deadline); ok {
+			if fst.State != api.StateDone {
+				return fst, fmt.Errorf("job %s: %s (%s)", fst.ID, fst.State, fst.Error)
+			}
+			return fst, nil
+		}
+		// Stream unavailable or cut before the job settled; the polling
+		// loop below picks the job up.
+	}
 	backoff = backoffBase
 	for {
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("job %s: still %s past the deadline", st.ID, st.State)
 		}
-		rsp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		req, rerr := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+		if rerr != nil {
+			return st, rerr
+		}
+		o.auth(req)
+		rsp, err := client.Do(req)
 		if err != nil {
 			// The service may be restarting; with a durable store the
 			// job (and its journal) survives, so keep polling.
@@ -267,11 +325,8 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 			return st, err
 		}
 		backoff = backoffBase
-		if progress && st.Progress != nil {
-			p := st.Progress
-			fmt.Fprintf(os.Stderr, "%s %s: %5.1f%% (%d/%d sent) cycle %d, %.0f cyc/s, eta %.1fs\n",
-				st.ID, spec.Name, p.Percent, p.Sent, p.Requests, p.Cycles,
-				p.CyclesPerSecond, p.ETASeconds)
+		if o.progress && st.Progress != nil {
+			printProgress(st.ID, spec.Name, st.Progress)
 		}
 		if st.State.Terminal() {
 			if st.State != api.StateDone {
@@ -279,8 +334,114 @@ func submitAndWait(client *http.Client, base string, spec api.SubmitRequest, pol
 			}
 			return st, nil
 		}
-		time.Sleep(poll)
+		time.Sleep(o.poll)
 	}
+}
+
+// printProgress renders one live progress block to stderr.
+func printProgress(id, name string, p *api.Progress) {
+	fmt.Fprintf(os.Stderr, "%s %s: %5.1f%% (%d/%d sent) cycle %d, %.0f cyc/s, eta %.1fs\n",
+		id, name, p.Percent, p.Sent, p.Requests, p.Cycles,
+		p.CyclesPerSecond, p.ETASeconds)
+}
+
+// followJob consumes one job's SSE event stream to its terminal event,
+// then fetches the authoritative final status with a single poll. It
+// reports ok=false — telling the caller to fall back to polling — when
+// the stream cannot be opened (older server, intermediary that does not
+// stream), is cut mid-run, or ends with the server's shutting_down
+// event (the job's real outcome then lives with the restarted service).
+func followJob(base, id, name string, o clientOpts, deadline time.Time) (api.JobStatus, bool) {
+	ms := int(o.poll / time.Millisecond)
+	if ms < 50 {
+		ms = 50
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/jobs/"+id+"/events?interval_ms="+strconv.Itoa(ms), nil)
+	if err != nil {
+		return api.JobStatus{}, false
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	o.auth(req)
+	// A dedicated client without a response timeout: the stream lives as
+	// long as the job runs, bounded by the request context's deadline.
+	rsp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return api.JobStatus{}, false
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(rsp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, io.LimitReader(rsp.Body, 1<<16))
+		return api.JobStatus{}, false
+	}
+
+	sc := bufio.NewScanner(rsp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			switch event {
+			case api.EventProgress:
+				if o.progress && data != "" {
+					var p api.Progress
+					if json.Unmarshal([]byte(data), &p) == nil {
+						printProgress(id, name, &p)
+					}
+				}
+			case api.EventResult, api.EventError:
+				if event == api.EventError {
+					var e api.Error
+					if json.Unmarshal([]byte(data), &e) == nil && e.Code == api.CodeShuttingDown {
+						// The drain cut the stream before the job settled;
+						// its outcome lives with the (restarted) service.
+						return api.JobStatus{}, false
+					}
+				}
+				// One authoritative poll for the full terminal status —
+				// the event payload carries only the result or error.
+				st, err := getStatus(base, id, o)
+				return st, err == nil && st.State.Terminal()
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return api.JobStatus{}, false // stream cut mid-run
+}
+
+// getStatus is one authenticated GET /v1/jobs/{id}.
+func getStatus(base, id string, o clientOpts) (api.JobStatus, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	o.auth(req)
+	rsp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	defer rsp.Body.Close()
+	data, err := io.ReadAll(rsp.Body)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	if rsp.StatusCode != http.StatusOK {
+		return api.JobStatus{}, fmt.Errorf("poll %s: HTTP %d: %s", id, rsp.StatusCode, data)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return api.JobStatus{}, err
+	}
+	return st, nil
 }
 
 // printTable renders the batch the way hmcsim-table1 does, with the
@@ -329,7 +490,7 @@ type benchRecord struct {
 // provenance of its results.
 func benchBatch(base string, batch []api.SubmitRequest, requests uint64, poll, timeout time.Duration) (benchRow, []api.JobStatus, error) {
 	start := time.Now()
-	results, err := runBatch(base, batch, poll, timeout, false)
+	results, err := runBatch(base, batch, clientOpts{poll: poll, timeout: timeout})
 	if err != nil {
 		return benchRow{}, nil, err
 	}

@@ -8,13 +8,35 @@
 //
 // These types are the v1 contract, served under the /v1/ path prefix:
 //
-//	POST   /v1/jobs       submit a SubmitRequest -> 202 JobStatus
-//	GET    /v1/jobs       list jobs              -> 200 [JobStatus]
-//	GET    /v1/jobs/{id}  poll one job           -> 200 JobStatus (live Progress while running)
-//	DELETE /v1/jobs/{id}  cancel a job           -> 200 JobStatus
-//	GET    /v1/metrics    metrics                -> 200 JSON object, or Prometheus
-//	                                               text under Accept: text/plain
-//	GET    /v1/healthz    liveness/drain         -> 200 ok | 503 draining
+//	POST   /v1/jobs              submit a SubmitRequest -> 202 JobStatus
+//	GET    /v1/jobs              list jobs (paged via ?limit=/?after=)
+//	                                                    -> 200 [JobStatus]
+//	GET    /v1/jobs/{id}         poll one job           -> 200 JobStatus (live Progress while running)
+//	GET    /v1/jobs/{id}/events  follow one job         -> 200 text/event-stream (see below)
+//	DELETE /v1/jobs/{id}         cancel a job           -> 200 JobStatus
+//	GET    /v1/metrics           metrics                -> 200 JSON object, or Prometheus
+//	                                                      text under Accept: text/plain
+//	GET    /v1/healthz           liveness/drain         -> 200 ok | 503 draining
+//
+// # Streaming
+//
+// GET /v1/jobs/{id}/events is a Server-Sent Events stream: while the
+// job runs, "progress" events carry Progress snapshots at the requested
+// ?interval_ms= cadence; the stream then ends with exactly one terminal
+// event — "result" carrying the Result of a done job, or "error"
+// carrying an Error envelope for a failed/cancelled job (codes
+// job_failed, job_cancelled) or a stream cut short by shutdown
+// (shutting_down).
+//
+// # Tenancy
+//
+// Requests may authenticate with "Authorization: Bearer <key>"; the key
+// maps onto a configured tenant whose quotas and fair-share scheduling
+// weight then apply. Requests without the header run as the anonymous
+// tenant — the pre-tenancy behavior — and jobs of the anonymous tenant
+// serialize without a tenant field, keeping the wire format unchanged.
+// An unknown key is 401 unauthorized; a submission beyond the tenant's
+// quota is 429 quota_exceeded.
 //
 // Within v1, fields are only ever added (with omitempty), never renamed,
 // retyped or removed; incompatible changes require a /v2/ prefix.
@@ -299,8 +321,12 @@ type Progress struct {
 // status and list endpoints. Result is present only in StateDone;
 // Progress only in StateRunning.
 type JobStatus struct {
-	ID        string        `json:"id"`
-	Name      string        `json:"name,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Tenant is the authenticated tenant the job was submitted under;
+	// absent for jobs of the anonymous tenant, so pre-tenancy payloads
+	// are byte-identical.
+	Tenant    string        `json:"tenant,omitempty"`
 	State     State         `json:"state"`
 	Error     string        `json:"error,omitempty"`
 	Submitted time.Time     `json:"submitted"`
@@ -340,8 +366,38 @@ const (
 	// CodeRecovering rejects submissions while the service is replaying
 	// its journal after a restart (HTTP 503 with Retry-After).
 	CodeRecovering = "recovering"
+	// CodeQuotaExceeded rejects a submission that would push its tenant
+	// past a per-tenant quota — max queued or max running jobs (HTTP 429
+	// with Retry-After). Distinguished from CodeQueueFull so a client
+	// can tell "the service is saturated" from "my tenant is".
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeUnauthorized rejects a request whose Authorization header
+	// carries a key no configured tenant owns, or is malformed (HTTP
+	// 401). Requests without the header run as the anonymous tenant and
+	// never see this code.
+	CodeUnauthorized = "unauthorized"
+	// CodeBadRequest rejects a request whose query parameters do not
+	// parse — a non-numeric ?limit=, an out-of-range ?interval_ms=
+	// (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeJobFailed and CodeJobCancelled are the terminal "error" event
+	// codes of the SSE stream: the followed job settled failed or
+	// cancelled (the envelope's message carries the job's error text).
+	CodeJobFailed    = "job_failed"
+	CodeJobCancelled = "job_cancelled"
 	// CodeInternal is an unexpected server-side failure (HTTP 500).
 	CodeInternal = "internal"
+)
+
+// SSE event names of the GET /v1/jobs/{id}/events stream. Each event's
+// data line is a single-line JSON document: a Progress snapshot for
+// EventProgress, a Result for EventResult, an Error envelope for
+// EventError. A stream carries zero or more progress events followed by
+// exactly one terminal event (result or error).
+const (
+	EventProgress = "progress"
+	EventResult   = "result"
+	EventError    = "error"
 )
 
 // Error is the JSON error envelope of every non-2xx response. Message

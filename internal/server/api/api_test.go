@@ -185,6 +185,18 @@ func fixtureSkipRunningStatus() JobStatus {
 	return s
 }
 
+// fixtureTenantStatus pins the wire shape of a job submitted under an
+// authenticated tenant: identical to the base status plus the
+// (omitempty) tenant field — anonymous jobs stay byte-identical to the
+// pre-tenancy format.
+func fixtureTenantStatus() JobStatus {
+	s := fixtureStatus()
+	s.ID = "job-000004"
+	s.Name = "golden-tenant"
+	s.Tenant = "alice"
+	return s
+}
+
 func fixtureStatus() JobStatus {
 	started := time.Date(2026, 8, 6, 12, 0, 1, 0, time.UTC)
 	finished := time.Date(2026, 8, 6, 12, 0, 2, 0, time.UTC)
@@ -223,6 +235,9 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"result_fabric", fixtureFabricResult(), func() any { return &Result{} }},
 		{"error", Error{Code: CodeQueueFull, Message: "server: job queue full"}, func() any { return &Error{} }},
 		{"error_unknown_field", Error{Code: CodeUnknownField, Message: `json: unknown field "requets"`}, func() any { return &Error{} }},
+		{"job_status_tenant", fixtureTenantStatus(), func() any { return &JobStatus{} }},
+		{"error_quota_exceeded", Error{Code: CodeQuotaExceeded, Message: "server: tenant quota exceeded: 2 jobs queued (max 2)"}, func() any { return &Error{} }},
+		{"error_unauthorized", Error{Code: CodeUnauthorized, Message: "server: unknown API key"}, func() any { return &Error{} }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

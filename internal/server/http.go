@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -39,13 +41,22 @@ type HandlerOptions struct {
 
 // NewHandler mounts the JSON API for m under the canonical /v1/ prefix:
 //
-//	POST   /v1/jobs       submit a JobSpec   -> 202 Status
-//	GET    /v1/jobs       list jobs          -> 200 [Status]
-//	GET    /v1/jobs/{id}  poll one job       -> 200 Status (result when done)
-//	DELETE /v1/jobs/{id}  cancel a job       -> 200 Status
-//	GET    /v1/metrics    metrics            -> 200 JSON object, or Prometheus
-//	                                            text under Accept: text/plain
-//	GET    /v1/healthz    liveness/drain     -> 200 ok | 503 draining
+//	POST   /v1/jobs              submit a JobSpec -> 202 Status
+//	GET    /v1/jobs              list jobs        -> 200 [Status] (paged via
+//	                                                 ?limit=/?after=)
+//	GET    /v1/jobs/{id}         poll one job     -> 200 Status (result when done)
+//	GET    /v1/jobs/{id}/events  follow one job   -> 200 text/event-stream
+//	DELETE /v1/jobs/{id}         cancel a job     -> 200 Status
+//	GET    /v1/metrics           metrics          -> 200 JSON object, or Prometheus
+//	                                                 text under Accept: text/plain
+//	GET    /v1/healthz           liveness/drain   -> 200 ok | 503 draining
+//
+// Every route accepts "Authorization: Bearer <key>": a key owned by a
+// configured tenant resolves the request onto that tenant (quotas and
+// fair-share weight apply to its submissions), an unknown or malformed
+// header is rejected with 401 "unauthorized", and no header at all runs
+// the request as the anonymous tenant — the entire pre-tenancy surface
+// is that last path, byte-identical.
 //
 // The pre-versioning paths (/api/v1/jobs, /api/v1/jobs/{id}, /metrics,
 // /healthz) remain mounted as aliases serving identical payloads; alias
@@ -54,9 +65,10 @@ type HandlerOptions struct {
 //
 // Error mapping: invalid spec 400 (code "unknown_field" when the body
 // carries a field outside the v1 schema, "invalid_spec" otherwise),
-// unknown job 404, cancel-after-finish 409, queue full 429 (with
-// Retry-After), shutting down 503. Error bodies are the api.Error
-// envelope: {"code": "...", "error": "..."}.
+// bad query parameters 400 "bad_request", bad credentials 401, unknown
+// job 404, cancel-after-finish 409, queue full 429 (with Retry-After),
+// tenant quota exhausted 429 "quota_exceeded", shutting down 503. Error
+// bodies are the api.Error envelope: {"code": "...", "error": "..."}.
 func NewHandler(m *Manager) http.Handler {
 	return NewHandlerWithOptions(m, HandlerOptions{LegacyPaths: true})
 }
@@ -79,7 +91,7 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 			if spec.IdempotencyKey == "" {
 				spec.IdempotencyKey = r.Header.Get("Idempotency-Key")
 			}
-			st, created, err := m.SubmitIdem(spec)
+			st, created, err := m.SubmitTenant(spec, tenantFrom(r))
 			if err != nil {
 				code, status := submitStatus(err)
 				switch status {
@@ -104,7 +116,26 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 			}
 		},
 		"GET /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, m.List())
+			// Paged listing: ?limit= bounds the page (default
+			// defaultListLimit, ceiling maxListLimit), ?after= resumes
+			// past a previous page's last ID. The body stays a bare JSON
+			// array — pre-paging clients decode it unchanged — and the
+			// next cursor travels in the X-Next-After header.
+			limit := defaultListLimit
+			if raw := r.URL.Query().Get("limit"); raw != "" {
+				n, err := strconv.Atoi(raw)
+				if err != nil || n <= 0 {
+					writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+						fmt.Errorf("server: limit must be a positive integer, got %q", raw))
+					return
+				}
+				limit = n
+			}
+			page, next := m.ListPage(r.URL.Query().Get("after"), limit)
+			if next != "" {
+				w.Header().Set("X-Next-After", next)
+			}
+			writeJSON(w, http.StatusOK, page)
 		},
 		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
 			st, err := m.Get(r.PathValue("id"))
@@ -113,6 +144,19 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 				return
 			}
 			writeJSON(w, http.StatusOK, st)
+		},
+		"GET /v1/jobs/{id}/events": func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if _, err := m.Get(id); err != nil {
+				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)
+				return
+			}
+			interval, err := sseInterval(r.URL.Query().Get("interval_ms"))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+				return
+			}
+			m.streamEvents(w, r, id, interval)
 		},
 		"DELETE /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
 			st, err := m.Cancel(r.PathValue("id"))
@@ -162,11 +206,11 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 	}
 
 	for pattern, h := range handlers {
-		mux.HandleFunc(pattern, h)
+		mux.HandleFunc(pattern, authenticated(m, h))
 	}
 	if o.LegacyPaths {
 		for pattern, canonical := range legacyAliases {
-			mux.HandleFunc(pattern, deprecated(handlers[canonical]))
+			mux.HandleFunc(pattern, deprecated(authenticated(m, handlers[canonical])))
 		}
 	}
 	if o.Pprof {
@@ -177,6 +221,49 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// tenantCtxKey carries the resolved internal tenant name through the
+// request context, from the mux-level auth check to the submit handler.
+type tenantCtxKey struct{}
+
+// tenantFrom reads the tenant the auth layer resolved for this request;
+// "" (the anonymous tenant) when none authenticated.
+func tenantFrom(r *http.Request) string {
+	if v, ok := r.Context().Value(tenantCtxKey{}).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// authenticated is the mux-level tenancy check, applied to every route:
+// a request carrying "Authorization: Bearer <key>" must present a key a
+// configured tenant owns — anything else is 401 with the "unauthorized"
+// code — and the resolved tenant rides the request context into the
+// handlers. Requests without the header pass through untouched as the
+// anonymous tenant, so the whole pre-tenancy surface (and its tests and
+// goldens) behaves byte-identically.
+func authenticated(m *Manager, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		if auth == "" {
+			h(w, r)
+			return
+		}
+		const scheme = "Bearer "
+		if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+			writeError(w, http.StatusUnauthorized, api.CodeUnauthorized,
+				errors.New("server: malformed Authorization header; want Bearer <key>"))
+			return
+		}
+		tenant, ok := m.TenantForKey(strings.TrimSpace(auth[len(scheme):]))
+		if !ok {
+			writeError(w, http.StatusUnauthorized, api.CodeUnauthorized,
+				errors.New("server: unknown API key"))
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tenant)))
+	}
 }
 
 // decodeCode classifies a submission-decode failure: an unknown-field
@@ -230,6 +317,8 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 // submitStatus maps a Submit error onto its wire code and HTTP status.
 func submitStatus(err error) (code string, status int) {
 	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		return api.CodeQuotaExceeded, http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueFull):
 		return api.CodeQueueFull, http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):

@@ -85,6 +85,7 @@ func NewResult(cfg core.Config, spec JobSpec, r host.Result, snap core.Snapshot,
 type job struct {
 	id        string
 	spec      JobSpec
+	tenant    string // internal tenant name; "" is the anonymous tenant
 	submitted time.Time
 
 	state     state
@@ -116,6 +117,7 @@ func (j *job) status() Status {
 	s := Status{
 		ID:        j.id,
 		Name:      j.spec.Name,
+		Tenant:    j.tenant,
 		State:     j.state.phase,
 		Submitted: j.submitted,
 		Spec:      j.spec,

@@ -35,6 +35,11 @@ var (
 	// ErrJobFinished rejects cancellation of a job already in a
 	// terminal state (409 Conflict).
 	ErrJobFinished = errors.New("server: job already finished")
+	// ErrQuotaExceeded rejects a submission that would push its tenant
+	// past a per-tenant quota (429 Too Many Requests with the
+	// quota_exceeded code, distinguishing "your tenant is saturated"
+	// from the service-wide ErrQueueFull).
+	ErrQuotaExceeded = errors.New("server: tenant quota exceeded")
 )
 
 // ManagerConfig sizes a Manager.
@@ -81,6 +86,12 @@ type ManagerConfig struct {
 	// evicts the entry and fails the sampled job loudly. Zero never
 	// verifies; >= 1 reruns every hit.
 	CacheVerify float64
+
+	// Tenants is the multi-tenant roster: API keys, per-tenant quotas
+	// and fair-share weights (DESIGN.md §16). Empty runs the service
+	// exactly as before tenancy: every submission is the anonymous
+	// tenant with no quotas. The roster must pass ValidateTenants.
+	Tenants []TenantConfig
 
 	// runFn substitutes the job executor, for tests exercising panic
 	// recovery, retry and scheduling without paying for real
@@ -137,10 +148,34 @@ type Manager struct {
 	order      []string // job IDs in submission order, for stable listings
 	idem       map[string]string
 	seq        int
-	queue      chan *job
 	closed     bool
 	recovering bool
 	wg         sync.WaitGroup
+
+	// fq is the multi-tenant dispatch queue between Submit and the
+	// worker pool: per-tenant FIFO lanes drained by deficit round-robin
+	// so one tenant's burst cannot starve the others (DESIGN.md §16).
+	// It replaced the single FIFO channel.
+	fq *fairQueue
+
+	// Tenant roster, immutable after NewManager: config by internal
+	// name ("" is the anonymous tenant) and API key -> name resolution
+	// for the HTTP layer.
+	tenantCfg  map[string]TenantConfig
+	tenantKeys map[string]string
+
+	// retryTimers tracks the pending backoff timer of every job waiting
+	// between attempts, keyed by job ID (at most one per job). Shutdown
+	// stops them and settles the affected jobs instead of leaving them
+	// parked forever with a timer that fires into a closed manager.
+	// Guarded by mu.
+	retryTimers map[string]*time.Timer
+
+	// workersDone closes once the worker pool has fully exited during
+	// Shutdown; SSE streams select on it so a drain that cannot finish a
+	// followed job (store-backed suspend) still terminates its streams.
+	workersDone chan struct{}
+	workersOnce sync.Once
 
 	// Content-addressed result cache and singleflight table (DESIGN.md
 	// §15). cache is always non-nil (a zero budget stores nothing);
@@ -178,7 +213,16 @@ type Manager struct {
 	cacheEvict    *obs.Counter // results evicted under byte-budget pressure
 	coalesced     *obs.Counter // submissions served by an in-flight leader
 	verifyFails   *obs.Counter // sampled hits whose re-run digest mismatched
+	quotaRejected *obs.Counter // submissions rejected by a per-tenant quota
 	activeWorkers atomic.Int64
+
+	// tenantSubmitted is the per-tenant accepted-submission counter,
+	// keyed by internal tenant name; series are registered up front from
+	// the (immutable) roster as tenant_jobs_submitted_<name>.
+	tenantSubmitted map[string]*obs.Counter
+	// sseActive is the live count of open SSE event streams, exposed as
+	// the sse_streams_active gauge.
+	sseActive atomic.Int64
 
 	// service and queueWait are the per-job wall-clock distributions:
 	// run duration of every settled job, and time spent queued before a
@@ -213,16 +257,28 @@ func NewManager(cfg ManagerConfig) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		start:      time.Now(),
-		store:      cfg.Store,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*job),
-		idem:       make(map[string]string),
-		queue:      make(chan *job, cfg.QueueDepth),
-		cache:      cache.NewLRU(cfg.CacheBytes),
-		inflight:   make(map[cache.Key]*job),
+		cfg:         cfg,
+		start:       time.Now(),
+		store:       cfg.Store,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		jobs:        make(map[string]*job),
+		idem:        make(map[string]string),
+		fq:          newFairQueue(cfg.QueueDepth),
+		cache:       cache.NewLRU(cfg.CacheBytes),
+		inflight:    make(map[cache.Key]*job),
+		tenantCfg:   make(map[string]TenantConfig),
+		tenantKeys:  make(map[string]string),
+		retryTimers: make(map[string]*time.Timer),
+		workersDone: make(chan struct{}),
+	}
+	for _, t := range cfg.Tenants {
+		name := t.internalName()
+		m.tenantCfg[name] = t
+		if t.Key != "" {
+			m.tenantKeys[t.Key] = name
+		}
+		m.fq.configureTenant(name, t.Weight, t.MaxRunning)
 	}
 	if cfg.CacheVerify > 0 {
 		m.verifyEvery = int(math.Round(1 / cfg.CacheVerify))
@@ -275,12 +331,27 @@ func (m *Manager) initMetrics() {
 	m.cacheEvict = r.Counter("cache_evictions", "Cached results evicted under byte-budget pressure.")
 	m.coalesced = r.Counter("coalesced_jobs", "Submissions served by attaching to an identical in-flight job.")
 	m.verifyFails = r.Counter("cache_verify_failures", "Sampled cache hits whose re-execution digest mismatched the cached result.")
+	m.quotaRejected = r.Counter("jobs_quota_rejected", "Submissions rejected by a per-tenant quota.")
+	// Per-tenant accepted-submission counters are registered up front from
+	// the immutable roster (the obs registry rejects registration racing
+	// concurrent collection); the anonymous tenant always has a series.
+	m.tenantSubmitted = make(map[string]*obs.Counter)
+	m.tenantSubmitted[""] = r.Counter("tenant_jobs_submitted_"+AnonymousTenant,
+		"Jobs accepted for the anonymous tenant.")
+	for name := range m.tenantCfg {
+		if name == "" {
+			continue
+		}
+		m.tenantSubmitted[name] = r.Counter("tenant_jobs_submitted_"+metricTenant(name),
+			fmt.Sprintf("Jobs accepted for tenant %s.", name))
+	}
+	r.GaugeInt("sse_streams_active", "Open /v1/jobs/{id}/events streams.", m.sseActive.Load)
 	r.GaugeInt("cache_bytes", "Accounted size of all cached results.", m.cache.Bytes)
 	r.GaugeInt("cache_entries", "Results held in the cache.", func() int64 { return int64(m.cache.Len()) })
 	r.GaugeInt("workers", "Worker pool size.", func() int64 { return int64(m.cfg.Workers) })
 	r.GaugeInt("active_workers", "Workers currently running a job.", m.activeWorkers.Load)
-	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(m.queue)) })
-	r.GaugeInt("queue_capacity", "Bound of the job queue.", func() int64 { return int64(cap(m.queue)) })
+	r.GaugeInt("queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(m.fq.Len()) })
+	r.GaugeInt("queue_capacity", "Bound of the job queue.", func() int64 { return int64(m.fq.Cap()) })
 	r.GaugeFloat("uptime_seconds", "Seconds since the manager started.", func() float64 {
 		return time.Since(m.start).Seconds()
 	})
@@ -311,15 +382,23 @@ func (m *Manager) Metrics() *obs.Registry { return m.reg }
 // should poll health rather than hold a precise timer.
 const maxRetryAfter = 60
 
+// fallbackServiceSeconds stands in for the mean job service time before
+// any job has settled. One second per queued job keeps the estimate
+// scaling with occupancy instead of collapsing to the minimum.
+const fallbackServiceSeconds = 1.0
+
 // retryAfterSeconds estimates how long a backpressured client should
 // wait before resubmitting: the expected time for the queue to drain one
 // slot, i.e. mean job service time scaled by queue occupancy over the
 // worker count, clamped to [1, maxRetryAfter] whole seconds. With no
-// observed service times yet the estimate degrades to 1 second — the
-// hardcoded value this derivation replaced.
+// observed service times yet a conservative per-queued-job default
+// substitutes for the mean, so a cold server with a deep queue no longer
+// tells every rejected client "retry in 1 second" — an estimate that
+// used to synchronize the whole client population into a retry
+// stampede against a still-full queue.
 func retryAfterSeconds(queued, workers int, meanService float64) int {
 	if meanService <= 0 {
-		return 1
+		meanService = fallbackServiceSeconds
 	}
 	if workers < 1 {
 		workers = 1
@@ -339,7 +418,7 @@ func retryAfterSeconds(queued, workers int, meanService float64) int {
 // 429 response, derived from live queue occupancy and the observed mean
 // job service time.
 func (m *Manager) RetryAfter() int {
-	return retryAfterSeconds(len(m.queue), m.cfg.Workers, m.service.Mean())
+	return retryAfterSeconds(m.fq.Len(), m.cfg.Workers, m.service.Mean())
 }
 
 // Submit validates spec and enqueues a job, returning its initial
@@ -355,6 +434,15 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 // is false when the spec's key matched an existing job and that job's
 // status was returned instead of creating a new one.
 func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) {
+	return m.SubmitTenant(spec, "")
+}
+
+// SubmitTenant is SubmitIdem on behalf of an authenticated tenant
+// (internal name; "" is the anonymous tenant). The tenant's MaxQueued
+// quota is checked against its own lane — but only for submissions that
+// would occupy a queue slot: cache hits and coalesced followers never
+// count against it, mirroring the service-wide capacity check.
+func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (st Status, created bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return Status{}, false, err
 	}
@@ -401,15 +489,21 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 		m.cacheLookup.Observe(time.Since(t0).Seconds())
 	}
 	if cachedRes == nil && leader == nil {
-		if len(m.queue) >= cap(m.queue) {
+		if m.fq.Len() >= m.fq.Cap() {
 			m.rejected.Add(1)
 			return Status{}, false, ErrQueueFull
+		}
+		if tc, ok := m.tenantCfg[tenant]; ok && tc.MaxQueued > 0 && m.fq.queued(tenant) >= tc.MaxQueued {
+			m.quotaRejected.Add(1)
+			return Status{}, false, fmt.Errorf("%w: %d jobs queued (max %d)",
+				ErrQuotaExceeded, m.fq.queued(tenant), tc.MaxQueued)
 		}
 	}
 	m.seq++
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", m.seq),
 		spec:      spec,
+		tenant:    tenant,
 		submitted: time.Now(),
 		state:     state{phase: StateQueued},
 		specKey:   key,
@@ -422,7 +516,7 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 		if jerr == nil {
 			jerr = m.store.Append(store.Record{
 				Type: store.RecSubmitted, Job: j.id, Time: j.submitted,
-				Key: spec.IdempotencyKey, Spec: specJSON,
+				Key: spec.IdempotencyKey, Tenant: tenant, Spec: specJSON,
 			})
 		}
 		if jerr != nil {
@@ -460,9 +554,9 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 				m.inflight[key] = j
 			}
 		}
-		// Guaranteed not to block: insertions only happen under m.mu and
-		// the capacity check above held the lock.
-		m.queue <- j
+		// Guaranteed to succeed: pushes only happen under m.mu and the
+		// capacity check above held the lock.
+		m.fq.push(tenant, j)
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -470,6 +564,9 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 		m.idem[spec.IdempotencyKey] = j.id
 	}
 	m.submitted.Add(1)
+	if c, ok := m.tenantSubmitted[tenant]; ok {
+		c.Add(1)
+	}
 	return j.status(), true, nil
 }
 
@@ -484,16 +581,59 @@ func (m *Manager) Get(id string) (Status, error) {
 	return j.status(), nil
 }
 
-// List returns every job's status in submission order.
+// List returns every job's status in stable ID order.
 func (m *Manager) List() []Status {
+	out, _ := m.ListPage("", 0)
+	return out
+}
+
+// Paging bounds for ListPage: the default page size when the client
+// names none, and the hard ceiling on what it may ask for.
+const (
+	defaultListLimit = 256
+	maxListLimit     = 1024
+)
+
+// ListPage returns up to limit job statuses with IDs strictly after
+// `after`, in ascending ID order, plus the ID to pass as the next page's
+// cursor ("" when this page is the last). limit <= 0 selects the whole
+// table in one page — the pre-paging behavior List still exposes.
+//
+// The critical section is deliberately short: only the page actually
+// returned is serialized under the lock. The full-table snapshot this
+// replaced held m.mu for O(all jobs) on every GET /v1/jobs, stalling
+// submissions and settles on a busy server whenever anything polled the
+// listing.
+func (m *Manager) ListPage(after string, limit int) (page []Status, nextAfter string) {
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Status, 0, len(m.order))
-	for _, id := range m.order {
-		out = append(out, m.jobs[id].status())
+	// IDs are job-%06d in submission order, so m.order is already sorted;
+	// keep the invariant checked cheaply rather than re-sorting per call.
+	if !sort.StringsAreSorted(m.order) {
+		sort.Strings(m.order)
 	}
-	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
-	return out
+	lo := 0
+	if after != "" {
+		lo = sort.SearchStrings(m.order, after)
+		if lo < len(m.order) && m.order[lo] == after {
+			lo++
+		}
+	}
+	hi := len(m.order)
+	if limit > 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	page = make([]Status, 0, hi-lo)
+	for _, id := range m.order[lo:hi] {
+		page = append(page, m.jobs[id].status())
+	}
+	if hi < len(m.order) && len(page) > 0 {
+		nextAfter = page[len(page)-1].ID
+	}
+	return page, nextAfter
 }
 
 // Cancel requests cancellation of a job. A queued job moves straight to
@@ -514,6 +654,15 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.state.finished = time.Now()
 		m.cancelledN.Add(1)
 		m.journal(store.Record{Type: store.RecCancelled, Job: j.id})
+		// Free the queue slot (and the tenant's quota headroom) now
+		// instead of when a worker pops and discards the husk. Retry-
+		// parked and follower jobs are not in the queue; remove is a no-op
+		// for them. A pending backoff timer is stopped the same way.
+		m.fq.remove(j.tenant, j)
+		if t, ok := m.retryTimers[j.id]; ok {
+			t.Stop()
+			delete(m.retryTimers, j.id)
+		}
 		// A cancelled queued leader hands its followers to a promoted
 		// one; a cancelled follower just drops out of its leader's
 		// delivery list (the phase check there skips it).
@@ -542,11 +691,19 @@ func (m *Manager) journal(rec store.Record) {
 }
 
 // worker is the pool loop: pop, run, settle, repeat until the queue is
-// closed and drained.
+// closed and drained. The running slot pop charged to the job's tenant
+// is released on every exit path from runOne — including the early
+// returns for cancelled and suspended jobs — or the lane would leak
+// quota and eventually starve.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.fq.pop()
+		if !ok {
+			return
+		}
 		m.runOne(j)
+		m.fq.release(j.tenant)
 	}
 }
 
@@ -764,15 +921,27 @@ func (m *Manager) requeueLocked(j *job, cause error) {
 	j.state.err = cause
 	m.retries.Add(1)
 	delay := retryDelay(m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay, j.attempt, j.id)
-	time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
+	m.armRetryLocked(j, delay)
+}
+
+// armRetryLocked arms (and tracks) the backoff timer that will requeue
+// j after delay. Tracking the timer is what lets Shutdown stop it and
+// settle the job: an untracked timer would fire into a drained manager
+// and silently re-arm itself forever, leaking a goroutine timer cycle
+// per abandoned retry and leaving the job parked in StateQueued with no
+// worker ever coming back for it. At most one timer exists per job.
+// Caller holds m.mu.
+func (m *Manager) armRetryLocked(j *job, delay time.Duration) {
+	m.retryTimers[j.id] = time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
 }
 
 // enqueueRetry puts a backoff-expired job back on the queue. A full
 // queue pushes the retry out by another delay; a closed manager leaves
-// the job queued for the next process (store-backed) or fails it.
+// the job journaled for the next process (store-backed) or fails it.
 func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	delete(m.retryTimers, j.id) // this timer has fired; it no longer needs stopping
 	if j.state.phase != StateQueued || j.cancelled {
 		return // cancelled while waiting for backoff
 	}
@@ -780,6 +949,7 @@ func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 		if m.store == nil {
 			j.state.phase = StateFailed
 			j.state.err = fmt.Errorf("%w: retry abandoned", ErrShuttingDown)
+			j.state.finished = time.Now()
 			m.failed.Add(1)
 			m.detachLocked(j)
 		}
@@ -787,10 +957,8 @@ func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 		// requeued by the next process.
 		return
 	}
-	select {
-	case m.queue <- j:
-	default:
-		time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
+	if !m.fq.push(j.tenant, j) {
+		m.armRetryLocked(j, delay)
 	}
 }
 
@@ -879,13 +1047,11 @@ func (m *Manager) detachLocked(j *job) {
 		f.leader = next
 	}
 	m.inflight[j.specKey] = next
-	select {
-	case m.queue <- next:
-	default:
+	if !m.fq.push(next.tenant, next) {
 		// Queue momentarily full; retry shortly off-lock, like a
-		// backoff-expired retry would.
-		const d = 10 * time.Millisecond
-		time.AfterFunc(d, func() { m.enqueueRetry(next, d) })
+		// backoff-expired retry would. The timer is tracked so Shutdown
+		// can settle the promoted follower too.
+		m.armRetryLocked(next, 10*time.Millisecond)
 	}
 }
 
@@ -916,7 +1082,31 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		if m.store != nil {
 			m.suspend.Store(true)
 		}
-		close(m.queue)
+		// Stop every pending backoff timer and settle its job now. A
+		// timer we beat to the punch (Stop reports true) will never fire,
+		// so without this its job would stay parked in StateQueued
+		// forever; one that already fired runs enqueueRetry, which
+		// observes m.closed and settles the job itself.
+		for id, t := range m.retryTimers {
+			if !t.Stop() {
+				continue
+			}
+			delete(m.retryTimers, id)
+			j := m.jobs[id]
+			if j == nil || j.state.phase != StateQueued || j.cancelled {
+				continue
+			}
+			if m.store == nil {
+				j.state.phase = StateFailed
+				j.state.err = fmt.Errorf("%w: retry abandoned", ErrShuttingDown)
+				j.state.finished = time.Now()
+				m.failed.Add(1)
+				m.detachLocked(j)
+			}
+			// Store-backed: the job stays journaled non-terminal and
+			// requeues under the next process, like any suspended job.
+		}
+		m.fq.close()
 	}
 	m.mu.Unlock()
 
@@ -927,10 +1117,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.workersOnce.Do(func() { close(m.workersDone) })
 		return nil
 	case <-ctx.Done():
 		m.baseCancel()
 		<-done
+		m.workersOnce.Do(func() { close(m.workersDone) })
 		return ctx.Err()
 	}
 }
@@ -940,6 +1132,14 @@ func (m *Manager) Draining() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.closed
+}
+
+// TenantForKey resolves an API key (bearer token) onto the internal
+// tenant name. The roster is immutable after NewManager, so no lock is
+// needed.
+func (m *Manager) TenantForKey(key string) (string, bool) {
+	name, ok := m.tenantKeys[key]
+	return name, ok
 }
 
 // Recovering reports whether journal replay is still requeueing

@@ -56,6 +56,8 @@ func TestMetricsJSONShape(t *testing.T) {
 		"workers", "active_workers", "cycles_simulated",
 		"requests_simulated", "uptime_seconds", "cycles_per_second",
 		"fabric_cubes", "fabric_hops_total", "fabric_intercube_packets_total",
+		"jobs_quota_rejected", "sse_streams_active",
+		"tenant_jobs_submitted_anonymous",
 	} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("metrics missing legacy key %q", key)
@@ -138,6 +140,8 @@ func TestMetricsPrometheusShape(t *testing.T) {
 		"hmcsim_fabric_cubes_total", "hmcsim_fabric_hops_total",
 		"hmcsim_fabric_intercube_packets_total",
 		"hmcsim_fabric_intercube_latency_cycles",
+		"hmcsim_jobs_quota_rejected_total", "hmcsim_sse_streams_active",
+		"hmcsim_tenant_jobs_submitted_anonymous_total",
 	} {
 		if !seen[name] {
 			t.Errorf("exposition missing # TYPE for %s", name)
@@ -173,8 +177,9 @@ func TestRetryAfterSeconds(t *testing.T) {
 		mean            float64
 		want            int
 	}{
-		{0, 4, 0, 1},      // no service-time data yet: legacy default
-		{10, 4, 0, 1},     // still no data, regardless of occupancy
+		{0, 4, 0, 1},      // no service-time data, empty queue: the old default
+		{10, 4, 0, 3},     // no data but a deep queue: fallback scales, ceil(1*11/4)
+		{63, 1, 0, 60},    // no data, very deep queue: clamped, not the old "1"
 		{0, 4, 2.0, 1},    // empty queue: one mean service over 4 workers
 		{7, 4, 2.0, 4},    // ceil(2*8/4)
 		{63, 1, 30.0, 60}, // clamped to the cap

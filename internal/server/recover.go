@@ -49,6 +49,7 @@ func (m *Manager) recoverFromJournal() []*job {
 			j = &job{
 				id:        rec.Job,
 				spec:      spec,
+				tenant:    rec.Tenant,
 				submitted: rec.Time,
 				state:     state{phase: StateQueued},
 			}
@@ -128,16 +129,13 @@ func (m *Manager) requeueRecovered(pending []*job) {
 				m.mu.Unlock()
 				break
 			}
-			select {
-			case m.queue <- j:
+			if m.fq.push(j.tenant, j) {
 				m.recovered.Add(1)
 				m.mu.Unlock()
-			default:
-				m.mu.Unlock()
-				time.Sleep(5 * time.Millisecond)
-				continue
+				break
 			}
-			break
+			m.mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 	m.mu.Lock()

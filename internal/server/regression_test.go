@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hmcsim/internal/core"
+)
+
+// TestShutdownSettlesPendingRetry is the regression test for the
+// untracked-retry-timer bug: a job parked between attempts (transient
+// failure, backoff timer armed) used to stay queued forever when
+// Shutdown raced its timer — the drain closed the queue, the timer
+// fired into the closed manager and the job never settled; with a long
+// backoff the timer itself outlived the manager. Shutdown now stops
+// tracked timers and settles their jobs.
+func TestShutdownSettlesPendingRetry(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4,
+		MaxAttempts:    3,
+		RetryBaseDelay: time.Hour, // the timer must still be pending at Shutdown
+		RetryMaxDelay:  time.Hour,
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
+			return Result{}, Transient(errors.New("flaky backend"))
+		},
+	})
+
+	st, err := m.Submit(testSpec("parked", core.Table1Configs()[0], 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail and the job to park behind its
+	// hour-long backoff timer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := m.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Attempt == 1 && got.State == StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never parked for retry: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m.mu.Lock()
+	timers := len(m.retryTimers)
+	m.mu.Unlock()
+	if timers != 1 {
+		t.Fatalf("%d tracked retry timers, want 1", timers)
+	}
+
+	// Shutdown must settle the parked job, not leave it queued behind a
+	// timer that will fire into a dead manager an hour from now.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	fin, err := m.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed {
+		t.Fatalf("parked job settled %s, want failed (retry abandoned)", fin.State)
+	}
+	if !strings.Contains(fin.Error, "retry abandoned") {
+		t.Errorf("error %q does not name the abandoned retry", fin.Error)
+	}
+	m.mu.Lock()
+	timers = len(m.retryTimers)
+	m.mu.Unlock()
+	if timers != 0 {
+		t.Errorf("%d retry timers still tracked after shutdown", timers)
+	}
+}
+
+// TestListPaging pins the ?limit=/?after= paging of GET /v1/jobs: stable
+// ID order, the X-Next-After cursor, and the bad_request rejection of a
+// malformed limit. The response body stays a bare JSON array, so
+// pre-paging clients decode pages unchanged.
+func TestListPaging(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		Workers: 2, QueueDepth: 16,
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
+			return Result{Cycles: 1, Sent: spec.Requests}, nil
+		},
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	cfg := core.Table1Configs()[0]
+	for i := 0; i < 5; i++ {
+		if _, err := m.Submit(testSpec(fmt.Sprintf("page-%d", i), cfg, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	getPage := func(query string) ([]Status, string) {
+		t.Helper()
+		rsp, err := http.Get(srv.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rsp.Body.Close()
+		if rsp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s = HTTP %d", query, rsp.StatusCode)
+		}
+		var page []Status
+		if err := json.NewDecoder(rsp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page, rsp.Header.Get("X-Next-After")
+	}
+
+	// Default: everything in one page, no cursor.
+	all, next := getPage("")
+	if len(all) != 5 || next != "" {
+		t.Fatalf("unpaged list: %d jobs, cursor %q; want 5, none", len(all), next)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatalf("list not in ascending ID order: %s after %s", all[i].ID, all[i-1].ID)
+		}
+	}
+
+	// Walk the table two at a time; pages concatenate to the full list.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		q := "?limit=2"
+		if cursor != "" {
+			q += "&after=" + cursor
+		}
+		page, n := getPage(q)
+		for _, st := range page {
+			walked = append(walked, st.ID)
+		}
+		if n == "" {
+			if len(page) == 0 && len(walked) < 5 {
+				t.Fatal("empty page before the table was exhausted")
+			}
+			break
+		}
+		if want := page[len(page)-1].ID; n != want {
+			t.Fatalf("X-Next-After %q, want last ID of page %q", n, want)
+		}
+		cursor = n
+	}
+	if len(walked) != 5 {
+		t.Fatalf("cursor walk visited %d jobs, want 5", len(walked))
+	}
+	for i, st := range all {
+		if walked[i] != st.ID {
+			t.Fatalf("walked[%d] = %s, full list has %s", i, walked[i], st.ID)
+		}
+	}
+
+	// ?after= past the end is an empty page, not an error.
+	if page, n := getPage("?after=" + all[4].ID); len(page) != 0 || n != "" {
+		t.Errorf("page past the end: %d jobs, cursor %q", len(page), n)
+	}
+
+	// A malformed limit is 400 bad_request.
+	rsp, err := http.Get(srv.URL + "/v1/jobs?limit=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=abc: HTTP %d, want 400", rsp.StatusCode)
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(rsp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "bad_request" {
+		t.Errorf("limit=abc: code %q, want bad_request", e.Code)
+	}
+}

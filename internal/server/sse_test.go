@@ -1,0 +1,420 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/server/api"
+)
+
+// sseEvent is one parsed SSE frame from a /v1/jobs/{id}/events stream.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// nextSSE reads frames until one event completes or the stream ends
+// (ok=false). The framing contract is id/event/data lines separated by a
+// blank line.
+func nextSSE(t *testing.T, sc *bufio.Scanner) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	seen := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if seen {
+				return ev, true
+			}
+		case strings.HasPrefix(line, "id: "):
+			ev.id, seen = strings.TrimPrefix(line, "id: "), true
+		case strings.HasPrefix(line, "event: "):
+			ev.event, seen = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "data: "):
+			ev.data, seen = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return ev, false
+}
+
+func openStream(t *testing.T, url string) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	// The stream outlives any sane client timeout by design; bound it
+	// with the test's own deadline instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsp.Body.Close() })
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = HTTP %d", url, rsp.StatusCode)
+	}
+	if ct := rsp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type %q", ct)
+	}
+	sc := bufio.NewScanner(rsp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return rsp, sc
+}
+
+// TestSSELifecycle follows a job from mid-run to completion: progress
+// events sampled from the live probe with monotonically non-decreasing
+// cycles, then exactly one terminal "result" event, then EOF.
+func TestSSELifecycle(t *testing.T) {
+	started := make(chan struct{})
+	advance := make(chan uint64)
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4,
+		runFn: func(ctx context.Context, spec JobSpec, eo ExecOptions) (Result, error) {
+			close(started)
+			for c := range advance {
+				eo.Probe.Set(c, c, c)
+			}
+			return Result{Config: spec.Name, Cycles: 500, Sent: spec.Requests}, nil
+		},
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(testSpec("follow-me", core.Table1Configs()[0], 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	_, sc := openStream(t, srv.URL+"/v1/jobs/"+st.ID+"/events?interval_ms=50")
+
+	// Drive the probe and watch the advertised cycle counts catch up.
+	var lastCycles uint64
+	progressN := 0
+	waitCycles := func(want uint64) {
+		t.Helper()
+		for {
+			ev, ok := nextSSE(t, sc)
+			if !ok {
+				t.Fatalf("stream ended waiting for cycles=%d", want)
+			}
+			if ev.event != api.EventProgress {
+				t.Fatalf("mid-run event %q, want %q", ev.event, api.EventProgress)
+			}
+			var p api.Progress
+			if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+				t.Fatalf("progress payload %q: %v", ev.data, err)
+			}
+			if p.Cycles < lastCycles {
+				t.Fatalf("cycles went backwards: %d after %d", p.Cycles, lastCycles)
+			}
+			lastCycles = p.Cycles
+			progressN++
+			if p.Cycles == want {
+				return
+			}
+		}
+	}
+	advance <- 100
+	waitCycles(100)
+	advance <- 250
+	waitCycles(250)
+	close(advance) // job completes
+
+	// Exactly one terminal event, then EOF.
+	var result *api.Result
+	for {
+		ev, ok := nextSSE(t, sc)
+		if !ok {
+			break
+		}
+		switch ev.event {
+		case api.EventProgress:
+			progressN++
+		case api.EventResult:
+			if result != nil {
+				t.Fatal("second terminal event on one stream")
+			}
+			result = new(api.Result)
+			if err := json.Unmarshal([]byte(ev.data), result); err != nil {
+				t.Fatalf("result payload %q: %v", ev.data, err)
+			}
+		default:
+			t.Fatalf("unexpected terminal event %q (%s)", ev.event, ev.data)
+		}
+	}
+	if result == nil {
+		t.Fatal("stream ended without a result event")
+	}
+	if result.Cycles != 500 || result.Config != "follow-me" {
+		t.Errorf("terminal result = %+v, want cycles 500 / config follow-me", result)
+	}
+	if progressN == 0 {
+		t.Error("no progress events before the terminal")
+	}
+}
+
+// TestSSETerminalSubscribe subscribes to already-settled jobs: the stream
+// must deliver exactly the one terminal event and close.
+func TestSSETerminalSubscribe(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 8,
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
+			if strings.HasPrefix(spec.Name, "fail") {
+				return Result{}, errors.New("deterministic failure") // permanent: no retry
+			}
+			select {
+			case <-release:
+				return Result{Config: spec.Name, Cycles: 1, Sent: spec.Requests}, nil
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		},
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cfg := core.Table1Configs()[0]
+
+	streamOne := func(id string) sseEvent {
+		t.Helper()
+		_, sc := openStream(t, srv.URL+"/v1/jobs/"+id+"/events")
+		ev, ok := nextSSE(t, sc)
+		if !ok {
+			t.Fatal("stream closed without a terminal event")
+		}
+		if _, more := nextSSE(t, sc); more {
+			t.Fatal("stream delivered a second event after the terminal")
+		}
+		return ev
+	}
+
+	failed, err := m.Submit(testSpec("fail-job", cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, m, failed.ID); st.State != StateFailed {
+		t.Fatalf("fail-job settled %s", st.State)
+	}
+	ev := streamOne(failed.ID)
+	var e api.Error
+	if ev.event != api.EventError || json.Unmarshal([]byte(ev.data), &e) != nil || e.Code != api.CodeJobFailed {
+		t.Fatalf("failed job terminal = %q %s, want error/job_failed", ev.event, ev.data)
+	}
+
+	// A cancelled queued job (the worker is parked on the blocker).
+	blocker, err := m.Submit(testSpec("block", cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := m.Submit(testSpec("victim", cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	ev = streamOne(victim.ID)
+	if ev.event != api.EventError || json.Unmarshal([]byte(ev.data), &e) != nil || e.Code != api.CodeJobCancelled {
+		t.Fatalf("cancelled job terminal = %q %s, want error/job_cancelled", ev.event, ev.data)
+	}
+	close(release)
+	waitTerminal(t, m, blocker.ID)
+}
+
+// TestSSEDisconnect closes the client side of a stream mid-run: the
+// server must drop the stream (sse_streams_active back to 0) and the job
+// must be unaffected.
+func TestSSEDisconnect(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4,
+		runFn: blockingRun(started, release),
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(testSpec("keep-running", core.Table1Configs()[0], 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	rsp, sc := openStream(t, srv.URL+"/v1/jobs/"+st.ID+"/events?interval_ms=50")
+	if ev, ok := nextSSE(t, sc); !ok || ev.event != api.EventProgress {
+		t.Fatalf("first event = (%+v, %v), want progress", ev, ok)
+	}
+	if n := m.sseActive.Load(); n != 1 {
+		t.Fatalf("sse_streams_active = %d with one open stream", n)
+	}
+	rsp.Body.Close() // client walks away
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.sseActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not reap the disconnected stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The job never noticed.
+	if got, err := m.Get(st.ID); err != nil || got.State != StateRunning {
+		t.Fatalf("job after disconnect: %+v, %v; want still running", got, err)
+	}
+	close(release)
+	if fin := waitTerminal(t, m, st.ID); fin.State != StateDone {
+		t.Fatalf("job settled %s after stream disconnect", fin.State)
+	}
+}
+
+// TestSSEDrain pins the shutdown path: a stream following a job that a
+// store-backed drain suspends (popped, then parked non-terminal for the
+// next process) must be cut loose with one shutting_down error event
+// instead of hanging past Shutdown.
+func TestSSEDrain(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4, Store: s,
+		runFn: blockingRun(started, release),
+	})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	cfg := core.Table1Configs()[0]
+	if _, err := m.Submit(testSpec("occupier", cfg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(testSpec("suspended", cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sc := openStream(t, srv.URL+"/v1/jobs/"+queued.ID+"/events?interval_ms=50")
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutErr <- m.Shutdown(ctx)
+	}()
+	// Wait for the drain to latch, then let the occupier finish; the
+	// worker pops the queued job, sees the suspend and exits, leaving it
+	// non-terminal — exactly the state that used to wedge streams.
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown never latched")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+
+	ev, ok := nextSSE(t, sc)
+	if !ok {
+		t.Fatal("stream closed without a terminal event during drain")
+	}
+	var e api.Error
+	if ev.event != api.EventError || json.Unmarshal([]byte(ev.data), &e) != nil || e.Code != api.CodeShuttingDown {
+		t.Fatalf("drain terminal = %q %s, want error/shutting_down", ev.event, ev.data)
+	}
+	if _, more := nextSSE(t, sc); more {
+		t.Fatal("stream delivered events after the drain terminal")
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got, err := m.Get(queued.ID); err != nil || got.State.Terminal() {
+		t.Fatalf("suspended job = %+v, %v; want left non-terminal for recovery", got, err)
+	}
+}
+
+// TestSSERequestErrors pins the pre-stream failure modes: unknown job is
+// a plain 404 JSON envelope, a malformed interval is 400 bad_request —
+// neither ever switches to text/event-stream.
+func TestSSERequestErrors(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4,
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
+			return Result{Cycles: 1, Sent: spec.Requests}, nil
+		},
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(testSpec("ok", core.Table1Configs()[0], 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+
+	cases := []struct {
+		url  string
+		code int
+		body string
+	}{
+		{"/v1/jobs/job-999999/events", http.StatusNotFound, api.CodeUnknownJob},
+		{"/v1/jobs/" + st.ID + "/events?interval_ms=abc", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/jobs/" + st.ID + "/events?interval_ms=0", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/jobs/" + st.ID + "/events?interval_ms=-50", http.StatusBadRequest, api.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		rsp, err := http.Get(srv.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e api.Error
+		decErr := json.NewDecoder(rsp.Body).Decode(&e)
+		rsp.Body.Close()
+		if rsp.StatusCode != tc.code || decErr != nil || e.Code != tc.body {
+			t.Errorf("GET %s = HTTP %d code %q (%v), want %d %q",
+				tc.url, rsp.StatusCode, e.Code, decErr, tc.code, tc.body)
+		}
+		if ct := rsp.Header.Get("Content-Type"); strings.Contains(ct, "event-stream") {
+			t.Errorf("GET %s answered as an event stream", tc.url)
+		}
+	}
+}
+
+// TestSSEIntervalClamp pins the parser bounds without opening streams.
+func TestSSEIntervalClamp(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want time.Duration
+		err  bool
+	}{
+		{"", defaultSSEInterval, false},
+		{"50", 50 * time.Millisecond, false},
+		{"10", minSSEInterval, false},
+		{"1000000", maxSSEInterval, false},
+		{"abc", 0, true},
+		{"0", 0, true},
+		{"-5", 0, true},
+		{"2.5", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := sseInterval(tc.raw)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("sseInterval(%q) = (%v, %v), want (%v, err=%v)", tc.raw, got, err, tc.want, tc.err)
+		}
+	}
+}

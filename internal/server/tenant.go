@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AnonymousTenant is the reserved config name of the tenant that
+// unauthenticated requests map onto. Internally the anonymous tenant is
+// the empty string — anonymous jobs serialize without a tenant field,
+// keeping the pre-tenancy wire format byte-identical — but a config
+// entry under this name sets its quotas and scheduling weight.
+const AnonymousTenant = "anonymous"
+
+// TenantConfig declares one tenant of the service: its API key and the
+// quotas and fair-share weight attached to it. Zero quota fields mean
+// unlimited; a zero weight means 1.
+type TenantConfig struct {
+	// Name identifies the tenant in job views, metrics and logs. The
+	// reserved name "anonymous" configures quotas for unauthenticated
+	// requests and needs no key.
+	Name string `json:"name"`
+	// Key is the bearer token presented as "Authorization: Bearer
+	// <key>". Empty is only valid for the anonymous entry.
+	Key string `json:"key,omitempty"`
+	// MaxQueued bounds the tenant's jobs waiting in the dispatch queue;
+	// submissions beyond it are rejected with 429 quota_exceeded.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning bounds the tenant's concurrently running jobs; the
+	// dispatcher skips the tenant's lane while it is at the cap.
+	MaxRunning int `json:"max_running,omitempty"`
+	// Weight is the tenant's deficit-round-robin quantum: credits earned
+	// per scheduling round, i.e. how many jobs it may dispatch per turn
+	// when contended. Zero selects 1.
+	Weight int `json:"weight,omitempty"`
+}
+
+// internalName maps a config name onto the manager's internal tenant ID:
+// the reserved anonymous entry is the empty string.
+func (t TenantConfig) internalName() string {
+	if t.Name == AnonymousTenant {
+		return ""
+	}
+	return t.Name
+}
+
+// LoadTenants reads a tenant roster from a JSON file: an array of
+// TenantConfig objects.
+//
+//	[
+//	  {"name": "alice", "key": "s3cret-a", "max_queued": 32, "max_running": 2},
+//	  {"name": "bob",   "key": "s3cret-b", "weight": 2},
+//	  {"name": "anonymous", "max_queued": 8}
+//	]
+//
+// Unknown fields are rejected so a typo'd quota cannot silently become
+// "unlimited".
+func LoadTenants(path string) ([]TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading tenant config: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var ts []TenantConfig
+	if err := dec.Decode(&ts); err != nil {
+		return nil, fmt.Errorf("server: parsing tenant config %s: %w", path, err)
+	}
+	if err := ValidateTenants(ts); err != nil {
+		return nil, fmt.Errorf("server: tenant config %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// ValidateTenants checks a roster for the invariants the manager relies
+// on: non-empty unique names, unique non-empty keys (except the
+// anonymous entry, which must not carry one), and non-negative quotas.
+func ValidateTenants(ts []TenantConfig) error {
+	names := make(map[string]bool, len(ts))
+	keys := make(map[string]bool, len(ts))
+	for i, t := range ts {
+		if t.Name == "" {
+			return fmt.Errorf("tenant %d has no name", i)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Name == AnonymousTenant {
+			if t.Key != "" {
+				return fmt.Errorf("the anonymous tenant must not carry an API key")
+			}
+		} else if t.Key == "" {
+			return fmt.Errorf("tenant %q has no API key", t.Name)
+		}
+		if t.Key != "" {
+			if keys[t.Key] {
+				return fmt.Errorf("tenant %q reuses another tenant's API key", t.Name)
+			}
+			keys[t.Key] = true
+		}
+		if t.MaxQueued < 0 || t.MaxRunning < 0 || t.Weight < 0 {
+			return fmt.Errorf("tenant %q has a negative quota or weight", t.Name)
+		}
+	}
+	return nil
+}
+
+// metricTenant renders an internal tenant ID as the suffix of its
+// per-tenant metric series: "anonymous" for the unauthenticated tenant,
+// otherwise the name with every character outside [a-zA-Z0-9_] replaced
+// by '_' so the result stays a valid Prometheus metric-name fragment.
+func metricTenant(tenant string) string {
+	if tenant == "" {
+		return AnonymousTenant
+	}
+	var b strings.Builder
+	for _, r := range tenant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

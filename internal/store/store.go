@@ -56,6 +56,10 @@ type Record struct {
 	Time time.Time `json:"time"`
 	// Key is the submission's idempotency key (RecSubmitted only).
 	Key string `json:"key,omitempty"`
+	// Tenant is the authenticated tenant the job was submitted under
+	// (RecSubmitted only); empty for the anonymous tenant, so journals
+	// written before tenancy replay unchanged.
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the submitted job specification, verbatim (RecSubmitted).
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Attempt numbers the execution attempt (RecStarted, RecFailed).
