@@ -58,6 +58,15 @@ type HandlerOptions struct {
 // the request as the anonymous tenant — the entire pre-tenancy surface
 // is that last path, byte-identical.
 //
+// Job visibility is tenant-scoped: listing shows only the calling
+// tenant's jobs, and reading, streaming or cancelling a job another
+// tenant owns answers 404 "unknown_job" — identical to an absent ID, so
+// the sequential job IDs leak no existence information and no tenant
+// can cancel a competitor's work to free queue capacity. Anonymous
+// requests see only anonymous jobs; with no roster configured every job
+// and every request is anonymous, which is exactly the pre-tenancy
+// behavior.
+//
 // The pre-versioning paths (/api/v1/jobs, /api/v1/jobs/{id}, /metrics,
 // /healthz) remain mounted as aliases serving identical payloads; alias
 // responses carry a "Deprecation: true" header so clients can detect
@@ -131,14 +140,14 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 				}
 				limit = n
 			}
-			page, next := m.ListPage(r.URL.Query().Get("after"), limit)
+			page, next := m.ListPageTenant(tenantFrom(r), r.URL.Query().Get("after"), limit)
 			if next != "" {
 				w.Header().Set("X-Next-After", next)
 			}
 			writeJSON(w, http.StatusOK, page)
 		},
 		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
-			st, err := m.Get(r.PathValue("id"))
+			st, err := m.GetTenant(r.PathValue("id"), tenantFrom(r))
 			if err != nil {
 				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)
 				return
@@ -147,7 +156,9 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 		},
 		"GET /v1/jobs/{id}/events": func(w http.ResponseWriter, r *http.Request) {
 			id := r.PathValue("id")
-			if _, err := m.Get(id); err != nil {
+			// Ownership is checked once here: a job's tenant is immutable,
+			// so the streaming loop itself needs no further authorization.
+			if _, err := m.GetTenant(id, tenantFrom(r)); err != nil {
 				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)
 				return
 			}
@@ -159,7 +170,7 @@ func NewHandlerWithOptions(m *Manager, o HandlerOptions) http.Handler {
 			m.streamEvents(w, r, id, interval)
 		},
 		"DELETE /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
-			st, err := m.Cancel(r.PathValue("id"))
+			st, err := m.CancelTenant(r.PathValue("id"), tenantFrom(r))
 			switch {
 			case errors.Is(err, ErrUnknownJob):
 				writeError(w, http.StatusNotFound, api.CodeUnknownJob, err)

@@ -170,6 +170,13 @@ type Manager struct {
 	// parked forever with a timer that fires into a closed manager.
 	// Guarded by mu.
 	retryTimers map[string]*time.Timer
+	// retryParked counts, per tenant, the jobs currently parked on a
+	// retry-backoff timer. Parked jobs occupy no fair-queue lane slot but
+	// will re-enter the queue, so the MaxQueued quota charges them too —
+	// without this, a tenant whose jobs fail transiently could hold
+	// max_queued lane slots plus an unbounded set of parked retries.
+	// Guarded by mu, kept in lockstep with retryTimers.
+	retryParked map[string]int
 
 	// workersDone closes once the worker pool has fully exited during
 	// Shutdown; SSE streams select on it so a drain that cannot finish a
@@ -270,6 +277,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 		tenantCfg:   make(map[string]TenantConfig),
 		tenantKeys:  make(map[string]string),
 		retryTimers: make(map[string]*time.Timer),
+		retryParked: make(map[string]int),
 		workersDone: make(chan struct{}),
 	}
 	for _, t := range cfg.Tenants {
@@ -439,9 +447,10 @@ func (m *Manager) SubmitIdem(spec JobSpec) (st Status, created bool, err error) 
 
 // SubmitTenant is SubmitIdem on behalf of an authenticated tenant
 // (internal name; "" is the anonymous tenant). The tenant's MaxQueued
-// quota is checked against its own lane — but only for submissions that
-// would occupy a queue slot: cache hits and coalesced followers never
-// count against it, mirroring the service-wide capacity check.
+// quota is checked against its own lane plus its retry-parked jobs —
+// but only for submissions that would occupy a queue slot: cache hits
+// and coalesced followers never count against it, mirroring the
+// service-wide capacity check.
 func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (st Status, created bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return Status{}, false, err
@@ -493,10 +502,16 @@ func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (st Status, created 
 			m.rejected.Add(1)
 			return Status{}, false, ErrQueueFull
 		}
-		if tc, ok := m.tenantCfg[tenant]; ok && tc.MaxQueued > 0 && m.fq.queued(tenant) >= tc.MaxQueued {
-			m.quotaRejected.Add(1)
-			return Status{}, false, fmt.Errorf("%w: %d jobs queued (max %d)",
-				ErrQuotaExceeded, m.fq.queued(tenant), tc.MaxQueued)
+		// The quota charges both lane occupancy and jobs parked on retry
+		// backoff: a parked job holds no lane slot yet will re-enter the
+		// queue, so skipping it would let a transiently failing tenant
+		// hold max_queued slots plus unbounded parked retries.
+		if tc, ok := m.tenantCfg[tenant]; ok && tc.MaxQueued > 0 {
+			if pending := m.fq.queued(tenant) + m.retryParked[tenant]; pending >= tc.MaxQueued {
+				m.quotaRejected.Add(1)
+				return Status{}, false, fmt.Errorf("%w: %d jobs queued or awaiting retry (max %d)",
+					ErrQuotaExceeded, pending, tc.MaxQueued)
+			}
 		}
 	}
 	m.seq++
@@ -570,7 +585,9 @@ func (m *Manager) SubmitTenant(spec JobSpec, tenant string) (st Status, created 
 	return j.status(), true, nil
 }
 
-// Get returns the status of one job.
+// Get returns the status of one job, across all tenants. It is the
+// embedder's (and the manager's own) unscoped view; the HTTP layer uses
+// GetTenant so one tenant cannot read another's jobs.
 func (m *Manager) Get(id string) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -581,7 +598,22 @@ func (m *Manager) Get(id string) (Status, error) {
 	return j.status(), nil
 }
 
-// List returns every job's status in stable ID order.
+// GetTenant is Get through one tenant's view: a job owned by a
+// different tenant reads as ErrUnknownJob, indistinguishable from an
+// absent ID — job IDs are sequential and trivially guessable, so
+// existence must not leak across tenants.
+func (m *Manager) GetTenant(id, tenant string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.tenant != tenant {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// List returns every job's status in stable ID order, across all
+// tenants (the unscoped embedder's view, like Get).
 func (m *Manager) List() []Status {
 	out, _ := m.ListPage("", 0)
 	return out
@@ -605,6 +637,22 @@ const (
 // submissions and settles on a busy server whenever anything polled the
 // listing.
 func (m *Manager) ListPage(after string, limit int) (page []Status, nextAfter string) {
+	return m.listPage(after, limit, nil)
+}
+
+// ListPageTenant is ListPage through one tenant's view: only jobs the
+// tenant owns appear, while the cursor walks the same global ID order —
+// a page cursor from one tenant's listing is meaningless (but harmless)
+// under another's.
+func (m *Manager) ListPageTenant(tenant, after string, limit int) (page []Status, nextAfter string) {
+	return m.listPage(after, limit, &tenant)
+}
+
+// listPage pages the job table, optionally filtered to one owning
+// tenant. The critical section stays deliberately short: the scan
+// compares tenant strings, and only jobs actually returned are rendered
+// under the lock.
+func (m *Manager) listPage(after string, limit int, owner *string) (page []Status, nextAfter string) {
 	if limit > maxListLimit {
 		limit = maxListLimit
 	}
@@ -622,16 +670,18 @@ func (m *Manager) ListPage(after string, limit int) (page []Status, nextAfter st
 			lo++
 		}
 	}
-	hi := len(m.order)
-	if limit > 0 && lo+limit < hi {
-		hi = lo + limit
-	}
-	page = make([]Status, 0, hi-lo)
-	for _, id := range m.order[lo:hi] {
-		page = append(page, m.jobs[id].status())
-	}
-	if hi < len(m.order) && len(page) > 0 {
-		nextAfter = page[len(page)-1].ID
+	page = []Status{} // never nil: an empty page serializes as []
+	for _, id := range m.order[lo:] {
+		j := m.jobs[id]
+		if owner != nil && j.tenant != *owner {
+			continue
+		}
+		if limit > 0 && len(page) == limit {
+			// One more match exists past the page: hand out a cursor.
+			nextAfter = page[len(page)-1].ID
+			break
+		}
+		page = append(page, j.status())
 	}
 	return page, nextAfter
 }
@@ -639,12 +689,25 @@ func (m *Manager) ListPage(after string, limit int) (page []Status, nextAfter st
 // Cancel requests cancellation of a job. A queued job moves straight to
 // cancelled; a running job has its context cancelled and reaches the
 // cancelled state when its worker observes the interrupt. Cancelling a
-// finished job returns ErrJobFinished.
+// finished job returns ErrJobFinished. Cancel is the unscoped
+// embedder's view; the HTTP layer uses CancelTenant.
 func (m *Manager) Cancel(id string) (Status, error) {
+	return m.cancel(id, nil)
+}
+
+// CancelTenant is Cancel through one tenant's view: a job owned by a
+// different tenant reads as ErrUnknownJob (like GetTenant), so one
+// tenant can neither probe for nor kill another's jobs to free queue
+// capacity for itself.
+func (m *Manager) CancelTenant(id, tenant string) (Status, error) {
+	return m.cancel(id, &tenant)
+}
+
+func (m *Manager) cancel(id string, owner *string) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || (owner != nil && j.tenant != *owner) {
 		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	switch j.state.phase {
@@ -661,7 +724,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		m.fq.remove(j.tenant, j)
 		if t, ok := m.retryTimers[j.id]; ok {
 			t.Stop()
-			delete(m.retryTimers, j.id)
+			m.unparkRetryLocked(j)
 		}
 		// A cancelled queued leader hands its followers to a promoted
 		// one; a cancelled follower just drops out of its leader's
@@ -930,9 +993,29 @@ func (m *Manager) requeueLocked(j *job, cause error) {
 // and silently re-arm itself forever, leaking a goroutine timer cycle
 // per abandoned retry and leaving the job parked in StateQueued with no
 // worker ever coming back for it. At most one timer exists per job.
+// Arming also charges the job to its tenant's retry-parked count so the
+// MaxQueued quota keeps seeing it while it holds no lane slot.
 // Caller holds m.mu.
 func (m *Manager) armRetryLocked(j *job, delay time.Duration) {
+	if _, ok := m.retryTimers[j.id]; !ok {
+		m.retryParked[j.tenant]++
+	}
 	m.retryTimers[j.id] = time.AfterFunc(delay, func() { m.enqueueRetry(j, delay) })
+}
+
+// unparkRetryLocked forgets j's pending backoff timer (already stopped
+// or fired) and refunds its slot in the tenant's retry-parked count.
+// Idempotent: a timer entry already removed decrements nothing, so a
+// fired timer racing a Cancel or Shutdown cannot double-refund the
+// quota. Caller holds m.mu.
+func (m *Manager) unparkRetryLocked(j *job) {
+	if _, ok := m.retryTimers[j.id]; !ok {
+		return
+	}
+	delete(m.retryTimers, j.id)
+	if m.retryParked[j.tenant] > 0 {
+		m.retryParked[j.tenant]--
+	}
 }
 
 // enqueueRetry puts a backoff-expired job back on the queue. A full
@@ -941,7 +1024,7 @@ func (m *Manager) armRetryLocked(j *job, delay time.Duration) {
 func (m *Manager) enqueueRetry(j *job, delay time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.retryTimers, j.id) // this timer has fired; it no longer needs stopping
+	m.unparkRetryLocked(j) // this timer has fired; it no longer needs stopping
 	if j.state.phase != StateQueued || j.cancelled {
 		return // cancelled while waiting for backoff
 	}
@@ -1091,9 +1174,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			if !t.Stop() {
 				continue
 			}
-			delete(m.retryTimers, id)
 			j := m.jobs[id]
-			if j == nil || j.state.phase != StateQueued || j.cancelled {
+			if j == nil {
+				delete(m.retryTimers, id)
+				continue
+			}
+			m.unparkRetryLocked(j)
+			if j.state.phase != StateQueued || j.cancelled {
 				continue
 			}
 			if m.store == nil {

@@ -20,7 +20,9 @@ import (
 // cancelled job, or for a stream cut short by shutdown. Sampling is
 // polling, not push: the probe side is updated wait-free by the engine's
 // clock loop, so each snapshot costs a few atomic loads and never
-// contends with the simulation (DESIGN.md §16).
+// contends with the simulation (DESIGN.md §16). Ticks with nothing to
+// say emit an SSE comment (": keepalive") instead of silence, so a
+// stream following a queued job cannot be cut by idle-timeout proxies.
 
 // SSE poll-interval bounds. The default matches a human watching a
 // terminal; the floor keeps a client from turning the server into a
@@ -57,6 +59,20 @@ type sseStream struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
 	nextID  int
+}
+
+// keepalive writes one SSE comment line — invisible to event consumers
+// by the SSE grammar — and flushes it, so a tick that emits no event
+// still proves the connection alive to idle-timeout proxies and load
+// balancers. Without it a stream is silent for as long as a job sits
+// queued (no Progress yet) or a post-retry probe climbs back to the
+// monotone cycle watermark.
+func (s *sseStream) keepalive() error {
+	if _, err := fmt.Fprint(s.w, ": keepalive\n\n"); err != nil {
+		return err
+	}
+	s.flusher.Flush()
+	return nil
 }
 
 // send frames one SSE event — "id:", "event:", then the payload JSON on
@@ -122,6 +138,8 @@ func (m *Manager) streamEvents(w http.ResponseWriter, r *http.Request, id string
 			}
 			lastCycles = p.Cycles
 			emitted = true
+		} else if s.keepalive() != nil {
+			return // client gone
 		}
 		select {
 		case <-ticker.C:

@@ -418,3 +418,54 @@ func TestSSEIntervalClamp(t *testing.T) {
 		}
 	}
 }
+
+// TestSSEKeepalive pins the idle-stream contract: a stream following a
+// job with nothing to report (queued, so Progress is nil) emits an SSE
+// comment per tick instead of silence, so idle-timeout proxies see a
+// live connection. Before this, such a stream wrote zero bytes for as
+// long as the job sat queued.
+func TestSSEKeepalive(t *testing.T) {
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 4,
+		runFn: blockingRun(started, release),
+	})
+	defer shutdownNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cfg := core.Table1Configs()[0]
+
+	// Park the single worker so the followed job stays queued.
+	if _, err := m.Submit(testSpec("occupier", cfg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(testSpec("parked", cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rsp, sc := openStream(t, srv.URL+"/v1/jobs/"+queued.ID+"/events?interval_ms=50")
+	comments := 0
+	for comments < 3 {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d keepalives", comments)
+		}
+		switch line := sc.Text(); line {
+		case ": keepalive":
+			comments++
+		case "": // comment separator
+		default:
+			t.Fatalf("queued-job stream emitted %q, want only keepalive comments", line)
+		}
+	}
+	rsp.Body.Close() // done watching; unblock the server handler
+
+	close(release)
+	for _, id := range []string{"job-000001", queued.ID} {
+		if st := waitTerminal(t, m, id); st.State != StateDone {
+			t.Fatalf("job %s settled %s (%s)", id, st.State, st.Error)
+		}
+	}
+}

@@ -76,10 +76,15 @@ func LoadTenants(path string) ([]TenantConfig, error) {
 
 // ValidateTenants checks a roster for the invariants the manager relies
 // on: non-empty unique names, unique non-empty keys (except the
-// anonymous entry, which must not carry one), and non-negative quotas.
+// anonymous entry, which must not carry one), non-negative quotas, and
+// names that stay distinct after metric sanitization — "a-b" and "a.b"
+// are different tenants but the same tenant_jobs_submitted_a_b series,
+// and the obs registry panics on a duplicate registration, so such a
+// roster must be rejected here rather than crash the daemon at boot.
 func ValidateTenants(ts []TenantConfig) error {
 	names := make(map[string]bool, len(ts))
 	keys := make(map[string]bool, len(ts))
+	frags := make(map[string]string, len(ts))
 	for i, t := range ts {
 		if t.Name == "" {
 			return fmt.Errorf("tenant %d has no name", i)
@@ -88,6 +93,12 @@ func ValidateTenants(ts []TenantConfig) error {
 			return fmt.Errorf("duplicate tenant name %q", t.Name)
 		}
 		names[t.Name] = true
+		frag := metricTenant(t.internalName())
+		if prev, dup := frags[frag]; dup {
+			return fmt.Errorf("tenant names %q and %q collide as metric suffix %q; rename one",
+				prev, t.Name, frag)
+		}
+		frags[frag] = t.Name
 		if t.Name == AnonymousTenant {
 			if t.Key != "" {
 				return fmt.Errorf("the anonymous tenant must not carry an API key")
@@ -112,6 +123,9 @@ func ValidateTenants(ts []TenantConfig) error {
 // per-tenant metric series: "anonymous" for the unauthenticated tenant,
 // otherwise the name with every character outside [a-zA-Z0-9_] replaced
 // by '_' so the result stays a valid Prometheus metric-name fragment.
+// Sanitization can merge distinct names ("a-b" and "a.b" both become
+// "a_b"); ValidateTenants rejects rosters where that happens, so within
+// a validated roster the mapping is injective.
 func metricTenant(tenant string) string {
 	if tenant == "" {
 		return AnonymousTenant

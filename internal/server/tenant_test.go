@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"hmcsim/internal/core"
 	"hmcsim/internal/server/api"
@@ -63,6 +65,10 @@ func TestValidateTenants(t *testing.T) {
 		"keyed anonymous": {{Name: AnonymousTenant, Key: "k"}},
 		"negative quota":  {{Name: "a", Key: "k", MaxQueued: -1}},
 		"negative weight": {{Name: "a", Key: "k", Weight: -2}},
+		// "a-b" and "a.b" are distinct names but the same sanitized
+		// metric suffix a_b; registering both would panic the obs
+		// registry at NewManager.
+		"metric collision": {{Name: "a-b", Key: "k1"}, {Name: "a.b", Key: "k2"}},
 	}
 	for label, roster := range bad {
 		if err := ValidateTenants(roster); err == nil {
@@ -116,6 +122,29 @@ func postJob(t *testing.T, base string, spec JobSpec, token string) *http.Respon
 	return rsp
 }
 
+// getPath issues one GET with an optional bearer token; the caller owns
+// the body.
+func getPath(t *testing.T, base, path, token string) *http.Response {
+	t.Helper()
+	return doPath(t, http.MethodGet, base, path, token)
+}
+
+func doPath(t *testing.T, method, base, path, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rsp
+}
+
 // TestBearerAuth pins the authentication contract: a configured key
 // resolves its tenant (visible in the job view), an unknown or malformed
 // credential is 401 unauthorized, and requests without the header keep
@@ -143,18 +172,16 @@ func TestBearerAuth(t *testing.T) {
 	if rsp.StatusCode != http.StatusAccepted || st.Tenant != "alice" {
 		t.Fatalf("authed submit: HTTP %d tenant %q, want 202 alice", rsp.StatusCode, st.Tenant)
 	}
-	// ...and the status view over HTTP spells it out too.
-	gr, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// ...and the status view over HTTP spells it out too — read with
+	// alice's own key, since job views are tenant-scoped.
+	gr := getPath(t, srv.URL, "/v1/jobs/"+st.ID, "key-a")
 	var got Status
 	if err := json.NewDecoder(gr.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
 	gr.Body.Close()
-	if got.Tenant != "alice" {
-		t.Errorf("status of an authed job has tenant %q, want alice", got.Tenant)
+	if gr.StatusCode != http.StatusOK || got.Tenant != "alice" {
+		t.Errorf("status of an authed job: HTTP %d tenant %q, want 200 alice", gr.StatusCode, got.Tenant)
 	}
 
 	// Bad credentials: 401 with the unauthorized code.
@@ -307,5 +334,163 @@ func TestTenantMaxRunning(t *testing.T) {
 		if st := waitTerminal(t, m, id); st.State != StateDone {
 			t.Fatalf("job %s settled %s (%s)", id, st.State, st.Error)
 		}
+	}
+}
+
+// TestTenantIsolation pins the authorization contract on the job
+// endpoints: every per-job view — status, listing, event stream,
+// cancel — is scoped to the owning tenant, and a cross-tenant (or
+// anonymous) access reads as 404 unknown_job, indistinguishable from an
+// absent ID. Before this, the guessable sequential IDs let any caller
+// read another tenant's specs and results, and cancel its queued or
+// running jobs to free queue capacity.
+func TestTenantIsolation(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 8,
+		Tenants: []TenantConfig{
+			{Name: "alice", Key: "key-a"},
+			{Name: "bob", Key: "key-b"},
+		},
+		runFn: blockingRun(started, release),
+	})
+	defer shutdownNow(t, m)
+	defer close(release)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cfg := core.Table1Configs()[0]
+
+	rsp := postJob(t, srv.URL, testSpec("alices-job", cfg, 8), "key-a")
+	var st Status
+	if err := json.NewDecoder(rsp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice submit: HTTP %d", rsp.StatusCode)
+	}
+	<-started // alice's job is running
+	if rsp := postJob(t, srv.URL, testSpec("anon-job", cfg, 8), ""); rsp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous submit: HTTP %d", rsp.StatusCode)
+	} else {
+		rsp.Body.Close()
+	}
+
+	// Every cross-tenant and anonymous view of alice's job is a plain
+	// unknown_job 404: status, event stream and cancel alike.
+	paths := []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/" + st.ID},
+		{http.MethodGet, "/v1/jobs/" + st.ID + "/events"},
+		{http.MethodDelete, "/v1/jobs/" + st.ID},
+	}
+	for _, token := range []string{"key-b", ""} {
+		for _, p := range paths {
+			rsp := doPath(t, p.method, srv.URL, p.path, token)
+			var e api.Error
+			decErr := json.NewDecoder(rsp.Body).Decode(&e)
+			rsp.Body.Close()
+			if rsp.StatusCode != http.StatusNotFound || decErr != nil || e.Code != api.CodeUnknownJob {
+				t.Errorf("token %q %s %s: HTTP %d code %q (%v), want 404 unknown_job",
+					token, p.method, p.path, rsp.StatusCode, e.Code, decErr)
+			}
+		}
+	}
+	// ...and bob's cancel attempt must not have touched the job.
+	if got, err := m.Get(st.ID); err != nil || got.State != StateRunning {
+		t.Fatalf("alice's job after cross-tenant cancel attempts: %+v, %v; want still running", got, err)
+	}
+
+	// The owner still sees and controls it.
+	rsp = getPath(t, srv.URL, "/v1/jobs/"+st.ID, "key-a")
+	var own Status
+	if err := json.NewDecoder(rsp.Body).Decode(&own); err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK || own.Tenant != "alice" || own.State != StateRunning {
+		t.Fatalf("owner view: HTTP %d %+v", rsp.StatusCode, own)
+	}
+
+	// Listings are scoped the same way: alice sees one job, bob none,
+	// anonymous only the anonymous job — each as a JSON array, never null.
+	for _, tc := range []struct {
+		token string
+		want  []string
+	}{
+		{"key-a", []string{"alices-job"}},
+		{"key-b", []string{}},
+		{"", []string{"anon-job"}},
+	} {
+		rsp := getPath(t, srv.URL, "/v1/jobs", tc.token)
+		var page []Status
+		if err := json.NewDecoder(rsp.Body).Decode(&page); err != nil {
+			t.Fatalf("token %q list: %v", tc.token, err)
+		}
+		rsp.Body.Close()
+		var names []string
+		for _, js := range page {
+			names = append(names, js.Name)
+		}
+		if page == nil || len(names) != len(tc.want) {
+			t.Fatalf("token %q lists %v, want %v", tc.token, names, tc.want)
+		}
+		for i := range tc.want {
+			if names[i] != tc.want[i] {
+				t.Fatalf("token %q lists %v, want %v", tc.token, names, tc.want)
+			}
+		}
+	}
+}
+
+// TestTenantQuotaCountsRetryParked pins the quota fix: a job parked on
+// its retry-backoff timer holds no fair-queue lane slot, but it still
+// counts against its tenant's max_queued — before this, a tenant whose
+// jobs failed transiently could hold max_queued lane slots plus an
+// unbounded set of retry-parked jobs all destined to re-enter the queue.
+func TestTenantQuotaCountsRetryParked(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		Workers: 1, QueueDepth: 8, MaxAttempts: 3,
+		// Long enough that the parked job stays parked for the whole test.
+		RetryBaseDelay: time.Minute, RetryMaxDelay: time.Minute,
+		Tenants: []TenantConfig{{Name: "alice", Key: "key-a", MaxQueued: 1}},
+		runFn: func(ctx context.Context, spec JobSpec, _ ExecOptions) (Result, error) {
+			return Result{}, Transient(errors.New("flaky backend"))
+		},
+	})
+	defer shutdownNow(t, m)
+	cfg := core.Table1Configs()[0]
+
+	st, _, err := m.SubmitTenant(testSpec("flaky", cfg, 8), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for attempt 1 to fail and the job to park on its backoff
+	// timer: off the lane, still pending.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		parked := m.retryParked["alice"]
+		m.mu.Unlock()
+		if parked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never parked on its retry timer")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m.fq.queued("alice") != 0 {
+		t.Fatalf("parked job still occupies a lane slot")
+	}
+	if _, _, err := m.SubmitTenant(testSpec("second", cfg, 8), "alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("submit while a retry is parked: err = %v, want ErrQuotaExceeded", err)
+	}
+	// Cancelling the parked job refunds its quota slot immediately.
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SubmitTenant(testSpec("after-cancel", cfg, 8), "alice"); err != nil {
+		t.Fatalf("submit after cancelling the parked job: %v", err)
 	}
 }
